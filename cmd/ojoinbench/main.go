@@ -1,0 +1,63 @@
+// Command ojoinbench regenerates the paper's evaluation tables and figures
+// (Section 9) on scaled-down workloads.
+//
+// Usage:
+//
+//	ojoinbench -exp fig9            # one experiment
+//	ojoinbench -exp all             # everything (takes a while)
+//	ojoinbench -exp table1 -seed 7  # different instance
+//
+// Every figure prints both panels: (a) simulated query cost derived from
+// measured communication via the cost model, and (b) the raw communication.
+// Points marked "~" were extrapolated from a capped sample (only the
+// Cartesian-product ObliDB baseline ever needs this).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"oblivjoin/internal/bench"
+	"oblivjoin/internal/storage"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment id (table1, fig7..fig21, or all)")
+		seed     = flag.Int64("seed", 42, "workload and ORAM seed")
+		payload  = flag.Int("payload", 512, "block payload bytes (the paper uses 4096)")
+		bwMbps   = flag.Float64("bandwidth", 1000, "simulated link bandwidth in Mbit/s")
+		rttMicro = flag.Int("rtt", 500, "simulated round-trip latency in microseconds")
+		csv      = flag.Bool("csv", false, "emit plot-ready CSV instead of tables (figures only)")
+	)
+	flag.Parse()
+
+	env := bench.Default()
+	env.Seed = *seed
+	env.BlockPayload = *payload
+	env.Cost = storage.CostModel{
+		BandwidthBps: *bwMbps * 1e6,
+		RTT:          time.Duration(*rttMicro) * time.Microsecond,
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = bench.Experiments()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		run := bench.Run
+		if *csv && id != "table1" {
+			run = bench.RunCSV
+		}
+		if err := run(os.Stdout, env, id); err != nil {
+			fmt.Fprintf(os.Stderr, "ojoinbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if !*csv {
+			fmt.Printf("   [%s regenerated in %.1fs]\n\n", id, time.Since(start).Seconds())
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package baseline
+
+import (
+	"fmt"
+
+	"oblivjoin/internal/jointree"
+	"oblivjoin/internal/relation"
+	"oblivjoin/internal/storage"
+)
+
+// CascadeODBJ evaluates an acyclic multiway equi-join as a left-deep
+// cascade of ODBJ binary joins — the straw man the paper's Section 6 opens
+// with: "a series of oblivious binary joins will disclose the intermediate
+// table sizes, which may leak some sensitive information, e.g., the data
+// distribution or the sparseness of the intermediate join graph."
+//
+// The result is correct and each binary stage is individually oblivious,
+// but the traffic of stage k is a function of the k-th intermediate size,
+// which Definition 1 does NOT allow to leak for multiway queries. The
+// returned StageSizes expose exactly what an adversary learns;
+// TestCascadeLeaksIntermediateSizes demonstrates the leak that
+// core.MultiwayJoin eliminates.
+func CascadeODBJ(rels map[string]*relation.Relation, tree *jointree.Tree, opts Options) (*Result, []int, error) {
+	if tree == nil || tree.Len() < 2 {
+		return nil, nil, fmt.Errorf("baseline: cascade needs a join tree with at least 2 tables")
+	}
+	var start storage.Stats
+	if opts.Meter != nil {
+		start = opts.Meter.Snapshot()
+	}
+	// Left-deep, in pre-order: the running intermediate holds the qualified
+	// columns of every table joined so far. Column names are tracked here
+	// (rather than taken from ODBJJoin's output schema) so qualification
+	// never nests across stages.
+	root, ok := rels[tree.Order[0].Table]
+	if !ok {
+		return nil, nil, fmt.Errorf("baseline: missing table %q", tree.Order[0].Table)
+	}
+	// Intermediates carry join-key values only (payloads are projected away,
+	// as in the paper's queries, which select key columns).
+	rootTuples := make([]relation.Tuple, len(root.Tuples))
+	for i, tu := range root.Tuples {
+		rootTuples[i] = relation.Tuple{Values: tu.Values}
+	}
+	cur := &relation.Relation{
+		Schema: relation.Schema{Table: "cascade", Columns: qualified(root.Schema)},
+		Tuples: rootTuples,
+	}
+	var stageSizes []int
+	for j := 1; j < tree.Len(); j++ {
+		node := tree.Order[j]
+		next, ok := rels[node.Table]
+		if !ok {
+			return nil, nil, fmt.Errorf("baseline: missing table %q", node.Table)
+		}
+		parentTable := tree.Order[node.Parent].Table
+		leftAttr := parentTable + "." + node.ParentAttr
+		res, err := ODBJJoin(cur, next, leftAttr, node.Attr, opts)
+		if err != nil {
+			return nil, nil, fmt.Errorf("baseline: cascade stage %d: %w", j, err)
+		}
+		stageSizes = append(stageSizes, res.RealCount)
+		cur = &relation.Relation{
+			Schema: relation.Schema{
+				Table:   "cascade",
+				Columns: append(append([]string(nil), cur.Schema.Columns...), qualified(next.Schema)...),
+			},
+			Tuples: res.Tuples,
+		}
+	}
+	out := &Result{Schema: cur.Schema, Tuples: cur.Tuples, RealCount: cur.Len()}
+	if opts.Meter != nil {
+		out.Stats = opts.Meter.Snapshot().Sub(start)
+	}
+	return out, stageSizes, nil
+}
+
+// qualified returns a schema's columns as table.column names.
+func qualified(s relation.Schema) []string {
+	cols := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		cols[i] = s.Table + "." + c
+	}
+	return cols
+}

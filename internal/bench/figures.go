@@ -1,0 +1,323 @@
+package bench
+
+import (
+	"fmt"
+
+	"oblivjoin/internal/core"
+	"oblivjoin/internal/jointree"
+	"oblivjoin/internal/relation"
+	"oblivjoin/internal/socialgraph"
+	"oblivjoin/internal/tpch"
+)
+
+// Point is one figure data point: series (method), x (query or size), and
+// the two panel values.
+type Point struct {
+	Series       string
+	X            string
+	A            float64 // panel (a): query cost or cloud storage
+	B            float64 // panel (b): communication or client memory
+	Real         int
+	Extrapolated bool
+}
+
+// Figure is one regenerated paper figure.
+type Figure struct {
+	ID     string
+	Title  string
+	Config string
+	ALabel string
+	BLabel string
+	Points []Point
+}
+
+func (e *Env) measurePoint(fig *Figure, m Measure, x string) {
+	fig.Points = append(fig.Points, Point{
+		Series:       m.Method,
+		X:            x,
+		A:            m.QueryCostSeconds(e.Cost),
+		B:            m.CommMB(),
+		Real:         m.Real,
+		Extrapolated: m.Extrapolated,
+	})
+}
+
+func queryFigure(e *Env, id, title, config string) *Figure {
+	return &Figure{
+		ID: id, Title: title, Config: config,
+		ALabel: "query cost (s)", BLabel: "communication (MB)",
+	}
+}
+
+// Fig9 reproduces Figure 9: binary equi-join on TPC-H, default setting.
+func Fig9(e *Env) (*Figure, error) {
+	db := tpch.Generate(tpch.Config{Suppliers: e.Scales.BinarySuppliers, Seed: e.Seed})
+	fig := queryFigure(e, "fig9", "binary equi-join on TPC-H",
+		fmt.Sprintf("suppliers=%d payload=%dB", e.Scales.BinarySuppliers, e.payload()))
+	for _, q := range []tpch.BinaryQuery{db.TE1(), db.TE2(), db.TE3()} {
+		for _, method := range BinaryMethods {
+			m, err := e.RunBinary(method, q.Name, q.R1, q.R2, q.A1, q.A2)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s: %w", q.Name, method, err)
+			}
+			e.measurePoint(fig, m, q.Name)
+		}
+	}
+	return fig, nil
+}
+
+// Fig10 reproduces Figure 10: binary equi-join on the social graph.
+func Fig10(e *Env) (*Figure, error) {
+	db := socialgraph.Generate(socialgraph.Config{Users: e.Scales.BinaryUsers, Seed: e.Seed})
+	fig := queryFigure(e, "fig10", "binary equi-join on social graph",
+		fmt.Sprintf("users=%d payload=%dB", e.Scales.BinaryUsers, e.payload()))
+	for _, q := range []socialgraph.BinaryQuery{db.SE1(), db.SE2(), db.SE3()} {
+		for _, method := range BinaryMethods {
+			m, err := e.RunBinary(method, q.Name, q.R1, q.R2, q.A1, q.A2)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s: %w", q.Name, method, err)
+			}
+			e.measurePoint(fig, m, q.Name)
+		}
+	}
+	return fig, nil
+}
+
+// Fig11 reproduces Figure 11: Query TE2 against raw data size.
+func Fig11(e *Env) (*Figure, error) {
+	fig := queryFigure(e, "fig11", "Query TE2 against raw data size", fmt.Sprintf("payload=%dB", e.payload()))
+	for _, s := range e.Scales.BinarySweep {
+		db := tpch.Generate(tpch.Config{Suppliers: s, Seed: e.Seed})
+		q := db.TE2()
+		x := fmt.Sprintf("%.1fMB", float64(db.RawBytes())/1e6)
+		for _, method := range BinaryMethods {
+			m, err := e.RunBinary(method, q.Name, q.R1, q.R2, q.A1, q.A2)
+			if err != nil {
+				return nil, fmt.Errorf("TE2@%d %s: %w", s, method, err)
+			}
+			e.measurePoint(fig, m, x)
+		}
+	}
+	return fig, nil
+}
+
+// Fig12 reproduces Figure 12: Query SE2 against raw data size.
+func Fig12(e *Env) (*Figure, error) {
+	fig := queryFigure(e, "fig12", "Query SE2 against raw data size", fmt.Sprintf("payload=%dB", e.payload()))
+	for _, u := range e.Scales.UserSweep {
+		db := socialgraph.Generate(socialgraph.Config{Users: u, Seed: e.Seed})
+		q := db.SE2()
+		x := fmt.Sprintf("%dusers", u)
+		for _, method := range BinaryMethods {
+			m, err := e.RunBinary(method, q.Name, q.R1, q.R2, q.A1, q.A2)
+			if err != nil {
+				return nil, fmt.Errorf("SE2@%d %s: %w", u, method, err)
+			}
+			e.measurePoint(fig, m, x)
+		}
+	}
+	return fig, nil
+}
+
+// Fig13 reproduces Figure 13: band joins on TPC-H.
+func Fig13(e *Env) (*Figure, error) {
+	db := tpch.Generate(tpch.Config{Suppliers: e.Scales.BandSuppliers, Seed: e.Seed})
+	fig := queryFigure(e, "fig13", "band join on TPC-H",
+		fmt.Sprintf("suppliers=%d payload=%dB", e.Scales.BandSuppliers, e.payload()))
+	for _, q := range []tpch.BandQuery{db.TB1(), db.TB2()} {
+		for _, method := range BandMethods {
+			m, err := e.RunBand(method, q.Name, q.R1, q.R2, q.A1, q.A2, q.Op)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s: %w", q.Name, method, err)
+			}
+			e.measurePoint(fig, m, q.Name)
+		}
+	}
+	return fig, nil
+}
+
+// Fig14 reproduces Figure 14: Query TB1 against raw data size.
+func Fig14(e *Env) (*Figure, error) {
+	fig := queryFigure(e, "fig14", "Query TB1 against raw data size", fmt.Sprintf("payload=%dB", e.payload()))
+	for _, s := range e.Scales.BandSweep {
+		db := tpch.Generate(tpch.Config{Suppliers: s, Seed: e.Seed})
+		q := db.TB1()
+		x := fmt.Sprintf("%.1fMB", float64(db.RawBytes())/1e6)
+		for _, method := range BandMethods {
+			m, err := e.RunBand(method, q.Name, q.R1, q.R2, q.A1, q.A2, q.Op)
+			if err != nil {
+				return nil, fmt.Errorf("TB1@%d %s: %w", s, method, err)
+			}
+			e.measurePoint(fig, m, x)
+		}
+	}
+	return fig, nil
+}
+
+// Fig15 reproduces Figure 15: multiway equi-join on TPC-H.
+func Fig15(e *Env) (*Figure, error) {
+	db := tpch.Generate(tpch.Config{Suppliers: e.Scales.MultiSuppliers, Seed: e.Seed})
+	fig := queryFigure(e, "fig15", "multiway equi-join on TPC-H",
+		fmt.Sprintf("suppliers=%d payload=%dB", e.Scales.MultiSuppliers, e.payload()))
+	for _, q := range []tpch.MultiQuery{db.TM1(), db.TM2(), db.TM3()} {
+		for _, method := range MultiwayMethods {
+			m, err := e.RunMultiway(method, q.Name, q.Rels, q.Query)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s: %w", q.Name, method, err)
+			}
+			e.measurePoint(fig, m, q.Name)
+		}
+	}
+	return fig, nil
+}
+
+// Fig16 reproduces Figure 16: multiway equi-join on the social graph.
+func Fig16(e *Env) (*Figure, error) {
+	db := socialgraph.Generate(socialgraph.Config{Users: e.Scales.MultiUsers, Seed: e.Seed})
+	fig := queryFigure(e, "fig16", "multiway equi-join on social graph",
+		fmt.Sprintf("users=%d payload=%dB", e.Scales.MultiUsers, e.payload()))
+	for _, q := range []socialgraph.MultiQuery{db.SM1(), db.SM2(), db.SM3()} {
+		for _, method := range MultiwayMethods {
+			m, err := e.RunMultiway(method, q.Name, q.Rels, q.Query)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s: %w", q.Name, method, err)
+			}
+			e.measurePoint(fig, m, q.Name)
+		}
+	}
+	return fig, nil
+}
+
+// Fig17 reproduces Figure 17: Query TM2 against raw data size.
+func Fig17(e *Env) (*Figure, error) {
+	fig := queryFigure(e, "fig17", "Query TM2 against raw data size", fmt.Sprintf("payload=%dB", e.payload()))
+	for _, s := range e.Scales.MultiSweep {
+		db := tpch.Generate(tpch.Config{Suppliers: s, Seed: e.Seed})
+		q := db.TM2()
+		x := fmt.Sprintf("%.1fMB", float64(db.RawBytes())/1e6)
+		for _, method := range MultiwayMethods {
+			m, err := e.RunMultiway(method, q.Name, q.Rels, q.Query)
+			if err != nil {
+				return nil, fmt.Errorf("TM2@%d %s: %w", s, method, err)
+			}
+			e.measurePoint(fig, m, x)
+		}
+	}
+	return fig, nil
+}
+
+// Fig18 reproduces Figure 18: Query SM2 against raw data size.
+func Fig18(e *Env) (*Figure, error) {
+	fig := queryFigure(e, "fig18", "Query SM2 against raw data size", fmt.Sprintf("payload=%dB", e.payload()))
+	for _, u := range e.Scales.MultiUserSweep {
+		db := socialgraph.Generate(socialgraph.Config{Users: u, Seed: e.Seed})
+		q := db.SM2()
+		x := fmt.Sprintf("%dusers", u)
+		for _, method := range MultiwayMethods {
+			m, err := e.RunMultiway(method, q.Name, q.Rels, q.Query)
+			if err != nil {
+				return nil, fmt.Errorf("SM2@%d %s: %w", u, method, err)
+			}
+			e.measurePoint(fig, m, x)
+		}
+	}
+	return fig, nil
+}
+
+var paddingStrategies = []core.PaddingMode{core.PadNone, core.PadClosestPower, core.PadCartesian}
+
+// paddingBinaryMethods is Figure 19's lineup: all secured binary methods.
+var paddingBinaryMethods = []string{
+	MObliDB, MODBJ, MSepSMJ, MSepINLJ, MSepINLJCache, MOneSMJ, MOneINLJ, MOneINLJCache,
+}
+
+// Fig19 reproduces Figure 19: padded vs non-padded binary equi-joins
+// (Query TE2 and SE2).
+func Fig19(e *Env) (*Figure, error) {
+	fig := queryFigure(e, "fig19", "padding strategies, binary equi-join (TE2, SE2)",
+		fmt.Sprintf("suppliers=%d users=%d payload=%dB", e.Scales.PadSuppliers, e.Scales.PadUsers, e.payload()))
+	tdb := tpch.Generate(tpch.Config{Suppliers: e.Scales.PadSuppliers, Seed: e.Seed})
+	sdb := socialgraph.Generate(socialgraph.Config{Users: e.Scales.PadUsers, Seed: e.Seed})
+	queries := []struct {
+		name   string
+		r1, r2 *relation.Relation
+		a1, a2 string
+	}{
+		{"TE2", tdb.TE2().R1, tdb.TE2().R2, "s_nationkey", "s_nationkey"},
+		{"SE2", sdb.SE2().R1, sdb.SE2().R2, "dst", "src"},
+	}
+	saved := e.Padding
+	defer func() { e.Padding = saved }()
+	for _, q := range queries {
+		for _, strat := range paddingStrategies {
+			e.Padding = strat
+			for _, method := range paddingBinaryMethods {
+				m, err := e.RunBinary(method, q.name, q.r1, q.r2, q.a1, q.a2)
+				if err != nil {
+					return nil, fmt.Errorf("%s %s %v: %w", q.name, method, strat, err)
+				}
+				e.measurePoint(fig, m, q.name+"/"+strat.String())
+			}
+		}
+	}
+	return fig, nil
+}
+
+// paddingBandMethods is Figure 20's lineup.
+var paddingBandMethods = []string{MSepINLJ, MSepINLJCache, MOneINLJ, MOneINLJCache}
+
+// Fig20 reproduces Figure 20: padded vs non-padded band joins (TB1, TB2).
+func Fig20(e *Env) (*Figure, error) {
+	fig := queryFigure(e, "fig20", "padding strategies, band join (TB1, TB2)",
+		fmt.Sprintf("suppliers=%d payload=%dB", e.Scales.PadBandSuppliers, e.payload()))
+	db := tpch.Generate(tpch.Config{Suppliers: e.Scales.PadBandSuppliers, Seed: e.Seed})
+	saved := e.Padding
+	defer func() { e.Padding = saved }()
+	for _, q := range []tpch.BandQuery{db.TB1(), db.TB2()} {
+		for _, strat := range paddingStrategies {
+			e.Padding = strat
+			for _, method := range paddingBandMethods {
+				m, err := e.RunBand(method, q.Name, q.R1, q.R2, q.A1, q.A2, q.Op)
+				if err != nil {
+					return nil, fmt.Errorf("%s %s %v: %w", q.Name, method, strat, err)
+				}
+				e.measurePoint(fig, m, q.Name+"/"+strat.String())
+			}
+		}
+	}
+	return fig, nil
+}
+
+// paddingMultiMethods is Figure 21's lineup.
+var paddingMultiMethods = []string{MObliDB, MSepINLJ, MSepINLJCache, MOneINLJ, MOneINLJCache}
+
+// Fig21 reproduces Figure 21: padded vs non-padded multiway joins (TM2, SM2).
+func Fig21(e *Env) (*Figure, error) {
+	fig := queryFigure(e, "fig21", "padding strategies, multiway equi-join (TM2, SM2)",
+		fmt.Sprintf("suppliers=%d users=%d payload=%dB", e.Scales.PadMultiSupp, e.Scales.PadMultiUsers, e.payload()))
+	tdb := tpch.Generate(tpch.Config{Suppliers: e.Scales.PadMultiSupp, Seed: e.Seed})
+	sdb := socialgraph.Generate(socialgraph.Config{Users: e.Scales.PadMultiUsers, Seed: e.Seed})
+	queries := []struct {
+		name string
+		rels map[string]*relation.Relation
+		q    jointree.Query
+	}{
+		{"TM2", tdb.TM2().Rels, tdb.TM2().Query},
+		{"SM2", sdb.SM2().Rels, sdb.SM2().Query},
+	}
+	saved := e.Padding
+	defer func() { e.Padding = saved }()
+	for _, q := range queries {
+		for _, strat := range paddingStrategies {
+			e.Padding = strat
+			for _, method := range paddingMultiMethods {
+				m, err := e.RunMultiway(method, q.name, q.rels, q.q)
+				if err != nil {
+					return nil, fmt.Errorf("%s %s %v: %w", q.name, method, strat, err)
+				}
+				e.measurePoint(fig, m, q.name+"/"+strat.String())
+			}
+		}
+	}
+	return fig, nil
+}

@@ -1,0 +1,40 @@
+package btree
+
+import "testing"
+
+// FuzzDecodeNode hardens the node parser against arbitrary block contents:
+// it must return an error or a node, never panic, and every decoded node
+// must re-encode without error.
+func FuzzDecodeNode(f *testing.F) {
+	leaf := &node{leaf: true, next: 3, leafEnts: []leafEnt{
+		{key: 5, ord: 0, ref: Ref{Block: 1, Slot: 2}, live: true, sameNext: true},
+	}}
+	buf := make([]byte, 256)
+	if err := leaf.encode(buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append([]byte(nil), buf...))
+	intn := &node{next: NoLeaf, intEnts: []intEnt{{child: 7, maxKey: 9, maxOrd: 3, minOrd: 0, maxLiveKey: 9, maxLiveOrd: 3, minLiveOrd: 0}}}
+	if err := intn.encode(buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append([]byte(nil), buf...))
+	f.Add([]byte{})
+	f.Add([]byte{1, 255, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, err := decodeNode(data)
+		if err != nil {
+			return
+		}
+		out := make([]byte, len(data))
+		if eerr := n.encode(out); eerr != nil && len(data) >= nodeHeader {
+			// A decoded node always fits back into a buffer of the original
+			// size.
+			t.Fatalf("re-encode failed: %v", eerr)
+		}
+		// Aggregates never panic either.
+		n.liveAgg()
+		n.staticAgg()
+		n.reset()
+	})
+}

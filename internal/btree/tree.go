@@ -1,0 +1,535 @@
+package btree
+
+import (
+	"fmt"
+	"sort"
+
+	"oblivjoin/internal/oram"
+)
+
+// Item is one index entry to build: key plus tuple reference.
+type Item struct {
+	Key int64
+	Ref Ref
+}
+
+// Config configures an index.
+type Config struct {
+	// ORAM stores the index nodes; its payload size fixes the fanout.
+	ORAM oram.ORAM
+	// CacheInternal keeps all levels above the leaves client-side, the
+	// paper's "+Cache" mode (number of outsourced levels Δ = 1).
+	CacheInternal bool
+	// WriteBackDescents makes every descent a read-down/write-up pass so
+	// lookups and disable operations perform identical access sequences.
+	// Required for the multiway join (Section 6); binary joins leave it off
+	// and pay Δ accesses per lookup instead of 2Δ.
+	WriteBackDescents bool
+}
+
+// Tree is the client handle to a B-tree index stored in an ORAM.
+type Tree struct {
+	cfg    Config
+	levels []levelRange // levels[0] = leaves, last = root level
+	nEnts  int64
+	// cache holds decoded internal nodes when CacheInternal is set.
+	cache map[uint64]*node
+
+	leafFanout int
+	intFanout  int
+}
+
+type levelRange struct {
+	first uint64
+	count uint64
+}
+
+// Built is the output of Construct: the full node set of an index, ready to
+// be uploaded into an ORAM (standalone or a shared-ORAM slice) and attached
+// with New.
+type Built struct {
+	levels     []levelRange
+	nEnts      int64
+	nodes      []*node
+	payload    int
+	leafFanout int
+	intFanout  int
+}
+
+// Payloads serializes every node in block-ID order.
+func (b *Built) Payloads() ([][]byte, error) {
+	out := make([][]byte, len(b.nodes))
+	for id, n := range b.nodes {
+		buf := make([]byte, b.payload)
+		if err := n.encode(buf); err != nil {
+			return nil, err
+		}
+		out[id] = buf
+	}
+	return out, nil
+}
+
+// NumNodes returns the total node count of the built index.
+func (b *Built) NumNodes() int64 { return int64(len(b.nodes)) }
+
+// Construct builds the index node set over the given items (sorted
+// internally by key, stable) for blocks of the given payload size. It is a
+// pure client-side computation — the preprocessing step before upload.
+func Construct(payload int, items []Item) (*Built, error) {
+	lf, inf := LeafFanout(payload), InternalFanout(payload)
+	if lf < 1 || inf < 2 {
+		return nil, fmt.Errorf("btree: payload %d too small (leaf fanout %d, internal fanout %d)", payload, lf, inf)
+	}
+	sorted := make([]Item, len(items))
+	copy(sorted, items)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+
+	b := &Built{nEnts: int64(len(sorted)), payload: payload, leafFanout: lf, intFanout: inf}
+
+	// Build the leaf level.
+	nLeaves := (len(sorted) + lf - 1) / lf
+	if nLeaves == 0 {
+		nLeaves = 1
+	}
+	for i := 0; i < nLeaves; i++ {
+		lo := i * lf
+		hi := lo + lf
+		if hi > len(sorted) {
+			hi = len(sorted)
+		}
+		n := &node{leaf: true, next: NoLeaf}
+		for j := lo; j < hi; j++ {
+			n.leafEnts = append(n.leafEnts, leafEnt{
+				key:      sorted[j].Key,
+				ord:      int64(j),
+				ref:      sorted[j].Ref,
+				live:     true,
+				sameNext: j+1 < len(sorted) && sorted[j+1].Key == sorted[j].Key,
+			})
+		}
+		if i+1 < nLeaves {
+			n.next = uint64(i + 1)
+		}
+		b.nodes = append(b.nodes, n)
+	}
+	b.levels = []levelRange{{first: 0, count: uint64(nLeaves)}}
+
+	// Build internal levels until a single root remains.
+	levelNodes := b.nodes
+	firstID := uint64(nLeaves)
+	for len(levelNodes) > 1 {
+		prevFirst := b.levels[len(b.levels)-1].first
+		var next []*node
+		for i := 0; i < len(levelNodes); i += inf {
+			hi := i + inf
+			if hi > len(levelNodes) {
+				hi = len(levelNodes)
+			}
+			n := &node{next: NoLeaf}
+			for j := i; j < hi; j++ {
+				maxKey, maxOrd, minOrd := levelNodes[j].staticAgg()
+				n.intEnts = append(n.intEnts, intEnt{
+					child:      prevFirst + uint64(j),
+					maxKey:     maxKey,
+					maxOrd:     maxOrd,
+					minOrd:     minOrd,
+					maxLiveKey: maxKey,
+					maxLiveOrd: maxOrd,
+					minLiveOrd: minOrd,
+				})
+			}
+			next = append(next, n)
+		}
+		b.levels = append(b.levels, levelRange{first: firstID, count: uint64(len(next))})
+		b.nodes = append(b.nodes, next...)
+		firstID += uint64(len(next))
+		levelNodes = next
+	}
+	return b, nil
+}
+
+// New attaches a constructed index to an ORAM that already stores its node
+// payloads at keys 0..NumNodes-1.
+func New(cfg Config, b *Built) (*Tree, error) {
+	if cfg.ORAM == nil {
+		return nil, fmt.Errorf("btree: ORAM is required")
+	}
+	if cfg.ORAM.PayloadSize() != b.payload {
+		return nil, fmt.Errorf("btree: index built for payload %d, ORAM has %d", b.payload, cfg.ORAM.PayloadSize())
+	}
+	if int64(len(b.nodes)) > cfg.ORAM.Capacity() {
+		return nil, fmt.Errorf("btree: %d nodes exceed ORAM capacity %d", len(b.nodes), cfg.ORAM.Capacity())
+	}
+	t := &Tree{
+		cfg:        cfg,
+		levels:     b.levels,
+		nEnts:      b.nEnts,
+		leafFanout: b.leafFanout,
+		intFanout:  b.intFanout,
+	}
+	if cfg.CacheInternal {
+		t.cache = make(map[uint64]*node)
+		for id, n := range b.nodes {
+			if !n.leaf {
+				t.cache[uint64(id)] = n
+			}
+		}
+	}
+	return t, nil
+}
+
+// Build is the single-ORAM convenience: Construct, bulk-load into cfg.ORAM,
+// and attach.
+func Build(cfg Config, items []Item) (*Tree, error) {
+	if cfg.ORAM == nil {
+		return nil, fmt.Errorf("btree: ORAM is required")
+	}
+	b, err := Construct(cfg.ORAM.PayloadSize(), items)
+	if err != nil {
+		return nil, err
+	}
+	payloads, err := b.Payloads()
+	if err != nil {
+		return nil, err
+	}
+	type bulkLoader interface{ BulkLoad([][]byte) error }
+	bl, ok := cfg.ORAM.(bulkLoader)
+	if !ok {
+		return nil, fmt.Errorf("btree: ORAM %T does not support bulk load", cfg.ORAM)
+	}
+	if int64(len(payloads)) > cfg.ORAM.Capacity() {
+		return nil, fmt.Errorf("btree: %d nodes exceed ORAM capacity %d (size with NodeCount first)", len(payloads), cfg.ORAM.Capacity())
+	}
+	if err := bl.BulkLoad(payloads); err != nil {
+		return nil, err
+	}
+	return New(cfg, b)
+}
+
+// NodeCount returns the number of index nodes a build over n items in
+// blocks with the given payload will create — callers use it to size the
+// index ORAM before Build.
+func NodeCount(n int, payload int) (int64, error) {
+	lf, inf := LeafFanout(payload), InternalFanout(payload)
+	if lf < 1 || inf < 2 {
+		return 0, fmt.Errorf("btree: payload %d too small", payload)
+	}
+	total := int64(0)
+	level := (n + lf - 1) / lf
+	if level == 0 {
+		level = 1
+	}
+	total += int64(level)
+	for level > 1 {
+		level = (level + inf - 1) / inf
+		total += int64(level)
+	}
+	return total, nil
+}
+
+// Height returns the number of levels (1 for a single-leaf tree).
+func (t *Tree) Height() int { return len(t.levels) }
+
+// NumEntries returns the number of leaf entries.
+func (t *Tree) NumEntries() int64 { return t.nEnts }
+
+// LeafCount returns the number of leaf nodes.
+func (t *Tree) LeafCount() int64 { return int64(t.levels[0].count) }
+
+// NumNodes returns the total number of index nodes.
+func (t *Tree) NumNodes() int64 {
+	var n int64
+	for _, l := range t.levels {
+		n += int64(l.count)
+	}
+	return n
+}
+
+// OutsourcedLevels returns Δ, the number of index levels fetched from the
+// server per descent: 1 in "+Cache" mode, the full height otherwise.
+func (t *Tree) OutsourcedLevels() int {
+	if t.cfg.CacheInternal {
+		return 1
+	}
+	return len(t.levels)
+}
+
+// AccessesPerRetrieval returns the exact number of index-ORAM accesses one
+// lookup, disable, or dummy operation performs. Fixed per tree, which is the
+// per-retrieval uniformity the security argument needs.
+func (t *Tree) AccessesPerRetrieval() int {
+	d := t.OutsourcedLevels()
+	if t.cfg.WriteBackDescents {
+		return 2 * d
+	}
+	return d
+}
+
+// ClientCacheBytes returns the client memory spent on cached index levels.
+func (t *Tree) ClientCacheBytes() int64 {
+	if !t.cfg.CacheInternal {
+		return 0
+	}
+	return int64(len(t.cache)) * int64(t.cfg.ORAM.PayloadSize())
+}
+
+// ORAM exposes the index's backing store for storage accounting.
+func (t *Tree) ORAM() oram.ORAM { return t.cfg.ORAM }
+
+// LeafFor returns the leaf node ID containing the entry with the given
+// ordinal — computable client-side because leaves are packed to the fanout.
+func (t *Tree) LeafFor(ord int64) uint64 { return uint64(ord) / uint64(t.leafFanout) }
+
+// LeafFanoutEntries returns the number of entries per full leaf.
+func (t *Tree) LeafFanoutEntries() int { return t.leafFanout }
+
+// rootID returns the block ID of the root node.
+func (t *Tree) rootID() uint64 { return t.levels[len(t.levels)-1].first }
+
+func (t *Tree) isCached(id uint64) bool {
+	if !t.cfg.CacheInternal {
+		return false
+	}
+	_, ok := t.cache[id]
+	return ok
+}
+
+// fetchNode returns the decoded node, from cache or via one ORAM access.
+func (t *Tree) fetchNode(id uint64) (*node, error) {
+	if n, ok := t.cache[id]; ok {
+		return n, nil
+	}
+	buf, err := t.cfg.ORAM.Read(id)
+	if err != nil {
+		return nil, fmt.Errorf("btree: node %d: %w", id, err)
+	}
+	return decodeNode(buf)
+}
+
+func (t *Tree) writeNode(id uint64, n *node) error {
+	if t.isCached(id) {
+		t.cache[id] = n
+		return nil
+	}
+	buf := make([]byte, t.cfg.ORAM.PayloadSize())
+	if err := n.encode(buf); err != nil {
+		return err
+	}
+	return t.cfg.ORAM.Write(id, buf)
+}
+
+// pathStep records one visited node during a descent.
+type pathStep struct {
+	id    uint64
+	node  *node
+	entry int // entry index descended through (internal nodes)
+}
+
+// descend walks root to leaf, choosing children with route; when route finds
+// no candidate it continues through the last entry so the access count is
+// preserved, and reports found=false. leafPick selects the leaf entry the
+// same way. mutate, if non-nil, runs on the full path before write-back and
+// may modify nodes (used by Disable). In WriteBackDescents mode every
+// non-cached visited node is written back bottom-up, with parent aggregates
+// refreshed from the traversed child.
+func (t *Tree) descend(route func(*node) int, leafPick func(*node) int, mutate func([]pathStep) error) (Entry, bool, error) {
+	path := make([]pathStep, 0, len(t.levels))
+	id := t.rootID()
+	found := true
+	for {
+		n, err := t.fetchNode(id)
+		if err != nil {
+			return Entry{}, false, err
+		}
+		if n.leaf {
+			idx := -1
+			if found {
+				idx = leafPick(n)
+			}
+			path = append(path, pathStep{id: id, node: n, entry: idx})
+			var ent Entry
+			if idx >= 0 {
+				ent = n.leafEnts[idx].public()
+			} else {
+				found = false
+			}
+			if mutate != nil {
+				if err := mutate(path); err != nil {
+					return Entry{}, false, err
+				}
+				if idx >= 0 {
+					// Re-read the (possibly mutated) entry.
+					ent = n.leafEnts[idx].public()
+				}
+			}
+			if err := t.writeBack(path); err != nil {
+				return Entry{}, false, err
+			}
+			return ent, found, nil
+		}
+		idx := -1
+		if found {
+			idx = route(n)
+		}
+		if idx < 0 {
+			found = false
+			idx = len(n.intEnts) - 1 // fixed dummy continuation
+		}
+		path = append(path, pathStep{id: id, node: n, entry: idx})
+		id = n.intEnts[idx].child
+	}
+}
+
+// writeBack refreshes parent aggregates along the path and rewrites each
+// non-cached node (cached nodes were mutated in place). Only active in
+// WriteBackDescents mode.
+func (t *Tree) writeBack(path []pathStep) error {
+	if !t.cfg.WriteBackDescents {
+		return nil
+	}
+	for i := len(path) - 1; i >= 0; i-- {
+		step := path[i]
+		if i > 0 {
+			parent := path[i-1]
+			e := &parent.node.intEnts[parent.entry]
+			e.maxLiveKey, e.maxLiveOrd, e.minLiveOrd = step.node.liveAgg()
+		}
+		if !t.isCached(step.id) {
+			buf := make([]byte, t.cfg.ORAM.PayloadSize())
+			if err := step.node.encode(buf); err != nil {
+				return err
+			}
+			if err := t.cfg.ORAM.Write(step.id, buf); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// LookupGE returns the first live entry with key >= k. When none exists the
+// descent still performs its full fixed-length access sequence.
+func (t *Tree) LookupGE(k int64) (Entry, bool, error) {
+	return t.descend(
+		func(n *node) int { return n.routeKeyGE(k) },
+		func(n *node) int { return n.leafKeyGE(k) },
+		nil)
+}
+
+// LookupOrdGE returns the first live entry with ordinal >= o.
+func (t *Tree) LookupOrdGE(o int64) (Entry, bool, error) {
+	return t.descend(
+		func(n *node) int { return n.routeOrdGE(o) },
+		func(n *node) int { return n.leafOrdGE(o) },
+		nil)
+}
+
+// LookupOrdLE returns the last live entry with ordinal <= o (used by
+// descending band-join cursors).
+func (t *Tree) LookupOrdLE(o int64) (Entry, bool, error) {
+	return t.descend(
+		func(n *node) int { return n.routeOrdLE(o) },
+		func(n *node) int { return n.leafOrdLE(o) },
+		nil)
+}
+
+// Disable marks the live entry with the given ordinal disabled and updates
+// live aggregates along the path — the paper's tuple-disabling operation,
+// with the same access sequence as a lookup. Requires WriteBackDescents:
+// only then do lookups and disables share one uniform read-down/write-up
+// access pattern.
+func (t *Tree) Disable(ord int64) error {
+	if !t.cfg.WriteBackDescents {
+		return fmt.Errorf("btree: Disable requires WriteBackDescents")
+	}
+	_, found, err := t.descend(
+		func(n *node) int { return n.routeOrdGE(ord) },
+		func(n *node) int { return n.leafOrdGE(ord) },
+		func(path []pathStep) error {
+			leaf := path[len(path)-1]
+			if leaf.entry < 0 {
+				return fmt.Errorf("btree: disable of ordinal %d: not found or already disabled", ord)
+			}
+			e := &leaf.node.leafEnts[leaf.entry]
+			if e.ord != ord {
+				return fmt.Errorf("btree: disable of ordinal %d reached entry %d", ord, e.ord)
+			}
+			e.live = false
+			return nil
+		})
+	if err != nil {
+		return err
+	}
+	if !found {
+		return fmt.Errorf("btree: disable of ordinal %d: no live entry", ord)
+	}
+	return nil
+}
+
+// DummyOp performs index-ORAM accesses indistinguishable from a lookup or
+// disable, touching nothing.
+func (t *Tree) DummyOp() error {
+	for i := 0; i < t.AccessesPerRetrieval(); i++ {
+		if err := t.cfg.ORAM.DummyAccess(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadLeaf fetches leaf node leafID (0-based, sequential) with exactly one
+// ORAM access and returns its entries — the sequential cursor primitive of
+// the sort-merge join. In WriteBackDescents mode the leaf is rewritten to
+// stay uniform with other retrievals.
+func (t *Tree) ReadLeaf(leafID uint64) ([]Entry, error) {
+	if leafID >= t.levels[0].count {
+		return nil, fmt.Errorf("btree: leaf %d of %d", leafID, t.levels[0].count)
+	}
+	var n *node
+	if t.cfg.WriteBackDescents {
+		buf, err := t.cfg.ORAM.Update(leafID, func([]byte) error { return nil })
+		if err != nil {
+			return nil, err
+		}
+		n, err = decodeNode(buf)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		n, err = t.fetchNode(leafID)
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := make([]Entry, len(n.leafEnts))
+	for i, e := range n.leafEnts {
+		out[i] = e.public()
+	}
+	return out, nil
+}
+
+// Reset restores every liveness tag, walking all index blocks once — the
+// paper's post-query cleanup ("go over all index blocks and reset all
+// boolean tags"). Each node is self-resetting (static aggregates are stored
+// alongside live ones), so the pass needs no cross-node information.
+func (t *Tree) Reset() error {
+	total := t.NumNodes()
+	for id := uint64(0); id < uint64(total); id++ {
+		if n, ok := t.cache[id]; ok {
+			n.reset()
+			continue
+		}
+		if _, err := t.cfg.ORAM.Update(id, func(buf []byte) error {
+			n, err := decodeNode(buf)
+			if err != nil {
+				return err
+			}
+			n.reset()
+			return n.encode(buf)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+
+	"oblivjoin/internal/table"
+)
+
+// BandJoin computes T1 ⋈ T2 on a1 OP a2 (OP ∈ {<, <=, >, >=}) with the
+// paper's oblivious index nested-loop band join (Section 5.3): T1 is
+// scanned sequentially; for ">"-type predicates the T2 cursor starts at the
+// first index entry and walks forward while the predicate holds, for
+// "<"-type predicates it starts at the last entry and walks backward.
+// Retrievals from the two tables stay in lock-step with dummies, one output
+// record per join step, padded to Theorem 3's bound |T1| + |R|.
+func BandJoin(t1, t2 *table.StoredTable, a1, a2 string, op BandOp, opts Options) (*Result, error) {
+	start := snapshot(opts.Meter)
+	col1 := t1.Schema().MustCol(a1)
+	scan := table.NewScanCursor(t1)
+	ic, err := table.NewIndexCursor(t2, a2)
+	if err != nil {
+		return nil, err
+	}
+	w, err := newOutWriter(fmt.Sprintf("%s⋈%s", t1.Schema().Table, t2.Schema().Table),
+		opts, t1.Schema(), t2.Schema())
+	if err != nil {
+		return nil, err
+	}
+	var padder *onePadder
+	scanCost := 1
+	seekCost := ic.Tree().AccessesPerRetrieval() + 1
+	if opts.OneORAM != nil {
+		padder = &onePadder{opts: opts, max: max(scanCost, seekCost)}
+	}
+	one := padder != nil
+	ascending := op == BandGreater || op == BandGreaterEq
+	lastOrd := ic.Tree().NumEntries() - 1
+
+	var steps, retrievals int64
+	for i := 0; i < t1.NumTuples(); i++ {
+		steps++
+		retrievals += 2
+		row1, err := scan.Next()
+		if err != nil {
+			return nil, err
+		}
+		if err := padder.pad(scanCost); err != nil {
+			return nil, err
+		}
+		if !row1.OK {
+			return nil, fmt.Errorf("core: scan of %s ended early at %d", t1.Schema().Table, i)
+		}
+		key := row1.Tuple.Values[col1]
+		var row2 table.Row
+		if ascending {
+			row2, err = ic.SeekOrdGE(0)
+		} else {
+			row2, err = ic.SeekOrdLE(lastOrd)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := padder.pad(seekCost); err != nil {
+			return nil, err
+		}
+		for row2.OK && op.Matches(key, row2.Entry.Key) {
+			if err := w.putJoin(row1.Tuple, row2.Tuple); err != nil {
+				return nil, err
+			}
+			steps++
+			retrievals++
+			if !one {
+				if err := scan.Dummy(); err != nil {
+					return nil, err
+				}
+			}
+			if ascending {
+				row2, err = ic.Next()
+			} else {
+				row2, err = ic.Prev()
+			}
+			if err != nil {
+				return nil, err
+			}
+			if err := padder.pad(seekCost); err != nil {
+				return nil, err
+			}
+		}
+		if err := w.putDummy(); err != nil {
+			return nil, err
+		}
+	}
+
+	n1, n2 := int64(t1.NumTuples()), int64(t2.NumTuples())
+	cart := Cartesian(n1, n2)
+	paddedR := opts.PadSize(int64(w.real), cart)
+	target := NumtrBand(n1, paddedR)
+	if steps > target {
+		return nil, fmt.Errorf("core: band join executed %d steps, exceeding the Theorem 3 bound %d", steps, target)
+	}
+	padded := steps
+	for ; padded < target; padded++ {
+		retrievals++
+		if one {
+			if err := padder.dummyRetrieval(); err != nil {
+				return nil, err
+			}
+		} else {
+			if err := scan.Dummy(); err != nil {
+				return nil, err
+			}
+			if err := ic.Dummy(); err != nil {
+				return nil, err
+			}
+		}
+		if err := w.putDummy(); err != nil {
+			return nil, err
+		}
+	}
+
+	tuples, real, paddedOut, err := w.finish(opts, cart)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Schema:      w.schema,
+		Tuples:      tuples,
+		RealCount:   real,
+		PaddedCount: paddedOut,
+		Steps:       steps,
+		PaddedSteps: padded,
+		Retrievals:  padded,
+		Stats:       diff(opts.Meter, start),
+	}
+	if one {
+		res.Retrievals = retrievals
+	}
+	return res, nil
+}

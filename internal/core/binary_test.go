@@ -1,0 +1,532 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	mrand "math/rand"
+	"testing"
+	"testing/quick"
+
+	"oblivjoin/internal/oram"
+	"oblivjoin/internal/relation"
+	"oblivjoin/internal/storage"
+	"oblivjoin/internal/table"
+	"oblivjoin/internal/xcrypto"
+)
+
+func testSealer(t testing.TB) *xcrypto.Sealer {
+	t.Helper()
+	s, err := xcrypto.NewSealer(bytes.Repeat([]byte{11}, xcrypto.KeySize), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func testTableOpts(t testing.TB, m *storage.Meter, multiway bool) table.Options {
+	t.Helper()
+	return table.Options{
+		BlockPayload:      256,
+		Meter:             m,
+		Sealer:            testSealer(t),
+		Rand:              oram.NewSeededSource(7),
+		WriteBackDescents: multiway,
+	}
+}
+
+func testJoinOpts(t testing.TB, m *storage.Meter) Options {
+	t.Helper()
+	return Options{
+		Meter:        m,
+		Sealer:       testSealer(t),
+		OutBlockSize: 256,
+	}
+}
+
+func makeRel(name string, keys []int64) *relation.Relation {
+	rel := &relation.Relation{Schema: relation.Schema{Table: name, Columns: []string{"k", "id"}}}
+	for i, k := range keys {
+		rel.Tuples = append(rel.Tuples, relation.Tuple{Values: []int64{k, int64(i)}})
+	}
+	return rel
+}
+
+// multiset renders tuples as a count map for order-insensitive comparison.
+func multiset(tuples []relation.Tuple) map[string]int {
+	m := map[string]int{}
+	for _, t := range tuples {
+		m[fmt.Sprint(t.Values)]++
+	}
+	return m
+}
+
+func equalMultiset(t *testing.T, got, want []relation.Tuple) {
+	t.Helper()
+	gm, wm := multiset(got), multiset(want)
+	if len(gm) != len(wm) {
+		t.Fatalf("result multiset mismatch: %d distinct vs %d (got %d tuples, want %d)",
+			len(gm), len(wm), len(got), len(want))
+	}
+	for k, c := range wm {
+		if gm[k] != c {
+			t.Fatalf("tuple %s: got %d, want %d", k, gm[k], c)
+		}
+	}
+}
+
+func storePair(t *testing.T, k1, k2 []int64, m *storage.Meter) (*table.StoredTable, *table.StoredTable, *relation.Relation, *relation.Relation) {
+	t.Helper()
+	r1, r2 := makeRel("t1", k1), makeRel("t2", k2)
+	opts := testTableOpts(t, m, false)
+	s1, err := table.Store(r1, []string{"k"}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := table.Store(r2, []string{"k"}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s1, s2, r1, r2
+}
+
+func TestFigure3Walkthrough(t *testing.T) {
+	// Figure 3: T1 = (1,1),(2,1),(2,2),(3,1); T2 = (1,1),(2,1),(2,2),(2,3)
+	// keyed on the first column; |R| = 7, Numtr = 16.
+	s1, s2, r1, r2 := storePair(t, []int64{1, 2, 2, 3}, []int64{1, 2, 2, 2}, nil)
+	res, err := SortMergeJoin(s1, s2, "k", "k", testJoinOpts(t, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RealCount != 7 {
+		t.Fatalf("real count %d, want 7", res.RealCount)
+	}
+	if res.PaddedSteps != 16 {
+		t.Fatalf("Numtr %d, want 16 (paper's Figure 3)", res.PaddedSteps)
+	}
+	equalMultiset(t, res.Tuples, ReferenceEquiJoin(r1, r2, "k", "k"))
+}
+
+func TestFigure4Walkthrough(t *testing.T) {
+	// Figure 4: same tables, Numtr = |T1| + |R| = 4 + 7 = 11.
+	s1, s2, r1, r2 := storePair(t, []int64{1, 2, 2, 3}, []int64{1, 2, 2, 2}, nil)
+	res, err := IndexNestedLoopJoin(s1, s2, "k", "k", testJoinOpts(t, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RealCount != 7 {
+		t.Fatalf("real count %d, want 7", res.RealCount)
+	}
+	if res.PaddedSteps != 11 {
+		t.Fatalf("Numtr %d, want 11 (paper's Figure 4)", res.PaddedSteps)
+	}
+	equalMultiset(t, res.Tuples, ReferenceEquiJoin(r1, r2, "k", "k"))
+}
+
+func TestFigure5Walkthrough(t *testing.T) {
+	// Figure 5: T1.A > T2.A over the same tables; |R| = 6, Numtr = 10.
+	s1, s2, r1, r2 := storePair(t, []int64{1, 2, 2, 3}, []int64{1, 2, 2, 2}, nil)
+	res, err := BandJoin(s1, s2, "k", "k", BandGreater, testJoinOpts(t, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RealCount != 6 {
+		t.Fatalf("real count %d, want 6", res.RealCount)
+	}
+	if res.PaddedSteps != 10 {
+		t.Fatalf("Numtr %d, want 10 (paper's Figure 5)", res.PaddedSteps)
+	}
+	equalMultiset(t, res.Tuples, ReferenceBandJoin(r1, r2, "k", "k", BandGreater))
+}
+
+func TestSortMergeJoinRandomized(t *testing.T) {
+	r := mrand.New(mrand.NewSource(41))
+	for trial := 0; trial < 12; trial++ {
+		n1, n2 := 1+r.Intn(30), 1+r.Intn(30)
+		k1 := make([]int64, n1)
+		k2 := make([]int64, n2)
+		for i := range k1 {
+			k1[i] = int64(r.Intn(8))
+		}
+		for i := range k2 {
+			k2[i] = int64(r.Intn(8))
+		}
+		s1, s2, r1, r2 := storePair(t, k1, k2, nil)
+		res, err := SortMergeJoin(s1, s2, "k", "k", testJoinOpts(t, nil))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := ReferenceEquiJoin(r1, r2, "k", "k")
+		equalMultiset(t, res.Tuples, want)
+		// Theorem 1 holds exactly.
+		if got := res.Steps; got != NumtrSortMerge(int64(n1), int64(n2), int64(len(want))) {
+			t.Fatalf("trial %d: steps %d, theorem %d (n1=%d n2=%d r=%d)",
+				trial, got, NumtrSortMerge(int64(n1), int64(n2), int64(len(want))), n1, n2, len(want))
+		}
+	}
+}
+
+func TestINLJRandomized(t *testing.T) {
+	r := mrand.New(mrand.NewSource(43))
+	for trial := 0; trial < 12; trial++ {
+		n1, n2 := 1+r.Intn(25), 1+r.Intn(25)
+		k1 := make([]int64, n1)
+		k2 := make([]int64, n2)
+		for i := range k1 {
+			k1[i] = int64(r.Intn(6))
+		}
+		for i := range k2 {
+			k2[i] = int64(r.Intn(6))
+		}
+		s1, s2, r1, r2 := storePair(t, k1, k2, nil)
+		res, err := IndexNestedLoopJoin(s1, s2, "k", "k", testJoinOpts(t, nil))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := ReferenceEquiJoin(r1, r2, "k", "k")
+		equalMultiset(t, res.Tuples, want)
+		if res.Steps != NumtrINLJ(int64(n1), int64(len(want))) {
+			t.Fatalf("trial %d: steps %d, theorem %d", trial, res.Steps, NumtrINLJ(int64(n1), int64(len(want))))
+		}
+	}
+}
+
+func TestBandJoinAllOps(t *testing.T) {
+	r := mrand.New(mrand.NewSource(47))
+	for _, op := range []BandOp{BandLess, BandLessEq, BandGreater, BandGreaterEq} {
+		n1, n2 := 1+r.Intn(15), 1+r.Intn(15)
+		k1 := make([]int64, n1)
+		k2 := make([]int64, n2)
+		for i := range k1 {
+			k1[i] = int64(r.Intn(10))
+		}
+		for i := range k2 {
+			k2[i] = int64(r.Intn(10))
+		}
+		s1, s2, r1, r2 := storePair(t, k1, k2, nil)
+		res, err := BandJoin(s1, s2, "k", "k", op, testJoinOpts(t, nil))
+		if err != nil {
+			t.Fatalf("op %v: %v", op, err)
+		}
+		want := ReferenceBandJoin(r1, r2, "k", "k", op)
+		equalMultiset(t, res.Tuples, want)
+		if res.Steps != NumtrBand(int64(n1), int64(len(want))) {
+			t.Fatalf("op %v: steps %d, theorem %d", op, res.Steps, NumtrBand(int64(n1), int64(len(want))))
+		}
+	}
+}
+
+func TestJoinEmptyInputs(t *testing.T) {
+	for _, tc := range []struct{ k1, k2 []int64 }{
+		{nil, []int64{1, 2}},
+		{[]int64{1, 2}, nil},
+		{nil, nil},
+		{[]int64{1}, []int64{2}}, // disjoint keys
+	} {
+		s1, s2, r1, r2 := storePair(t, tc.k1, tc.k2, nil)
+		res, err := SortMergeJoin(s1, s2, "k", "k", testJoinOpts(t, nil))
+		if err != nil {
+			t.Fatalf("smj %v/%v: %v", tc.k1, tc.k2, err)
+		}
+		equalMultiset(t, res.Tuples, ReferenceEquiJoin(r1, r2, "k", "k"))
+		res, err = IndexNestedLoopJoin(s1, s2, "k", "k", testJoinOpts(t, nil))
+		if err != nil {
+			t.Fatalf("inlj %v/%v: %v", tc.k1, tc.k2, err)
+		}
+		equalMultiset(t, res.Tuples, ReferenceEquiJoin(r1, r2, "k", "k"))
+	}
+}
+
+// TestTraceLengthLeaksOnlySizes is the empirical Definition 1 check for
+// binary joins: two databases with identical sizing information and
+// identical |R| but different join-degree distributions must produce
+// traces of identical length and identical per-store op sequences.
+func TestTraceLengthLeaksOnlySizes(t *testing.T) {
+	run := func(k1, k2 []int64) []storage.Access {
+		m := storage.NewMeter()
+		s1, s2, _, _ := storePair(t, k1, k2, m)
+		m.Reset()
+		m.SetTracing(true)
+		if _, err := SortMergeJoin(s1, s2, "k", "k", testJoinOpts(t, m)); err != nil {
+			t.Fatal(err)
+		}
+		return m.Trace()
+	}
+	// Both: |T1|=4, |T2|=4, |R|=4, but degree distributions differ:
+	// (a) one key matching 2x2, (b) four distinct keys matching 1x1.
+	a := run([]int64{7, 7, 1, 2}, []int64{7, 7, 3, 4})
+	b := run([]int64{1, 2, 3, 4}, []int64{1, 2, 3, 4})
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Store != b[i].Store || a[i].Kind != b[i].Kind || a[i].Bytes != b[i].Bytes {
+			t.Fatalf("trace op %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPaddingModes(t *testing.T) {
+	s1, s2, r1, r2 := storePair(t, []int64{1, 2, 2, 3, 9}, []int64{2, 2, 3}, nil)
+	want := ReferenceEquiJoin(r1, r2, "k", "k") // 2*2 + 1 = 5 records
+	for _, mode := range []PaddingMode{PadNone, PadClosestPower, PadCartesian} {
+		opts := testJoinOpts(t, nil)
+		opts.Padding = mode
+		res, err := IndexNestedLoopJoin(s1, s2, "k", "k", opts)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		equalMultiset(t, res.Tuples, want)
+		switch mode {
+		case PadNone:
+			if res.PaddedCount != len(want) {
+				t.Fatalf("PadNone padded to %d", res.PaddedCount)
+			}
+		case PadClosestPower:
+			if res.PaddedCount != 8 {
+				t.Fatalf("ClosestPower padded to %d, want 8", res.PaddedCount)
+			}
+		case PadCartesian:
+			if res.PaddedCount != 15 {
+				t.Fatalf("Cartesian padded to %d, want 15", res.PaddedCount)
+			}
+		}
+		// Steps are padded against the padded result size.
+		if res.PaddedSteps != NumtrINLJ(5, int64(res.PaddedCount)) {
+			t.Fatalf("%v: padded steps %d", mode, res.PaddedSteps)
+		}
+	}
+}
+
+// TestPaddedTraceHidesRealSize: with ClosestPower padding, two runs whose
+// real sizes land in the same power bucket must be indistinguishable.
+func TestPaddedTraceHidesRealSize(t *testing.T) {
+	run := func(k1, k2 []int64) []storage.Access {
+		m := storage.NewMeter()
+		s1, s2, _, _ := storePair(t, k1, k2, m)
+		m.Reset()
+		m.SetTracing(true)
+		opts := testJoinOpts(t, m)
+		opts.Padding = PadClosestPower
+		if _, err := IndexNestedLoopJoin(s1, s2, "k", "k", opts); err != nil {
+			t.Fatal(err)
+		}
+		return m.Trace()
+	}
+	// |R| = 3 and |R| = 4 both pad to 4.
+	a := run([]int64{1, 2, 3, 4}, []int64{1, 2, 3}) // R=3
+	b := run([]int64{1, 2, 3, 3}, []int64{1, 2, 3}) // R=4
+	if len(a) != len(b) {
+		t.Fatalf("padded traces differ in length: %d vs %d", len(a), len(b))
+	}
+}
+
+func TestOneORAMBinaryJoins(t *testing.T) {
+	m := storage.NewMeter()
+	r1 := makeRel("t1", []int64{1, 2, 2, 3, 5, 5})
+	r2 := makeRel("t2", []int64{2, 2, 3, 5, 8})
+	tables, shared, err := table.StoreShared(
+		[]*relation.Relation{r1, r2},
+		map[string][]string{"t1": {"k"}, "t2": {"k"}},
+		testTableOpts(t, m, false),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := testJoinOpts(t, m)
+	opts.OneORAM = shared
+
+	want := ReferenceEquiJoin(r1, r2, "k", "k")
+	res, err := SortMergeJoin(tables["t1"], tables["t2"], "k", "k", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalMultiset(t, res.Tuples, want)
+	if res.Retrievals != NumtrOneSortMerge(6, 5, int64(len(want))) {
+		t.Fatalf("one-smj retrievals %d, want %d", res.Retrievals, NumtrOneSortMerge(6, 5, int64(len(want))))
+	}
+
+	res, err = IndexNestedLoopJoin(tables["t1"], tables["t2"], "k", "k", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalMultiset(t, res.Tuples, want)
+	if res.Retrievals != NumtrOneINLJ(6, int64(len(want))) {
+		t.Fatalf("one-inlj retrievals %d, want %d", res.Retrievals, NumtrOneINLJ(6, int64(len(want))))
+	}
+
+	wantBand := ReferenceBandJoin(r1, r2, "k", "k", BandLess)
+	res, err = BandJoin(tables["t1"], tables["t2"], "k", "k", BandLess, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalMultiset(t, res.Tuples, wantBand)
+}
+
+func TestJoinStatsPopulated(t *testing.T) {
+	m := storage.NewMeter()
+	s1, s2, _, _ := storePair(t, []int64{1, 2, 3}, []int64{2, 3, 4}, m)
+	m.Reset()
+	res, err := SortMergeJoin(s1, s2, "k", "k", testJoinOpts(t, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.BlocksMoved() == 0 || res.Stats.NetworkRounds == 0 {
+		t.Fatalf("stats empty: %+v", res.Stats)
+	}
+}
+
+// TestTheoremsQuick drives Theorems 1-3 with testing/quick generated keys.
+func TestTheoremsQuick(t *testing.T) {
+	f := func(a, b []uint8) bool {
+		if len(a) == 0 || len(b) == 0 {
+			return true
+		}
+		if len(a) > 20 {
+			a = a[:20]
+		}
+		if len(b) > 20 {
+			b = b[:20]
+		}
+		k1 := make([]int64, len(a))
+		k2 := make([]int64, len(b))
+		for i, v := range a {
+			k1[i] = int64(v % 5)
+		}
+		for i, v := range b {
+			k2[i] = int64(v % 5)
+		}
+		s1, s2, r1, r2 := storePair(t, k1, k2, nil)
+		want := int64(len(ReferenceEquiJoin(r1, r2, "k", "k")))
+		smj, err := SortMergeJoin(s1, s2, "k", "k", testJoinOpts(t, nil))
+		if err != nil || smj.Steps != NumtrSortMerge(int64(len(k1)), int64(len(k2)), want) {
+			return false
+		}
+		inlj, err := IndexNestedLoopJoin(s1, s2, "k", "k", testJoinOpts(t, nil))
+		if err != nil || inlj.Steps != NumtrINLJ(int64(len(k1)), want) {
+			return false
+		}
+		bandWant := int64(len(ReferenceBandJoin(r1, r2, "k", "k", BandGreaterEq)))
+		band, err := BandJoin(s1, s2, "k", "k", BandGreaterEq, testJoinOpts(t, nil))
+		return err == nil && band.Steps == NumtrBand(int64(len(k1)), bandWant)
+	}
+	cfg := &quick.Config{MaxCount: 15, Rand: mrand.New(mrand.NewSource(83))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPadDP(t *testing.T) {
+	s1, s2, r1, r2 := storePair(t, []int64{1, 2, 2, 3, 9}, []int64{2, 2, 3}, nil)
+	want := ReferenceEquiJoin(r1, r2, "k", "k") // 5 records
+	opts := testJoinOpts(t, nil)
+	opts.Padding = PadDP
+	opts.DPEpsilon = 0.5
+	// Deterministic noise for the test.
+	opts.DPRand = func() float64 { return 0.25 }
+	res, err := IndexNestedLoopJoin(s1, s2, "k", "k", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalMultiset(t, res.Tuples, want)
+	if res.PaddedCount <= res.RealCount {
+		t.Fatalf("DP padding added no noise: real %d padded %d", res.RealCount, res.PaddedCount)
+	}
+	if res.PaddedCount > 15 { // capped at the Cartesian product
+		t.Fatalf("DP padding exceeded Cartesian: %d", res.PaddedCount)
+	}
+	if res.PaddedSteps != NumtrINLJ(5, int64(res.PaddedCount)) {
+		t.Fatalf("steps %d for padded %d", res.PaddedSteps, res.PaddedCount)
+	}
+}
+
+func TestDPNoiseDistribution(t *testing.T) {
+	// With crypto-backed noise, draws are positive and epsilon controls the
+	// scale: smaller epsilon yields larger mean noise.
+	tight := Options{Padding: PadDP, DPEpsilon: 2.0}
+	loose := Options{Padding: PadDP, DPEpsilon: 0.1}
+	sum := func(o Options) int64 {
+		var s int64
+		for i := 0; i < 400; i++ {
+			n := o.dpNoise()
+			if n < 1 {
+				t.Fatalf("non-positive noise %d", n)
+			}
+			s += n
+		}
+		return s
+	}
+	if st, sl := sum(tight), sum(loose); sl <= st {
+		t.Fatalf("eps=0.1 total noise %d not larger than eps=2.0 total %d", sl, st)
+	}
+}
+
+func TestSortMergeJoinChained(t *testing.T) {
+	r := mrand.New(mrand.NewSource(107))
+	for trial := 0; trial < 8; trial++ {
+		n1, n2 := 1+r.Intn(25), 1+r.Intn(25)
+		k1 := make([]int64, n1)
+		k2 := make([]int64, n2)
+		for i := range k1 {
+			k1[i] = int64(r.Intn(7))
+		}
+		for i := range k2 {
+			k2[i] = int64(r.Intn(7))
+		}
+		r1, r2 := makeRel("t1", k1), makeRel("t2", k2)
+		opts := testTableOpts(t, nil, false)
+		c1, err := table.StoreChained(r1, "k", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2, err := table.StoreChained(r2, "k", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := SortMergeJoinChained(c1, c2, testJoinOpts(t, nil))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := ReferenceEquiJoin(r1, r2, "k", "k")
+		equalMultiset(t, res.Tuples, want)
+		if res.Steps != NumtrSortMerge(int64(n1), int64(n2), int64(len(want))) {
+			t.Fatalf("trial %d: steps %d, theorem %d", trial, res.Steps, NumtrSortMerge(int64(n1), int64(n2), int64(len(want))))
+		}
+	}
+}
+
+// TestChainedCheaperPerRetrieval: the index-free layout pays one ORAM
+// access per retrieval against the indexed layout's two.
+func TestChainedCheaperPerRetrieval(t *testing.T) {
+	k1 := []int64{1, 2, 2, 3, 4, 5, 5, 6}
+	k2 := []int64{2, 3, 3, 5, 7, 8, 9, 9}
+	mi := storage.NewMeter()
+	s1, s2, _, _ := storePair(t, k1, k2, mi)
+	mi.Reset()
+	indexed, err := SortMergeJoin(s1, s2, "k", "k", testJoinOpts(t, mi))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := storage.NewMeter()
+	opts := testTableOpts(t, mc, false)
+	r1, r2 := makeRel("t1", k1), makeRel("t2", k2)
+	c1, err := table.StoreChained(r1, "k", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := table.StoreChained(r2, "k", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc.Reset()
+	chained, err := SortMergeJoinChained(c1, c2, testJoinOpts(t, mc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chained.RealCount != indexed.RealCount || chained.PaddedSteps != indexed.PaddedSteps {
+		t.Fatalf("results diverge: %d/%d vs %d/%d",
+			chained.RealCount, chained.PaddedSteps, indexed.RealCount, indexed.PaddedSteps)
+	}
+	if chained.Stats.NetworkRounds >= indexed.Stats.NetworkRounds {
+		t.Fatalf("chained rounds %d >= indexed %d", chained.Stats.NetworkRounds, indexed.Stats.NetworkRounds)
+	}
+}

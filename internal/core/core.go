@@ -1,0 +1,242 @@
+// Package core implements the paper's contribution: oblivious join
+// algorithms over B-tree-in-ORAM tables.
+//
+//   - SortMergeJoin — oblivious binary sort-merge equi-join (Algorithm 1);
+//   - IndexNestedLoopJoin — oblivious binary index nested-loop equi-join
+//     (Algorithm 2);
+//   - BandJoin — oblivious index nested-loop band join (Section 5.3);
+//   - MultiwayJoin — oblivious acyclic multiway equi-join with tuple
+//     disabling (Section 6, Observations 1–3).
+//
+// Every algorithm maintains the paper's central invariant: in each join
+// step one tuple (real or dummy) is retrieved from every input table with a
+// fixed per-table access count, and exactly one output record (real join
+// tuple or dummy) is written. The number of join steps is padded to the
+// closed-form bounds of Theorems 1–4, so the server-visible trace is a
+// function of the public input/output sizes only.
+//
+// The OneORAM setting of Section 7 is selected by Options.OneORAM: all
+// tables share a single Path-ORAM, per-retrieval access counts are padded
+// to the maximum across tables, and (for the binary joins) the per-step
+// dummy partner retrievals are elided with one output record written after
+// every retrieval instead of every step.
+package core
+
+import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"oblivjoin/internal/oram"
+	"oblivjoin/internal/relation"
+	"oblivjoin/internal/storage"
+	"oblivjoin/internal/table"
+	"oblivjoin/internal/xcrypto"
+)
+
+func mathExp(x float64) float64 { return math.Exp(x) }
+func mathLog(x float64) float64 { return math.Log(x) }
+
+// cryptoUniform draws a uniform float in (0,1] from crypto/rand.
+func cryptoUniform() float64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("core: crypto/rand failed: %v", err))
+	}
+	v := binary.LittleEndian.Uint64(b[:]) >> 11 // 53 bits
+	return (float64(v) + 1) / float64(1<<53)
+}
+
+// PaddingMode selects the output-size padding strategy of Section 8.
+type PaddingMode int
+
+const (
+	// PadNone leaks the real join result size (the paper's default,
+	// "non-padded mode").
+	PadNone PaddingMode = iota
+	// PadClosestPower pads the result size (and the join-step count derived
+	// from it) to the closest power of Options.PadBase.
+	PadClosestPower
+	// PadCartesian pads to the Cartesian product of the input sizes — the
+	// maximal, query-independent bound.
+	PadCartesian
+	// PadDP pads the result size with positive one-sided noise drawn from a
+	// truncated geometric distribution — the differentially-private padding
+	// direction Section 8 points at ([17], Shrinkwrap): far cheaper than
+	// Cartesian padding, at the price of a (ε,δ)-DP rather than a full
+	// obliviousness guarantee on the output size.
+	PadDP
+)
+
+func (p PaddingMode) String() string {
+	switch p {
+	case PadNone:
+		return "RealSize"
+	case PadClosestPower:
+		return "ClosestPower"
+	case PadCartesian:
+		return "CartesianProduct"
+	case PadDP:
+		return "DPNoise"
+	default:
+		return fmt.Sprintf("PaddingMode(%d)", int(p))
+	}
+}
+
+// Options configures a join execution.
+type Options struct {
+	// Mem is the trusted client memory for oblivious sorting, in output
+	// records — the paper's M (default: two blocks' worth, M = 2B).
+	Mem int
+	// Padding selects the Section 8 output padding strategy.
+	Padding PaddingMode
+	// PadBase is the power base for PadClosestPower (0 means 2).
+	PadBase int
+	// DPEpsilon is the privacy parameter of PadDP (0 means 0.5); smaller
+	// epsilon adds more noise.
+	DPEpsilon float64
+	// DPRand draws the PadDP noise; nil means crypto/rand-backed.
+	DPRand func() float64
+	// OutBlockSize is the total byte size of output-table blocks (0 means
+	// table.DefaultBlockPayload + encryption overhead).
+	OutBlockSize int
+	// Meter receives output-table traffic and is snapshotted around the join
+	// for Result.Stats; may be nil.
+	Meter *storage.Meter
+	// Sealer encrypts the output table; required.
+	Sealer *xcrypto.Sealer
+	// OneORAM, when non-nil, is the shared Path-ORAM all input tables live
+	// in: the join runs in the Section 7 OneORAM setting, padding every
+	// retrieval to the maximum per-table access count.
+	OneORAM *oram.PathORAM
+	// IncludeReset charges post-query index-tag resets (multiway only) to
+	// the query cost. Defaults to true via MultiwayJoin.
+	SkipReset bool
+}
+
+func (o Options) mem(recSize, blockSize int) int {
+	if o.Mem > 0 {
+		return o.Mem
+	}
+	per := (blockSize - xcrypto.Overhead) / recSize
+	if per < 1 {
+		per = 1
+	}
+	return 2 * per // M = 2B, as in the paper's default configuration
+}
+
+func (o Options) outBlockSize() int {
+	if o.OutBlockSize > 0 {
+		return o.OutBlockSize
+	}
+	return table.DefaultBlockPayload + xcrypto.Overhead
+}
+
+func (o Options) padBase() int {
+	if o.PadBase >= 2 {
+		return o.PadBase
+	}
+	return 2
+}
+
+// PadSize applies the padding mode to the real result size given the
+// Cartesian bound — exported so baselines and harnesses can mirror the
+// engine's padding targets.
+func (o Options) PadSize(real int64, cartesian int64) int64 {
+	switch o.Padding {
+	case PadClosestPower:
+		b := int64(o.padBase())
+		p := int64(1)
+		for p < real {
+			p *= b
+		}
+		if p > cartesian {
+			p = cartesian
+		}
+		return p
+	case PadCartesian:
+		return cartesian
+	case PadDP:
+		padded := real + o.dpNoise()
+		if padded > cartesian {
+			padded = cartesian
+		}
+		return padded
+	default:
+		return real
+	}
+}
+
+// dpNoise draws one-sided geometric noise with mean ≈ 1/ε, shifted so the
+// output is always ≥ 1 extra record (one-sided noise keeps the padded size
+// an upper bound on the real size, as Shrinkwrap requires).
+func (o Options) dpNoise() int64 {
+	eps := o.DPEpsilon
+	if eps <= 0 {
+		eps = 0.5
+	}
+	uniform := o.DPRand
+	if uniform == nil {
+		uniform = cryptoUniform
+	}
+	// Geometric with success probability p = 1 - e^-ε via inversion.
+	p := 1 - mathExp(-eps)
+	u := uniform()
+	if u <= 0 {
+		u = 1e-12
+	}
+	n := int64(mathLog(u)/mathLog(1-p)) + 1
+	if n < 1 {
+		n = 1
+	}
+	const cap = 1 << 20 // truncate: bounds the worst case like [17]'s clipping
+	if n > cap {
+		n = cap
+	}
+	return n
+}
+
+func snapshot(m *storage.Meter) storage.Stats {
+	if m == nil {
+		return storage.Stats{}
+	}
+	return m.Snapshot()
+}
+
+func diff(m *storage.Meter, start storage.Stats) storage.Stats {
+	if m == nil {
+		return storage.Stats{}
+	}
+	return m.Snapshot().Sub(start)
+}
+
+// Result reports a join's outcome.
+type Result struct {
+	// Schema describes the output records.
+	Schema relation.Schema
+	// Tuples are the decoded real join records (padded-mode dummies are
+	// excluded) in output-table order.
+	Tuples []relation.Tuple
+	// RealCount is the true join result size.
+	RealCount int
+	// PaddedCount is the output size after Section 8 padding.
+	PaddedCount int
+	// Steps is the number of join steps actually executed, before padding.
+	Steps int64
+	// PaddedSteps is the step count after padding to the theorem bound; the
+	// server-visible trace length is determined by this value.
+	PaddedSteps int64
+	// Retrievals is the per-table tuple-retrieval count (Numtr of Theorems
+	// 1–4); equal to PaddedSteps in the SepORAM setting. In the OneORAM
+	// setting it is the total retrieval count across tables.
+	Retrievals int64
+	// BoundExceeded reports that the executed steps exceeded the theorem
+	// bound before padding (never observed on the paper's workloads; see
+	// DESIGN.md on the Observation 3 corner case). The result is still
+	// correct, but the trace is longer than the bound.
+	BoundExceeded bool
+	// Stats is the traffic consumed by the join (when Options.Meter was
+	// set): the communication cost the paper's figures plot.
+	Stats storage.Stats
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+
+	"oblivjoin/internal/table"
+)
+
+// onePadder pads each tuple retrieval in the OneORAM setting to the maximum
+// per-retrieval access count over all input tables, so every retrieval is
+// indistinguishable no matter which table it served (Section 7: "padding
+// the number of ORAM accesses to the maximum height of all B-tree indices").
+type onePadder struct {
+	opts Options
+	max  int
+}
+
+// pad tops a retrieval that used cost accesses up to the maximum.
+func (p *onePadder) pad(cost int) error {
+	if p == nil {
+		return nil
+	}
+	for i := cost; i < p.max; i++ {
+		if err := p.opts.OneORAM.DummyAccess(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dummyRetrieval performs one full-width dummy retrieval.
+func (p *onePadder) dummyRetrieval() error { return p.pad(0) }
+
+// IndexNestedLoopJoin computes T1 ⋈ T2 on a1 = a2 with the paper's
+// oblivious index nested-loop equi-join (Algorithm 2): T1 is scanned
+// sequentially by block ID, matching T2 tuples are fetched through a whole
+// B-tree path per retrieval, dummy retrievals keep the two tables in
+// lock-step, and one output record is written per join step. The per-table
+// retrieval count is padded to Theorem 2's bound |T1| + |R|.
+func IndexNestedLoopJoin(t1, t2 *table.StoredTable, a1, a2 string, opts Options) (*Result, error) {
+	start := snapshot(opts.Meter)
+	col1 := t1.Schema().MustCol(a1)
+	scan := table.NewScanCursor(t1)
+	ic, err := table.NewIndexCursor(t2, a2)
+	if err != nil {
+		return nil, err
+	}
+	w, err := newOutWriter(fmt.Sprintf("%s⋈%s", t1.Schema().Table, t2.Schema().Table),
+		opts, t1.Schema(), t2.Schema())
+	if err != nil {
+		return nil, err
+	}
+	var padder *onePadder
+	scanCost := 1
+	seekCost := ic.Tree().AccessesPerRetrieval() + 1
+	if opts.OneORAM != nil {
+		padder = &onePadder{opts: opts, max: max(scanCost, seekCost)}
+	}
+	one := padder != nil
+
+	var steps, retrievals int64
+	for i := 0; i < t1.NumTuples(); i++ {
+		// Lines 4-5: one join step retrieves the next T1 tuple and the first
+		// matching T2 tuple.
+		steps++
+		retrievals += 2
+		row1, err := scan.Next()
+		if err != nil {
+			return nil, err
+		}
+		if err := padder.pad(scanCost); err != nil {
+			return nil, err
+		}
+		if !row1.OK {
+			return nil, fmt.Errorf("core: scan of %s ended early at %d", t1.Schema().Table, i)
+		}
+		key := row1.Tuple.Values[col1]
+		row2, err := ic.SeekGE(key)
+		if err != nil {
+			return nil, err
+		}
+		if err := padder.pad(seekCost); err != nil {
+			return nil, err
+		}
+		// Lines 6-9: emit one join record per match, advancing T2 with a
+		// dummy T1 retrieval alongside.
+		for row2.OK && row2.Entry.Key == key {
+			if err := w.putJoin(row1.Tuple, row2.Tuple); err != nil {
+				return nil, err
+			}
+			steps++
+			retrievals++
+			if !one {
+				if err := scan.Dummy(); err != nil {
+					return nil, err
+				}
+			}
+			if row2, err = ic.Next(); err != nil {
+				return nil, err
+			}
+			if err := padder.pad(seekCost); err != nil {
+				return nil, err
+			}
+		}
+		// Line 10: the terminating dummy record.
+		if err := w.putDummy(); err != nil {
+			return nil, err
+		}
+	}
+
+	n1, n2 := int64(t1.NumTuples()), int64(t2.NumTuples())
+	cart := Cartesian(n1, n2)
+	paddedR := opts.PadSize(int64(w.real), cart)
+	target := NumtrINLJ(n1, paddedR)
+	if steps > target {
+		return nil, fmt.Errorf("core: INLJ executed %d steps, exceeding the Theorem 2 bound %d", steps, target)
+	}
+	padded := steps
+	for ; padded < target; padded++ {
+		retrievals++
+		if one {
+			if err := padder.dummyRetrieval(); err != nil {
+				return nil, err
+			}
+		} else {
+			if err := scan.Dummy(); err != nil {
+				return nil, err
+			}
+			if err := ic.Dummy(); err != nil {
+				return nil, err
+			}
+		}
+		if err := w.putDummy(); err != nil {
+			return nil, err
+		}
+	}
+
+	tuples, real, paddedOut, err := w.finish(opts, cart)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Schema:      w.schema,
+		Tuples:      tuples,
+		RealCount:   real,
+		PaddedCount: paddedOut,
+		Steps:       steps,
+		PaddedSteps: padded,
+		Retrievals:  padded,
+		Stats:       diff(opts.Meter, start),
+	}
+	if one {
+		res.Retrievals = retrievals
+	}
+	return res, nil
+}

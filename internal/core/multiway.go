@@ -1,0 +1,403 @@
+package core
+
+import (
+	"fmt"
+
+	"oblivjoin/internal/jointree"
+	"oblivjoin/internal/relation"
+	"oblivjoin/internal/table"
+)
+
+// MultiwayInput binds the stored tables to a join tree: Tables[i] is the
+// table of tree.Order[i] (pre-order; Tables[0] is the root). Every non-root
+// table needs a WriteBackDescents index on its Order[i].Attr attribute.
+type MultiwayInput struct {
+	Tree   *jointree.Tree
+	Tables []*table.StoredTable
+}
+
+// MultiwayJoin computes the acyclic multiway equi-join of Section 6.
+//
+// The root table is scanned sequentially; every other table is probed
+// through a B-tree descent per retrieval. Each join step retrieves one
+// (real or dummy) tuple from every table in pre-order and writes exactly
+// one output record. Tuples that can no longer contribute are disabled in
+// their index with an operation indistinguishable from a retrieval
+// (Observations 1 and 2); Observation 3's same-key tag avoids retrievals
+// past the end of a key run. Steps are padded to Theorem 4's bound
+// |T1| + 2·Σ_{j≥2}|Tj| + |R|, and all liveness tags are reset by a final
+// pass over the index blocks.
+func MultiwayJoin(in MultiwayInput, opts Options) (*Result, error) {
+	if in.Tree == nil || len(in.Tables) != in.Tree.Len() {
+		return nil, fmt.Errorf("core: multiway input needs one table per join-tree node")
+	}
+	l := in.Tree.Len()
+	if l < 2 {
+		return nil, fmt.Errorf("core: multiway join needs at least 2 tables")
+	}
+	start := snapshot(opts.Meter)
+
+	m, err := newMultiwayState(in, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.run(); err != nil {
+		return nil, err
+	}
+
+	// Pad steps to the Theorem 4 bound for the padded output size.
+	sizes := make([]int64, l)
+	for i, t := range in.Tables {
+		sizes[i] = int64(t.NumTuples())
+	}
+	cart := Cartesian(sizes...)
+	paddedR := opts.PadSize(int64(m.w.real), cart)
+	target := NumtrMultiway(sizes, paddedR)
+	rawSteps := m.steps
+	exceeded := rawSteps > target
+	padded := rawSteps
+	for ; padded < target; padded++ {
+		if err := m.dummyStep(); err != nil {
+			return nil, err
+		}
+		if err := m.w.putDummy(); err != nil {
+			return nil, err
+		}
+	}
+
+	tuples, real, paddedOut, err := m.w.finish(opts, cart)
+	if err != nil {
+		return nil, err
+	}
+
+	// The paper's post-query cleanup: "go over all index blocks and reset
+	// boolean tags in each entry."
+	if !opts.SkipReset {
+		for _, t := range in.Tables[1:] {
+			if err := t.ResetIndexes(); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	res := &Result{
+		Schema:        m.w.schema,
+		Tuples:        tuples,
+		RealCount:     real,
+		PaddedCount:   paddedOut,
+		Steps:         rawSteps,
+		PaddedSteps:   padded,
+		Retrievals:    padded,
+		BoundExceeded: exceeded,
+		Stats:         diff(opts.Meter, start),
+	}
+	if m.padder != nil {
+		res.Retrievals = padded * int64(l)
+	}
+	return res, nil
+}
+
+// multiwayState drives the step machine.
+type multiwayState struct {
+	in      MultiwayInput
+	opts    Options
+	l       int
+	scan    *table.ScanCursor
+	cursors []*table.IndexCursor // 1..l-1
+	costs   []int                // per-table retrieval access counts
+	padder  *onePadder
+
+	cur        []table.Row
+	parentCols []int // column of Order[j].ParentAttr in the parent's schema
+	rootSeen   int
+
+	// exhausted memoizes "entry ord of table j has no live same-key
+	// successor", learned from advance lookups that came back empty, so the
+	// discovery step is never repeated (client-side memory only).
+	exhausted []map[int64]bool
+	// disabledSameNext records, for every entry this query disabled, its
+	// SameNext tag. The client performed each disable itself, so it can walk
+	// a run's disabled chain for free and skip advance steps that could only
+	// discover exhaustion (keeping the step count at the paper's Figure 6
+	// walkthrough level).
+	disabledSameNext []map[int64]bool
+
+	steps int64
+	w     *outWriter
+}
+
+func newMultiwayState(in MultiwayInput, opts Options) (*multiwayState, error) {
+	l := in.Tree.Len()
+	m := &multiwayState{
+		in:               in,
+		opts:             opts,
+		l:                l,
+		scan:             table.NewScanCursor(in.Tables[0]),
+		cursors:          make([]*table.IndexCursor, l),
+		costs:            make([]int, l),
+		cur:              make([]table.Row, l),
+		parentCols:       make([]int, l),
+		exhausted:        make([]map[int64]bool, l),
+		disabledSameNext: make([]map[int64]bool, l),
+	}
+	m.costs[0] = 1
+	maxCost := 1
+	schemas := make([]relation.Schema, l)
+	var names string
+	for j := 0; j < l; j++ {
+		node := in.Tree.Order[j]
+		st := in.Tables[j]
+		if st.Schema().Table != node.Table {
+			return nil, fmt.Errorf("core: table %d is %q, join tree expects %q", j, st.Schema().Table, node.Table)
+		}
+		schemas[j] = st.Schema()
+		if j > 0 {
+			names += "⋈"
+			ic, err := table.NewIndexCursor(st, node.Attr)
+			if err != nil {
+				return nil, err
+			}
+			m.cursors[j] = ic
+			m.costs[j] = ic.Tree().AccessesPerRetrieval() + 1
+			if m.costs[j] > maxCost {
+				maxCost = m.costs[j]
+			}
+			m.parentCols[j] = in.Tables[node.Parent].Schema().MustCol(node.ParentAttr)
+			m.exhausted[j] = make(map[int64]bool)
+			m.disabledSameNext[j] = make(map[int64]bool)
+		}
+		names += node.Table
+	}
+	if opts.OneORAM != nil {
+		m.padder = &onePadder{opts: opts, max: maxCost}
+	}
+	w, err := newOutWriter(names, opts, schemas...)
+	if err != nil {
+		return nil, err
+	}
+	m.w = w
+	return m, nil
+}
+
+// stepOp is the action one table performs within a join step.
+type stepOp func() error
+
+// execStep runs one join step: each table, in pre-order, performs its
+// scheduled op or a dummy retrieval, then one output record is written by
+// the caller. The per-table access pattern is identical in every step.
+func (m *multiwayState) execStep(ops []stepOp) error {
+	m.steps++
+	for j := 0; j < m.l; j++ {
+		var err error
+		if ops != nil && ops[j] != nil {
+			err = ops[j]()
+		} else if j == 0 {
+			err = m.scan.Dummy()
+		} else {
+			err = m.cursors[j].Dummy()
+		}
+		if err != nil {
+			return fmt.Errorf("core: step %d table %d: %w", m.steps, j, err)
+		}
+		if err := m.padder.pad(m.costs[j]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dummyStep is an all-dummy padding step.
+func (m *multiwayState) dummyStep() error { return m.execStep(nil) }
+
+// targetKey returns the join key position j must match: the parent's
+// current attribute value.
+func (m *multiwayState) targetKey(j int) int64 {
+	parent := m.in.Tree.Order[j].Parent
+	return m.cur[parent].Tuple.Values[m.parentCols[j]]
+}
+
+// action is the pending next step of the machine.
+type action struct {
+	kind    int // aAdvance, aDisable, aDone
+	pos     int
+	disable int64 // ordinal to disable (aDisable)
+}
+
+const (
+	aAdvance = iota // advance position pos (0 = root), then refill below
+	aDisable        // disable ordinal `disable` in table pos, then advance pos
+	aDone
+)
+
+// hasLiveSuccessor reports whether position j's current entry has a live
+// same-key successor, using only client-side knowledge: Observation 3's
+// SameNext tag, the exhaustion memo, and the SameNext tags of entries this
+// query itself disabled (walked as a chain).
+func (m *multiwayState) hasLiveSuccessor(j int) bool {
+	if !m.cur[j].OK {
+		return false
+	}
+	e := m.cur[j].Entry
+	if m.exhausted[j][e.Ord] {
+		return false
+	}
+	sameNext, ord := e.SameNext, e.Ord
+	for sameNext {
+		sn, dead := m.disabledSameNext[j][ord+1]
+		if !dead {
+			return true // ord+1 is live and carries the same key
+		}
+		sameNext, ord = sn, ord+1
+	}
+	return false
+}
+
+// scheduleAdvance resolves the free (client-side) exhaustion cascade: if
+// position a cannot have further matches — known from Observation 3's
+// same-key tag, the memo, or the disabled chain — fall back to its
+// pre-order predecessor without spending a join step.
+func (m *multiwayState) scheduleAdvance(a int) action {
+	for {
+		if a == 0 {
+			if m.rootSeen >= m.in.Tables[0].NumTuples() {
+				return action{kind: aDone}
+			}
+			return action{kind: aAdvance, pos: 0}
+		}
+		if m.hasLiveSuccessor(a) {
+			return action{kind: aAdvance, pos: a}
+		}
+		a--
+	}
+}
+
+// run executes the main join loop.
+func (m *multiwayState) run() error {
+	next := m.scheduleAdvance(0)
+	for next.kind != aDone {
+		switch next.kind {
+		case aDisable:
+			j := next.pos
+			ord := next.disable
+			m.disabledSameNext[j][ord] = m.cur[j].Entry.SameNext
+			ops := make([]stepOp, m.l)
+			ops[j] = func() error { return m.cursors[j].Disable(ord) }
+			if err := m.execStep(ops); err != nil {
+				return err
+			}
+			if err := m.w.putDummy(); err != nil {
+				return err
+			}
+			// The disabled entry is dead; try the rest of its key run.
+			next = m.scheduleAdvance(j)
+
+		case aAdvance:
+			a := next.pos
+			var err error
+			next, err = m.advanceStep(a)
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// advanceStep performs one join step that advances position a and refills
+// every later pre-order position, emitting a real record on a complete
+// match and a dummy otherwise. It returns the next action.
+func (m *multiwayState) advanceStep(a int) (action, error) {
+	ops := make([]stepOp, m.l)
+	matched := true
+	failAt := -1
+
+	// Advance op for position a.
+	if a == 0 {
+		ops[0] = func() error {
+			row, err := m.scan.Next()
+			if err != nil {
+				return err
+			}
+			if !row.OK {
+				return fmt.Errorf("core: root scan ended early at %d", m.rootSeen)
+			}
+			m.rootSeen++
+			m.cur[0] = row
+			return nil
+		}
+	} else {
+		target := m.targetKey(a)
+		fromOrd := m.cur[a].Entry.Ord
+		ops[a] = func() error {
+			row, err := m.cursors[a].Next()
+			if err != nil {
+				return err
+			}
+			if row.OK && row.Entry.Key == target {
+				m.cur[a] = row
+				return nil
+			}
+			// No live same-key successor: memoize so the discovery step is
+			// never repeated for this entry.
+			m.exhausted[a][fromOrd] = true
+			matched = false
+			failAt = -2 // exhaustion, not a zero-match failure
+			return nil
+		}
+	}
+
+	// Refill ops for positions a+1 .. l-1 (executed in pre-order; they
+	// observe `matched` as set by earlier ops in the same step).
+	for j := a + 1; j < m.l; j++ {
+		j := j
+		ops[j] = func() error {
+			if !matched {
+				return m.cursors[j].Dummy()
+			}
+			target := m.targetKey(j)
+			row, err := m.cursors[j].SeekGE(target)
+			if err != nil {
+				return err
+			}
+			if row.OK && row.Entry.Key == target {
+				m.cur[j] = row
+				return nil
+			}
+			// Zero live matches for the parent tuple: Observations 1/2.
+			matched = false
+			failAt = j
+			return nil
+		}
+	}
+
+	if err := m.execStep(ops); err != nil {
+		return action{}, err
+	}
+
+	if matched {
+		tuples := make([]relation.Tuple, m.l)
+		for j := range tuples {
+			tuples[j] = m.cur[j].Tuple
+		}
+		if err := m.w.putJoin(tuples...); err != nil {
+			return action{}, err
+		}
+		return m.scheduleAdvance(m.l - 1), nil
+	}
+	if err := m.w.putDummy(); err != nil {
+		return action{}, err
+	}
+	if failAt == -2 {
+		// Position a exhausted its key run: odometer falls back to the
+		// pre-order predecessor.
+		return m.scheduleAdvance(a - 1), nil
+	}
+	// Refill failure at failAt: the parent tuple can never contribute.
+	p := m.in.Tree.Order[failAt].Parent
+	if p == 0 {
+		// Root tuples are never physically disabled; the outer loop simply
+		// moves on (Section 6, Observation 2 discussion).
+		return m.scheduleAdvance(0), nil
+	}
+	return action{kind: aDisable, pos: p, disable: m.cur[p].Entry.Ord}, nil
+}

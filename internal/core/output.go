@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+
+	"oblivjoin/internal/obliv"
+	"oblivjoin/internal/relation"
+)
+
+// outWriter accumulates the join's output table: one fixed-size encrypted
+// record per join step (real join tuple or dummy), appended to a
+// server-resident block vector, then obliviously filtered.
+type outWriter struct {
+	schema  relation.Schema
+	vec     *obliv.BlockVector
+	recSize int
+	real    int
+	total   int
+}
+
+func newOutWriter(name string, opts Options, schemas ...relation.Schema) (*outWriter, error) {
+	if opts.Sealer == nil {
+		return nil, fmt.Errorf("core: output sealer is required")
+	}
+	schema := relation.JoinedSchema(name, schemas...)
+	recSize := schema.TupleSize()
+	vec, err := obliv.NewBlockVector(name, 64, recSize, opts.outBlockSize(), opts.Meter, opts.Sealer)
+	if err != nil {
+		return nil, err
+	}
+	return &outWriter{schema: schema, vec: vec, recSize: recSize}, nil
+}
+
+// putJoin writes the concatenation of the given tuples as one real record.
+func (w *outWriter) putJoin(tuples ...relation.Tuple) error {
+	rec := make([]byte, w.recSize)
+	if err := relation.Encode(w.schema, relation.Concat(tuples...), rec); err != nil {
+		return err
+	}
+	w.real++
+	w.total++
+	return w.vec.Append(rec)
+}
+
+// putDummy writes one dummy record, indistinguishable from a real one.
+func (w *outWriter) putDummy() error {
+	rec := make([]byte, w.recSize)
+	if err := relation.EncodeDummy(w.schema, rec); err != nil {
+		return err
+	}
+	w.total++
+	return w.vec.Append(rec)
+}
+
+// finish applies the Section 8 padding strategy and the paper's final
+// oblivious filter: the output vector is sorted so real records precede
+// dummies (bitonic external sort with mem trusted records) and truncated to
+// the padded size. It returns the decoded real join tuples.
+func (w *outWriter) finish(opts Options, cartesian int64) (tuples []relation.Tuple, realCount, paddedCount int, err error) {
+	if err := w.vec.Flush(); err != nil {
+		return nil, 0, 0, err
+	}
+	padded := opts.PadSize(int64(w.real), cartesian)
+	// A heavily padded target can exceed the records the join steps emitted.
+	dummy := make([]byte, w.recSize)
+	if int(padded) > w.vec.Len() {
+		if err := w.vec.PadTo(int(padded), dummy); err != nil {
+			return nil, 0, 0, err
+		}
+	}
+	mem := opts.mem(w.recSize, opts.outBlockSize())
+	if err := obliv.CompactReal(w.vec, mem, relation.IsDummy, int(padded), dummy); err != nil {
+		return nil, 0, 0, err
+	}
+	// Decode the real prefix client-side for the caller.
+	if w.real > 0 {
+		recs, err := w.vec.LoadRange(0, w.real)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		tuples = make([]relation.Tuple, 0, w.real)
+		for i, rec := range recs {
+			tu, ok, err := relation.Decode(w.schema, rec)
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			if !ok {
+				return nil, 0, 0, fmt.Errorf("core: dummy record at output position %d of %d real", i, w.real)
+			}
+			tuples = append(tuples, tu)
+		}
+	}
+	return tuples, w.real, int(padded), nil
+}

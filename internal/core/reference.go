@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+
+	"oblivjoin/internal/jointree"
+	"oblivjoin/internal/relation"
+)
+
+// BandOp is the comparison of a band join predicate T1.attr OP T2.attr.
+type BandOp int
+
+// Band join operators supported by Section 5.3.
+const (
+	BandLess BandOp = iota
+	BandLessEq
+	BandGreater
+	BandGreaterEq
+)
+
+func (op BandOp) String() string {
+	switch op {
+	case BandLess:
+		return "<"
+	case BandLessEq:
+		return "<="
+	case BandGreater:
+		return ">"
+	case BandGreaterEq:
+		return ">="
+	default:
+		return fmt.Sprintf("BandOp(%d)", int(op))
+	}
+}
+
+// Matches reports whether a OP b holds.
+func (op BandOp) Matches(a, b int64) bool {
+	switch op {
+	case BandLess:
+		return a < b
+	case BandLessEq:
+		return a <= b
+	case BandGreater:
+		return a > b
+	case BandGreaterEq:
+		return a >= b
+	default:
+		return false
+	}
+}
+
+// ReferenceEquiJoin computes T1 ⋈ T2 on a1 = a2 with a plain in-memory hash
+// join. It defines the correct answer the oblivious algorithms are tested
+// and benchmarked against.
+func ReferenceEquiJoin(r1, r2 *relation.Relation, a1, a2 string) []relation.Tuple {
+	c1, c2 := r1.Schema.MustCol(a1), r2.Schema.MustCol(a2)
+	index := make(map[int64][]relation.Tuple)
+	for _, t := range r2.Tuples {
+		k := t.Values[c2]
+		index[k] = append(index[k], t)
+	}
+	var out []relation.Tuple
+	for _, t1 := range r1.Tuples {
+		for _, t2 := range index[t1.Values[c1]] {
+			out = append(out, relation.Concat(t1, t2))
+		}
+	}
+	return out
+}
+
+// ReferenceBandJoin computes T1 ⋈ T2 on a1 OP a2 by nested loops.
+func ReferenceBandJoin(r1, r2 *relation.Relation, a1, a2 string, op BandOp) []relation.Tuple {
+	c1, c2 := r1.Schema.MustCol(a1), r2.Schema.MustCol(a2)
+	var out []relation.Tuple
+	for _, t1 := range r1.Tuples {
+		for _, t2 := range r2.Tuples {
+			if op.Matches(t1.Values[c1], t2.Values[c2]) {
+				out = append(out, relation.Concat(t1, t2))
+			}
+		}
+	}
+	return out
+}
+
+// ReferenceMultiwayJoin evaluates the acyclic join by nested loops over the
+// join tree's pre-order, producing tuples concatenated in pre-order.
+func ReferenceMultiwayJoin(rels map[string]*relation.Relation, tree *jointree.Tree) ([]relation.Tuple, error) {
+	l := tree.Len()
+	ordered := make([]*relation.Relation, l)
+	cols := make([]int, l)       // column of Order[j].Attr in table j
+	parentCols := make([]int, l) // column of Order[j].ParentAttr in parent
+	for j, n := range tree.Order {
+		rel, ok := rels[n.Table]
+		if !ok {
+			return nil, fmt.Errorf("core: reference join missing table %q", n.Table)
+		}
+		ordered[j] = rel
+		if j > 0 {
+			cols[j] = rel.Schema.MustCol(n.Attr)
+			parentCols[j] = ordered[tree.Order[j].Parent].Schema.MustCol(n.ParentAttr)
+		}
+	}
+	var out []relation.Tuple
+	cur := make([]relation.Tuple, l)
+	var rec func(j int) // fill position j..l-1
+	rec = func(j int) {
+		if j == l {
+			out = append(out, relation.Concat(cur...))
+			return
+		}
+		n := tree.Order[j]
+		want := cur[n.Parent].Values[parentCols[j]]
+		for _, t := range ordered[j].Tuples {
+			if t.Values[cols[j]] == want {
+				cur[j] = t
+				rec(j + 1)
+			}
+		}
+	}
+	for _, t := range ordered[0].Tuples {
+		cur[0] = t
+		rec(1)
+	}
+	return out, nil
+}

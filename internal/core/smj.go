@@ -1,0 +1,239 @@
+package core
+
+import (
+	"fmt"
+
+	"oblivjoin/internal/storage"
+	"oblivjoin/internal/table"
+)
+
+// cmpRows compares two retrieval results by join key, ranking a dummy (⊥)
+// behind every real tuple, as Algorithm 1 prescribes for exhausted cursors.
+func cmpRows(a, b table.Row) int {
+	switch {
+	case !a.OK && !b.OK:
+		return 0
+	case !a.OK:
+		return 1
+	case !b.OK:
+		return -1
+	case a.Entry.Key < b.Entry.Key:
+		return -1
+	case a.Entry.Key > b.Entry.Key:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// mergeCursor is the retrieval primitive Algorithm 1 needs from each input
+// table: sequential attribute-order retrievals with uniform cost, dummy
+// retrievals, and a client-side position save/restore for the "begin"
+// rewind. Both the B-tree leaf cursor and the index-free pointer-chain
+// cursor satisfy it.
+type mergeCursor interface {
+	Next() (table.Row, error)
+	Dummy() error
+	Mark() any
+	Restore(mark any)
+}
+
+// leafMerge adapts the indexed leaf cursor.
+type leafMerge struct{ c *table.LeafCursor }
+
+func (l leafMerge) Next() (table.Row, error) { return l.c.Next() }
+func (l leafMerge) Dummy() error             { return l.c.Dummy() }
+func (l leafMerge) Mark() any                { return l.c.Pos() }
+func (l leafMerge) Restore(m any)            { l.c.SeekOrd(m.(int64)) }
+
+// chainMerge adapts the pointer-chain cursor.
+type chainMerge struct{ c *table.ChainCursor }
+
+func (l chainMerge) Next() (table.Row, error) { return l.c.Next() }
+func (l chainMerge) Dummy() error             { return l.c.Dummy() }
+func (l chainMerge) Mark() any                { return l.c.Mark() }
+func (l chainMerge) Restore(m any)            { l.c.Restore(m.(table.ChainMark)) }
+
+// runSortMerge executes Algorithm 1 over two merge cursors, writing one
+// output record per comparison. It returns the executed step and retrieval
+// counts (one step = one retrieval per table in the SepORAM setting; the
+// OneORAM setting elides partner dummies).
+func runSortMerge(c1, c2 mergeCursor, w *outWriter, one bool) (steps, retrievals int64, err error) {
+	// Line 3-4: retrieve the first tuple from each table (one join step).
+	steps++
+	retrievals += 2
+	row1, err := c1.Next()
+	if err != nil {
+		return steps, retrievals, err
+	}
+	row2, err := c2.Next()
+	if err != nil {
+		return steps, retrievals, err
+	}
+	// advance moves one cursor and issues the partner's dummy retrieval,
+	// always touching the tables in fixed order (T1 first) so the per-step
+	// store sequence is independent of which side advanced.
+	advance := func(first bool) (table.Row, error) {
+		steps++
+		retrievals++
+		if first {
+			row, err := c1.Next()
+			if err != nil {
+				return row, err
+			}
+			if !one {
+				if err := c2.Dummy(); err != nil {
+					return row, err
+				}
+			}
+			return row, nil
+		}
+		if !one {
+			if err := c1.Dummy(); err != nil {
+				return table.Row{}, err
+			}
+		}
+		return c2.Next()
+	}
+
+	for row1.OK || row2.OK {
+		res := cmpRows(row1, row2)
+		if res == 0 {
+			// Lines 8-15: emit the run of matches, then rewind T2 to "begin".
+			beginRow, beginMark := row2, c2.Mark()
+			for res == 0 {
+				if err := w.putJoin(row1.Tuple, row2.Tuple); err != nil {
+					return steps, retrievals, err
+				}
+				if row2, err = advance(false); err != nil {
+					return steps, retrievals, err
+				}
+				res = cmpRows(row1, row2)
+			}
+			if err := w.putDummy(); err != nil {
+				return steps, retrievals, err
+			}
+			row2 = beginRow
+			c2.Restore(beginMark)
+			if row1, err = advance(true); err != nil {
+				return steps, retrievals, err
+			}
+			continue
+		}
+		// Lines 17-21: no match; one dummy record, advance the lagging side.
+		if err := w.putDummy(); err != nil {
+			return steps, retrievals, err
+		}
+		if res < 0 {
+			if row1, err = advance(true); err != nil {
+				return steps, retrievals, err
+			}
+		} else {
+			if row2, err = advance(false); err != nil {
+				return steps, retrievals, err
+			}
+		}
+	}
+	return steps, retrievals, nil
+}
+
+// finishSortMerge pads the step count to Theorem 1's bound and runs the
+// final oblivious filter.
+func finishSortMerge(w *outWriter, c1, c2 mergeCursor, one bool,
+	n1, n2, steps, retrievals int64, opts Options, start storage.Stats) (*Result, error) {
+	cart := Cartesian(n1, n2)
+	paddedR := opts.PadSize(int64(w.real), cart)
+	target := NumtrSortMerge(n1, n2, paddedR)
+	if steps > target {
+		return nil, fmt.Errorf("core: sort-merge executed %d steps, exceeding the Theorem 1 bound %d", steps, target)
+	}
+	padded := steps
+	for ; padded < target; padded++ {
+		retrievals++
+		if err := c1.Dummy(); err != nil {
+			return nil, err
+		}
+		if !one {
+			if err := c2.Dummy(); err != nil {
+				return nil, err
+			}
+		}
+		if err := w.putDummy(); err != nil {
+			return nil, err
+		}
+	}
+	tuples, real, paddedOut, err := w.finish(opts, cart)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Schema:      w.schema,
+		Tuples:      tuples,
+		RealCount:   real,
+		PaddedCount: paddedOut,
+		Steps:       steps,
+		PaddedSteps: padded,
+		Retrievals:  padded,
+		Stats:       diff(opts.Meter, start),
+	}
+	if one {
+		res.Retrievals = retrievals
+	}
+	return res, nil
+}
+
+// SortMergeJoin computes T1 ⋈ T2 on a1 = a2 with the paper's oblivious
+// sort-merge equi-join (Algorithm 1) over B-tree leaf chains. Both tables
+// need indices on their join attributes; tuples are retrieved through the
+// sorted leaf entries, one (real or dummy) retrieval from each table per
+// join step, and one output record is written per comparison. The per-table
+// retrieval count is padded to Theorem 1's bound |T1| + |T2| + |R| + 1.
+func SortMergeJoin(t1, t2 *table.StoredTable, a1, a2 string, opts Options) (*Result, error) {
+	start := snapshot(opts.Meter)
+	c1, err := table.NewLeafCursor(t1, a1)
+	if err != nil {
+		return nil, err
+	}
+	c2, err := table.NewLeafCursor(t2, a2)
+	if err != nil {
+		return nil, err
+	}
+	w, err := newOutWriter(fmt.Sprintf("%s⋈%s", t1.Schema().Table, t2.Schema().Table),
+		opts, t1.Schema(), t2.Schema())
+	if err != nil {
+		return nil, err
+	}
+	one := opts.OneORAM != nil
+	m1, m2 := leafMerge{c1}, leafMerge{c2}
+	steps, retrievals, err := runSortMerge(m1, m2, w, one)
+	if err != nil {
+		return nil, err
+	}
+	return finishSortMerge(w, m1, m2, one,
+		int64(t1.NumTuples()), int64(t2.NumTuples()), steps, retrievals, opts, start)
+}
+
+// SortMergeJoinChained is Algorithm 1 over the index-free pointer-chain
+// layout the paper describes: "B-tree indices are not required for
+// Algorithm 1. If each tuple keeps the pointer to the next tuple,
+// succeeding tuples can be retrieved when needed through ORAM using the
+// pointers." Each retrieval is a single data-ORAM access instead of the
+// indexed layout's leaf+data pair; the step count and Theorem 1 bound are
+// unchanged.
+func SortMergeJoinChained(t1, t2 *table.ChainedTable, opts Options) (*Result, error) {
+	start := snapshot(opts.Meter)
+	w, err := newOutWriter(fmt.Sprintf("%s⋈%s", t1.Schema().Table, t2.Schema().Table),
+		opts, t1.Schema(), t2.Schema())
+	if err != nil {
+		return nil, err
+	}
+	one := opts.OneORAM != nil
+	m1 := chainMerge{table.NewChainCursor(t1)}
+	m2 := chainMerge{table.NewChainCursor(t2)}
+	steps, retrievals, err := runSortMerge(m1, m2, w, one)
+	if err != nil {
+		return nil, err
+	}
+	return finishSortMerge(w, m1, m2, one,
+		int64(t1.NumTuples()), int64(t2.NumTuples()), steps, retrievals, opts, start)
+}

@@ -1,0 +1,57 @@
+package core
+
+// Closed-form tuple-retrieval counts (Numtr) of the paper's Theorems 1–4.
+// Each algorithm pads its join steps to the matching bound, so the
+// server-visible trace length depends only on the public sizing
+// information. The One* variants are the OneORAM totals of Section 7
+// (derived in this reproduction; the paper defers them to its full
+// version): they count retrievals across all tables because the OneORAM
+// binary joins elide the per-step dummy partner retrievals.
+
+// NumtrSortMerge is Theorem 1: per-table retrievals of the oblivious
+// sort-merge equi-join, |T1| + |T2| + |R| + 1.
+func NumtrSortMerge(t1, t2, r int64) int64 { return t1 + t2 + r + 1 }
+
+// NumtrINLJ is Theorem 2: per-table retrievals of the oblivious index
+// nested-loop equi-join, |T1| + |R|.
+func NumtrINLJ(t1, r int64) int64 { return t1 + r }
+
+// NumtrBand is Theorem 3: per-table retrievals of the oblivious index
+// nested-loop band join, |T1| + |R|.
+func NumtrBand(t1, r int64) int64 { return t1 + r }
+
+// NumtrMultiway is Theorem 4: per-table retrievals of the oblivious
+// multiway equi-join, |T1| + 2·Σ_{j≥2}|Tj| + |R|.
+func NumtrMultiway(sizes []int64, r int64) int64 {
+	if len(sizes) == 0 {
+		return r
+	}
+	n := sizes[0] + r
+	for _, t := range sizes[1:] {
+		n += 2 * t
+	}
+	return n
+}
+
+// NumtrOneSortMerge is the OneORAM sort-merge total: one retrieval per join
+// step, except the initial step which fetches the first tuple of both
+// tables, hence |T1| + |T2| + |R| + 2.
+func NumtrOneSortMerge(t1, t2, r int64) int64 { return t1 + t2 + r + 2 }
+
+// NumtrOneINLJ is the OneORAM index nested-loop total: each outer iteration
+// retrieves once from T1 and seeks once in T2 (2·|T1|), plus one retrieval
+// per join record.
+func NumtrOneINLJ(t1, r int64) int64 { return 2*t1 + r }
+
+// NumtrOneBand mirrors NumtrOneINLJ for band joins.
+func NumtrOneBand(t1, r int64) int64 { return 2*t1 + r }
+
+// Cartesian returns the product of the input sizes — the PadCartesian bound
+// and the step count of the Cartesian-product baselines.
+func Cartesian(sizes ...int64) int64 {
+	p := int64(1)
+	for _, s := range sizes {
+		p *= s
+	}
+	return p
+}

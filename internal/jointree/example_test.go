@@ -1,0 +1,27 @@
+package jointree_test
+
+import (
+	"fmt"
+
+	"oblivjoin/internal/jointree"
+)
+
+func ExampleBuild() {
+	tree, err := jointree.Build(jointree.Query{
+		Tables: []string{"customer", "orders", "lineitem"},
+		Preds: []jointree.Pred{
+			{Left: "customer", LeftAttr: "custkey", Right: "orders", RightAttr: "custkey"},
+			{Left: "orders", LeftAttr: "orderkey", Right: "lineitem", RightAttr: "orderkey"},
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	for i, n := range tree.Order {
+		fmt.Printf("%d: %s (parent %d)\n", i, n.Table, n.Parent)
+	}
+	// Output:
+	// 0: customer (parent -1)
+	// 1: orders (parent 0)
+	// 2: lineitem (parent 1)
+}

@@ -1,0 +1,246 @@
+// Package jointree models acyclic multiway equi-join queries and builds the
+// join tree the paper's Section 6 algorithm iterates over: each input table
+// is a node, the root is scanned sequentially, and every non-root table is
+// probed through an index on the attribute it shares with its parent.
+// Tables are numbered in a pre-order traversal, ensuring i < j whenever T_i
+// is an ancestor of T_j, exactly as the paper prescribes.
+//
+// Acyclicity of the attribute hypergraph is verified with the classic
+// GYO ear-removal reduction (Yu & Özsoyoğlu, COMPSAC'79 — the paper's
+// reference [85] for join-tree construction).
+package jointree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Pred is one equi-join predicate: Left.LeftAttr = Right.RightAttr.
+type Pred struct {
+	Left      string
+	LeftAttr  string
+	Right     string
+	RightAttr string
+}
+
+// Query is a multiway equi-join: the listed tables joined under the
+// conjunction of the predicates. Tables[0] becomes the join-tree root.
+type Query struct {
+	Tables []string
+	Preds  []Pred
+}
+
+// Node is one table in the join tree.
+type Node struct {
+	// Table is the table name (unique per query; self-joins use aliases).
+	Table string
+	// Attr is the attribute of this table joined with the parent (empty for
+	// the root).
+	Attr string
+	// ParentAttr is the attribute of the parent table on the same predicate.
+	ParentAttr string
+	// Parent is the pre-order index of the parent (-1 for the root).
+	Parent int
+	// Children are pre-order indices of child nodes.
+	Children []int
+}
+
+// Tree is the join tree in pre-order: Order[0] is the root and every node's
+// parent precedes it.
+type Tree struct {
+	Order []Node
+}
+
+// Len returns the number of tables.
+func (t *Tree) Len() int { return len(t.Order) }
+
+// Build constructs the join tree for q. It requires the predicate graph
+// (tables as vertices, predicates as edges) to be a tree spanning all
+// tables — the shape of every acyclic query in the paper's workloads — and
+// additionally checks hypergraph acyclicity with IsAcyclic.
+func Build(q Query) (*Tree, error) {
+	n := len(q.Tables)
+	if n < 2 {
+		return nil, fmt.Errorf("jointree: need at least 2 tables, got %d", n)
+	}
+	idx := make(map[string]int, n)
+	for i, t := range q.Tables {
+		if _, dup := idx[t]; dup {
+			return nil, fmt.Errorf("jointree: duplicate table %q (alias self-joins)", t)
+		}
+		idx[t] = i
+	}
+	if len(q.Preds) != n-1 {
+		return nil, fmt.Errorf("jointree: %d tables need exactly %d join predicates for a join tree, got %d",
+			n, n-1, len(q.Preds))
+	}
+	type edge struct {
+		to               int
+		attrHere, attrTo string
+		hereName, toName string
+	}
+	adj := make([][]edge, n)
+	for _, p := range q.Preds {
+		li, ok := idx[p.Left]
+		if !ok {
+			return nil, fmt.Errorf("jointree: predicate references unknown table %q", p.Left)
+		}
+		ri, ok := idx[p.Right]
+		if !ok {
+			return nil, fmt.Errorf("jointree: predicate references unknown table %q", p.Right)
+		}
+		if li == ri {
+			return nil, fmt.Errorf("jointree: self-referential predicate on %q", p.Left)
+		}
+		adj[li] = append(adj[li], edge{to: ri, attrHere: p.LeftAttr, attrTo: p.RightAttr})
+		adj[ri] = append(adj[ri], edge{to: li, attrHere: p.RightAttr, attrTo: p.LeftAttr})
+	}
+	if !IsAcyclic(q) {
+		return nil, fmt.Errorf("jointree: query hypergraph is cyclic")
+	}
+
+	// Pre-order DFS from Tables[0].
+	tree := &Tree{}
+	visited := make([]bool, n)
+	type frame struct {
+		table      int
+		parentPre  int
+		attr       string
+		parentAttr string
+	}
+	stack := []frame{{table: 0, parentPre: -1}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if visited[f.table] {
+			return nil, fmt.Errorf("jointree: predicate graph has a cycle through %q", q.Tables[f.table])
+		}
+		visited[f.table] = true
+		pre := len(tree.Order)
+		tree.Order = append(tree.Order, Node{
+			Table:      q.Tables[f.table],
+			Attr:       f.attr,
+			ParentAttr: f.parentAttr,
+			Parent:     f.parentPre,
+		})
+		if f.parentPre >= 0 {
+			tree.Order[f.parentPre].Children = append(tree.Order[f.parentPre].Children, pre)
+		}
+		// Push children in reverse so pre-order follows declaration order.
+		var kids []edge
+		for _, e := range adj[f.table] {
+			if !visited[e.to] {
+				kids = append(kids, e)
+			}
+		}
+		sort.SliceStable(kids, func(i, j int) bool { return kids[i].to > kids[j].to })
+		for _, e := range kids {
+			stack = append(stack, frame{
+				table:      e.to,
+				parentPre:  pre,
+				attr:       e.attrTo,
+				parentAttr: e.attrHere,
+			})
+		}
+	}
+	for i, v := range visited {
+		if !v {
+			return nil, fmt.Errorf("jointree: table %q is not connected to the join graph", q.Tables[i])
+		}
+	}
+	return tree, nil
+}
+
+// IsAcyclic runs the GYO ear-removal reduction on the query's attribute
+// hypergraph: attributes are unified into equivalence classes by the
+// predicates, every table becomes a hyperedge over its classes, and ears
+// (edges whose attributes are exclusive or covered by another edge) are
+// removed until none remain. The query is acyclic iff the reduction empties
+// the hypergraph.
+func IsAcyclic(q Query) bool {
+	// Union-find over (table, attr) pairs.
+	parent := map[string]string{}
+	var find func(string) string
+	find = func(x string) string {
+		p, ok := parent[x]
+		if !ok || p == x {
+			parent[x] = x
+			return x
+		}
+		r := find(p)
+		parent[x] = r
+		return r
+	}
+	union := func(a, b string) {
+		parent[find(a)] = find(b)
+	}
+	key := func(table, attr string) string { return table + "\x00" + attr }
+	for _, p := range q.Preds {
+		union(key(p.Left, p.LeftAttr), key(p.Right, p.RightAttr))
+	}
+	// Hyperedges: table -> set of attribute classes mentioned in predicates.
+	edges := make(map[string]map[string]bool, len(q.Tables))
+	for _, t := range q.Tables {
+		edges[t] = map[string]bool{}
+	}
+	for _, p := range q.Preds {
+		if _, ok := edges[p.Left]; !ok {
+			return false
+		}
+		if _, ok := edges[p.Right]; !ok {
+			return false
+		}
+		edges[p.Left][find(key(p.Left, p.LeftAttr))] = true
+		edges[p.Right][find(key(p.Right, p.RightAttr))] = true
+	}
+	// GYO reduction.
+	for {
+		changed := false
+		for t, attrs := range edges {
+			// Remove attributes that occur in no other edge.
+			for a := range attrs {
+				exclusive := true
+				for u, other := range edges {
+					if u != t && other[a] {
+						exclusive = false
+						break
+					}
+				}
+				if exclusive {
+					delete(attrs, a)
+					changed = true
+				}
+			}
+			// Remove the edge if it is empty or contained in another edge.
+			remove := len(attrs) == 0
+			if !remove {
+				for u, other := range edges {
+					if u == t {
+						continue
+					}
+					contained := true
+					for a := range attrs {
+						if !other[a] {
+							contained = false
+							break
+						}
+					}
+					if contained {
+						remove = true
+						break
+					}
+				}
+			}
+			if remove {
+				delete(edges, t)
+				changed = true
+			}
+		}
+		if len(edges) == 0 {
+			return true
+		}
+		if !changed {
+			return false
+		}
+	}
+}

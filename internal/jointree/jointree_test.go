@@ -1,0 +1,161 @@
+package jointree
+
+import "testing"
+
+func tm3Query() Query {
+	// TM3: nation - supplier - customer - orders - lineitem (a path).
+	return Query{
+		Tables: []string{"nation", "supplier", "customer", "orders", "lineitem"},
+		Preds: []Pred{
+			{Left: "nation", LeftAttr: "n_nationkey", Right: "supplier", RightAttr: "s_nationkey"},
+			{Left: "supplier", LeftAttr: "s_nationkey", Right: "customer", RightAttr: "c_nationkey"},
+			{Left: "customer", LeftAttr: "c_custkey", Right: "orders", RightAttr: "o_custkey"},
+			{Left: "orders", LeftAttr: "o_orderkey", Right: "lineitem", RightAttr: "l_orderkey"},
+		},
+	}
+}
+
+func TestBuildPath(t *testing.T) {
+	tree, err := Build(tm3Query())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Len() != 5 {
+		t.Fatalf("len %d", tree.Len())
+	}
+	if tree.Order[0].Table != "nation" || tree.Order[0].Parent != -1 {
+		t.Fatalf("root %+v", tree.Order[0])
+	}
+	// Pre-order on a path keeps declaration order.
+	wantOrder := []string{"nation", "supplier", "customer", "orders", "lineitem"}
+	for i, w := range wantOrder {
+		if tree.Order[i].Table != w {
+			t.Fatalf("order[%d] = %s, want %s", i, tree.Order[i].Table, w)
+		}
+		if i > 0 && tree.Order[i].Parent != i-1 {
+			t.Fatalf("parent of %s = %d", w, tree.Order[i].Parent)
+		}
+	}
+	if tree.Order[1].Attr != "s_nationkey" || tree.Order[1].ParentAttr != "n_nationkey" {
+		t.Fatalf("supplier link: %+v", tree.Order[1])
+	}
+}
+
+func TestBuildStar(t *testing.T) {
+	// SM3: i1 is followed by p, n, i2 (a star rooted elsewhere).
+	q := Query{
+		Tables: []string{"i1", "p", "n", "i2"},
+		Preds: []Pred{
+			{Left: "i1", LeftAttr: "dst", Right: "p", RightAttr: "src"},
+			{Left: "i1", LeftAttr: "dst", Right: "n", RightAttr: "src"},
+			{Left: "i1", LeftAttr: "dst", Right: "i2", RightAttr: "src"},
+		},
+	}
+	tree, err := Build(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := tree.Order[0]
+	if root.Table != "i1" || len(root.Children) != 3 {
+		t.Fatalf("root %+v", root)
+	}
+	for _, c := range root.Children {
+		n := tree.Order[c]
+		if n.Parent != 0 || n.ParentAttr != "dst" || n.Attr != "src" {
+			t.Fatalf("child %+v", n)
+		}
+	}
+}
+
+func TestBuildFigure6Shape(t *testing.T) {
+	// Figure 6: T1(A,B) with children T2(A,C) and T3(B,D); T4(D,E) under T3.
+	q := Query{
+		Tables: []string{"T1", "T2", "T3", "T4"},
+		Preds: []Pred{
+			{Left: "T1", LeftAttr: "A", Right: "T2", RightAttr: "A"},
+			{Left: "T1", LeftAttr: "B", Right: "T3", RightAttr: "B"},
+			{Left: "T3", LeftAttr: "D", Right: "T4", RightAttr: "D"},
+		},
+	}
+	tree, err := Build(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"T1", "T2", "T3", "T4"}
+	for i, w := range want {
+		if tree.Order[i].Table != w {
+			t.Fatalf("pre-order[%d] = %s, want %s", i, tree.Order[i].Table, w)
+		}
+	}
+	if tree.Order[3].Parent != 2 {
+		t.Fatalf("T4 parent %d", tree.Order[3].Parent)
+	}
+	// Ancestors precede descendants (the paper's numbering invariant).
+	for i, n := range tree.Order {
+		if n.Parent >= i {
+			t.Fatalf("node %d has parent %d", i, n.Parent)
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	cases := []Query{
+		{Tables: []string{"a"}},
+		{Tables: []string{"a", "b"}}, // no predicate
+		{Tables: []string{"a", "a"}, Preds: []Pred{{Left: "a", LeftAttr: "x", Right: "a", RightAttr: "x"}}},
+		{Tables: []string{"a", "b"}, Preds: []Pred{{Left: "a", LeftAttr: "x", Right: "c", RightAttr: "x"}}},
+		{Tables: []string{"a", "b", "c"}, Preds: []Pred{ // disconnected + wrong count
+			{Left: "a", LeftAttr: "x", Right: "b", RightAttr: "x"},
+		}},
+		{Tables: []string{"a", "b"}, Preds: []Pred{{Left: "a", LeftAttr: "x", Right: "a", RightAttr: "y"}}},
+	}
+	for i, q := range cases {
+		if _, err := Build(q); err == nil {
+			t.Errorf("case %d accepted: %+v", i, q)
+		}
+	}
+}
+
+func TestIsAcyclic(t *testing.T) {
+	if !IsAcyclic(tm3Query()) {
+		t.Fatal("TM3 should be acyclic")
+	}
+	// A triangle on three distinct attribute classes is cyclic.
+	tri := Query{
+		Tables: []string{"a", "b", "c"},
+		Preds: []Pred{
+			{Left: "a", LeftAttr: "x", Right: "b", RightAttr: "x"},
+			{Left: "b", LeftAttr: "y", Right: "c", RightAttr: "y"},
+			{Left: "c", LeftAttr: "z", Right: "a", RightAttr: "z"},
+		},
+	}
+	if IsAcyclic(tri) {
+		t.Fatal("triangle should be cyclic")
+	}
+	// A triangle over ONE shared attribute class is acyclic (alpha-acyclic).
+	shared := Query{
+		Tables: []string{"a", "b", "c"},
+		Preds: []Pred{
+			{Left: "a", LeftAttr: "x", Right: "b", RightAttr: "x"},
+			{Left: "b", LeftAttr: "x", Right: "c", RightAttr: "x"},
+			{Left: "c", LeftAttr: "x", Right: "a", RightAttr: "x"},
+		},
+	}
+	if !IsAcyclic(shared) {
+		t.Fatal("single-class triangle is alpha-acyclic")
+	}
+}
+
+func TestBuildRejectsCyclicPredicateTree(t *testing.T) {
+	// Even with n-1 predicates, a multigraph edge pair forms a cycle.
+	q := Query{
+		Tables: []string{"a", "b", "c"},
+		Preds: []Pred{
+			{Left: "a", LeftAttr: "x", Right: "b", RightAttr: "x"},
+			{Left: "b", LeftAttr: "x", Right: "a", RightAttr: "x"},
+		},
+	}
+	if _, err := Build(q); err == nil {
+		t.Fatal("cycle accepted")
+	}
+}

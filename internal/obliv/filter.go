@@ -1,0 +1,31 @@
+package obliv
+
+import "fmt"
+
+// CompactReal obliviously moves all real records in front of all dummy
+// records and truncates the vector to realCount records — the paper's
+// "obliviously filter out dummy records from T_out" final step of every
+// join algorithm. pad must be a record that isDummy reports true for; it is
+// used to extend the vector to the shape the external sort requires.
+//
+// realCount is known to the client (it counted real outputs while joining)
+// and is public under Definition 1, which leaks the output size.
+func CompactReal(v *BlockVector, mem int, isDummy func([]byte) bool, realCount int, pad []byte) error {
+	if realCount > v.Len() {
+		return fmt.Errorf("obliv: realCount %d exceeds length %d", realCount, v.Len())
+	}
+	if err := v.Flush(); err != nil {
+		return err
+	}
+	padded, _ := ChunkShape(v.Len(), mem)
+	if err := v.PadTo(padded, pad); err != nil {
+		return err
+	}
+	// Dummies sort after reals; ties keep arbitrary order (sufficient: the
+	// result set is a set).
+	less := func(a, b []byte) bool { return !isDummy(a) && isDummy(b) }
+	if err := SortVector(v, mem, less); err != nil {
+		return err
+	}
+	return v.Truncate(realCount)
+}

@@ -1,0 +1,329 @@
+// Package obliv provides the data-oblivious building blocks the join
+// algorithms compose: bitonic sorting networks, an external oblivious sort
+// that exploits trusted client memory (as in Opaque and ObliDB), oblivious
+// dummy filtering, and server-resident record vectors whose access patterns
+// depend only on public sizes.
+package obliv
+
+import (
+	"fmt"
+
+	"oblivjoin/internal/storage"
+	"oblivjoin/internal/xcrypto"
+)
+
+// Vector is a fixed-record-size sequence whose storage may be remote. All
+// provided implementations expose access patterns that depend only on the
+// requested indices — the oblivious algorithms in this package take care to
+// request index sequences that depend only on public sizes.
+type Vector interface {
+	// Len is the number of records currently in the vector.
+	Len() int
+	// RecordSize is the fixed record length in bytes.
+	RecordSize() int
+	// LoadRange returns copies of records [lo, lo+n).
+	LoadRange(lo, n int) ([][]byte, error)
+	// StoreRange overwrites records [lo, lo+len(recs)).
+	StoreRange(lo int, recs [][]byte) error
+}
+
+// MemVector is a client-memory Vector used by tests and as scratch space.
+type MemVector struct {
+	recSize int
+	recs    [][]byte
+}
+
+// NewMemVector returns an empty in-memory vector of recSize-byte records.
+func NewMemVector(recSize int) *MemVector {
+	return &MemVector{recSize: recSize}
+}
+
+// Len implements Vector.
+func (v *MemVector) Len() int { return len(v.recs) }
+
+// RecordSize implements Vector.
+func (v *MemVector) RecordSize() int { return v.recSize }
+
+// Append adds a record, padding or rejecting by size.
+func (v *MemVector) Append(rec []byte) error {
+	if len(rec) > v.recSize {
+		return fmt.Errorf("obliv: record of %d bytes exceeds record size %d", len(rec), v.recSize)
+	}
+	buf := make([]byte, v.recSize)
+	copy(buf, rec)
+	v.recs = append(v.recs, buf)
+	return nil
+}
+
+// LoadRange implements Vector.
+func (v *MemVector) LoadRange(lo, n int) ([][]byte, error) {
+	if lo < 0 || lo+n > len(v.recs) {
+		return nil, fmt.Errorf("obliv: load [%d,%d) of %d", lo, lo+n, len(v.recs))
+	}
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = append([]byte(nil), v.recs[lo+i]...)
+	}
+	return out, nil
+}
+
+// StoreRange implements Vector.
+func (v *MemVector) StoreRange(lo int, recs [][]byte) error {
+	if lo < 0 || lo+len(recs) > len(v.recs) {
+		return fmt.Errorf("obliv: store [%d,%d) of %d", lo, lo+len(recs), len(v.recs))
+	}
+	for i, r := range recs {
+		if len(r) != v.recSize {
+			return fmt.Errorf("obliv: record %d has %d bytes, want %d", i, len(r), v.recSize)
+		}
+		copy(v.recs[lo+i], r)
+	}
+	return nil
+}
+
+// BlockVector stores fixed-size records packed into encrypted fixed-size
+// blocks on the untrusted server — the layout of every table (including join
+// outputs) in the engine. Appends buffer one block client-side and flush
+// sealed blocks; loads fetch, decrypt, and unpack whole blocks.
+type BlockVector struct {
+	store    *storage.MemStore
+	sealer   *xcrypto.Sealer
+	meter    *storage.Meter
+	recSize  int
+	perBlock int
+	capacity int
+	length   int
+
+	pending      [][]byte // buffered records not yet flushed
+	pendingBlock int      // block index the buffer belongs to
+	pendingStart int      // slot within pendingBlock of pending[0]
+}
+
+// NewBlockVector creates a vector able to hold capacity records of
+// recSize bytes, packed into encrypted blocks of blockSize total bytes.
+func NewBlockVector(name string, capacity, recSize, blockSize int, meter *storage.Meter, sealer *xcrypto.Sealer) (*BlockVector, error) {
+	if recSize <= 0 {
+		return nil, fmt.Errorf("obliv: record size must be positive, got %d", recSize)
+	}
+	payload := blockSize - xcrypto.Overhead
+	perBlock := payload / recSize
+	if perBlock < 1 {
+		return nil, fmt.Errorf("obliv: record size %d does not fit block payload %d", recSize, payload)
+	}
+	if capacity < 0 {
+		return nil, fmt.Errorf("obliv: negative capacity %d", capacity)
+	}
+	blocks := (capacity + perBlock - 1) / perBlock
+	if blocks == 0 {
+		blocks = 1
+	}
+	return &BlockVector{
+		store:        storage.NewMemStore(name, int64(blocks), blockSize, meter),
+		sealer:       sealer,
+		meter:        meter,
+		recSize:      recSize,
+		perBlock:     perBlock,
+		capacity:     capacity,
+		pendingBlock: -1,
+	}, nil
+}
+
+// Len implements Vector.
+func (v *BlockVector) Len() int { return v.length }
+
+// RecordSize implements Vector.
+func (v *BlockVector) RecordSize() int { return v.recSize }
+
+// Capacity returns the maximum number of records.
+func (v *BlockVector) Capacity() int { return v.capacity }
+
+// RecordsPerBlock returns the packing factor.
+func (v *BlockVector) RecordsPerBlock() int { return v.perBlock }
+
+// ServerBytes returns the server-side footprint.
+func (v *BlockVector) ServerBytes() int64 { return v.store.SizeBytes() }
+
+// Append adds a record at the end, flushing a sealed block each time one
+// fills and growing the server store as needed (the growth schedule depends
+// only on the public record count). The server sees one uniform encrypted
+// block write per perBlock appends regardless of record contents.
+func (v *BlockVector) Append(rec []byte) error {
+	if v.length >= v.capacity {
+		extra := v.capacity
+		if extra < v.perBlock {
+			extra = v.perBlock
+		}
+		blocksNow := (v.capacity + v.perBlock - 1) / v.perBlock
+		blocksNeeded := (v.capacity + extra + v.perBlock - 1) / v.perBlock
+		v.store.Grow(int64(blocksNeeded - blocksNow))
+		v.capacity += extra
+	}
+	if len(rec) > v.recSize {
+		return fmt.Errorf("obliv: record of %d bytes exceeds record size %d", len(rec), v.recSize)
+	}
+	blk := v.length / v.perBlock
+	if v.pendingBlock != blk {
+		if err := v.Flush(); err != nil {
+			return err
+		}
+		v.pendingBlock = blk
+		v.pendingStart = v.length % v.perBlock
+	}
+	buf := make([]byte, v.recSize)
+	copy(buf, rec)
+	v.pending = append(v.pending, buf)
+	v.length++
+	if v.pendingStart+len(v.pending) == v.perBlock {
+		return v.Flush()
+	}
+	return nil
+}
+
+// Flush writes any buffered partial block to the server, preserving records
+// already stored in the same block when the buffer started mid-block.
+func (v *BlockVector) Flush() error {
+	if v.pendingBlock < 0 || len(v.pending) == 0 {
+		v.pending = nil
+		v.pendingBlock = -1
+		v.pendingStart = 0
+		return nil
+	}
+	var payload []byte
+	if v.pendingStart == 0 {
+		payload = make([]byte, v.store.BlockSize()-xcrypto.Overhead)
+	} else {
+		var err error
+		payload, err = v.readBlock(v.pendingBlock)
+		if err != nil {
+			return err
+		}
+	}
+	for i, r := range v.pending {
+		copy(payload[(v.pendingStart+i)*v.recSize:], r)
+	}
+	sealed, err := v.sealer.Seal(payload)
+	if err != nil {
+		return err
+	}
+	if v.meter != nil {
+		v.meter.CountRound()
+	}
+	if err := v.store.Write(int64(v.pendingBlock), sealed); err != nil {
+		return err
+	}
+	v.pending = nil
+	v.pendingBlock = -1
+	v.pendingStart = 0
+	return nil
+}
+
+func (v *BlockVector) readBlock(blk int) ([]byte, error) {
+	sealed, err := v.store.Read(int64(blk))
+	if err != nil {
+		return nil, err
+	}
+	if v.meter != nil {
+		v.meter.CountRound()
+	}
+	return v.sealer.Open(sealed)
+}
+
+// LoadRange implements Vector. It fetches each covered block once.
+func (v *BlockVector) LoadRange(lo, n int) ([][]byte, error) {
+	if lo < 0 || lo+n > v.length {
+		return nil, fmt.Errorf("obliv: load [%d,%d) of %d", lo, lo+n, v.length)
+	}
+	if err := v.Flush(); err != nil {
+		return nil, err
+	}
+	out := make([][]byte, 0, n)
+	for b := lo / v.perBlock; len(out) < n; b++ {
+		payload, err := v.readBlock(b)
+		if err != nil {
+			return nil, err
+		}
+		first := 0
+		if b == lo/v.perBlock {
+			first = lo % v.perBlock
+		}
+		for i := first; i < v.perBlock && len(out) < n; i++ {
+			rec := make([]byte, v.recSize)
+			copy(rec, payload[i*v.recSize:(i+1)*v.recSize])
+			out = append(out, rec)
+		}
+	}
+	return out, nil
+}
+
+// StoreRange implements Vector. Partially covered edge blocks are
+// read-modify-written.
+func (v *BlockVector) StoreRange(lo int, recs [][]byte) error {
+	n := len(recs)
+	if lo < 0 || lo+n > v.length {
+		return fmt.Errorf("obliv: store [%d,%d) of %d", lo, lo+n, v.length)
+	}
+	if err := v.Flush(); err != nil {
+		return err
+	}
+	i := 0
+	for b := lo / v.perBlock; i < n; b++ {
+		start := b * v.perBlock
+		var payload []byte
+		var err error
+		// A block fully covered by the store needs no read-back.
+		fully := lo <= start && start+v.perBlock <= lo+n
+		if fully {
+			payload = make([]byte, v.store.BlockSize()-xcrypto.Overhead)
+		} else {
+			payload, err = v.readBlock(b)
+			if err != nil {
+				return err
+			}
+		}
+		for s := 0; s < v.perBlock; s++ {
+			idx := start + s
+			if idx >= lo && idx < lo+n {
+				r := recs[idx-lo]
+				if len(r) != v.recSize {
+					return fmt.Errorf("obliv: record %d has %d bytes, want %d", idx-lo, len(r), v.recSize)
+				}
+				copy(payload[s*v.recSize:], r)
+			}
+		}
+		sealed, err := v.sealer.Seal(payload)
+		if err != nil {
+			return err
+		}
+		if v.meter != nil {
+			v.meter.CountRound()
+		}
+		if err := v.store.Write(int64(b), sealed); err != nil {
+			return err
+		}
+		i = start + v.perBlock - lo
+	}
+	return nil
+}
+
+// Truncate shortens the vector to n records (n <= Len). Used after
+// oblivious filtering once dummies have been sorted past position n.
+func (v *BlockVector) Truncate(n int) error {
+	if n < 0 || n > v.length {
+		return fmt.Errorf("obliv: truncate to %d of %d", n, v.length)
+	}
+	if err := v.Flush(); err != nil {
+		return err
+	}
+	v.length = n
+	return nil
+}
+
+// PadTo appends copies of rec until the vector holds n records.
+func (v *BlockVector) PadTo(n int, rec []byte) error {
+	for v.length < n {
+		if err := v.Append(rec); err != nil {
+			return err
+		}
+	}
+	return v.Flush()
+}

@@ -1,0 +1,51 @@
+package operators_test
+
+import (
+	"fmt"
+
+	"oblivjoin/internal/operators"
+	"oblivjoin/internal/relation"
+	"oblivjoin/internal/xcrypto"
+)
+
+func sealed() *xcrypto.Sealer {
+	s, err := xcrypto.NewSealer(make([]byte, xcrypto.KeySize), nil)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func ExampleSelect() {
+	rel := &relation.Relation{Schema: relation.Schema{Table: "emp", Columns: []string{"id", "dept"}}}
+	for i := int64(0); i < 8; i++ {
+		rel.Tuples = append(rel.Tuples, relation.Tuple{Values: []int64{i, i % 3}})
+	}
+	res, err := operators.Select(rel,
+		[]operators.Pred{{Column: "dept", Op: operators.EQ, Value: 1}},
+		operators.Options{BlockSize: 512, Sealer: sealed()})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("matching rows:", res.RealCount)
+	// Output: matching rows: 3
+}
+
+func ExampleGroupAggregate() {
+	rel := &relation.Relation{Schema: relation.Schema{Table: "sales", Columns: []string{"region", "amount"}}}
+	for i := int64(0); i < 9; i++ {
+		rel.Tuples = append(rel.Tuples, relation.Tuple{Values: []int64{i % 3, 10}})
+	}
+	res, err := operators.GroupAggregate(rel, "region", "amount", operators.Sum,
+		operators.Options{BlockSize: 512, Sealer: sealed()})
+	if err != nil {
+		panic(err)
+	}
+	for _, t := range res.Tuples {
+		fmt.Printf("region %d: %d\n", t.Values[0], t.Values[1])
+	}
+	// Output:
+	// region 0: 30
+	// region 1: 30
+	// region 2: 30
+}

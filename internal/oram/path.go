@@ -1,0 +1,429 @@
+package oram
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"oblivjoin/internal/storage"
+	"oblivjoin/internal/xcrypto"
+)
+
+// DefaultZ is the bucket capacity used throughout the paper's evaluation
+// ("we set the number of blocks in each bucket of Path-ORAM to Z = 4").
+const DefaultZ = 4
+
+const (
+	// Each slot stores: valid byte, 8-byte key, 4-byte assigned leaf, payload.
+	// Carrying the leaf in the slot lets eviction proceed without consulting
+	// the position map, which matters when the map itself is outsourced.
+	slotHeader = 1 + 8 + 4
+	noLeaf     = ^uint32(0)
+)
+
+// PathConfig configures a Path-ORAM instance.
+type PathConfig struct {
+	// Name labels the ORAM's server store in traces (e.g. "T1.data").
+	Name string
+	// Capacity is the number of logical blocks (keys are 0..Capacity-1).
+	Capacity int64
+	// PayloadSize is the usable bytes per logical block.
+	PayloadSize int
+	// Z is the bucket capacity; 0 means DefaultZ.
+	Z int
+	// Meter receives traffic accounting; may be nil.
+	Meter *storage.Meter
+	// Sealer encrypts buckets; required.
+	Sealer *xcrypto.Sealer
+	// Rand supplies leaf randomness; nil means a crypto/rand source.
+	Rand LeafSource
+	// RecursePosMap outsources the position map to recursively built
+	// Path-ORAMs until it fits in RecurseCutoff entries, reducing client
+	// memory from O(N) to O(log N) at extra per-access cost (Section 4.1).
+	RecursePosMap bool
+	// RecurseCutoff is the position-map size kept client-side when recursing;
+	// 0 means 64 entries.
+	RecurseCutoff int64
+}
+
+type stashEntry struct {
+	leaf    uint32
+	payload []byte
+}
+
+// PathORAM is the client handle to a Path-ORAM: the server holds a full
+// binary tree of Z-slot buckets; the client holds the stash and position
+// map and maintains the invariant that block b always resides on the path
+// to the leaf the position map assigns it.
+type PathORAM struct {
+	cfg        PathConfig
+	store      *storage.MemStore
+	leaves     int64
+	levels     int // path length in buckets (root..leaf inclusive)
+	z          int
+	slotSize   int
+	bucketSize int // plaintext bucket bytes
+
+	pos      posMap
+	stash    map[uint64]stashEntry
+	maxStash int
+	rand     LeafSource
+}
+
+// NewPathORAM builds the server tree (all buckets initialized to sealed
+// empty) and returns the client handle. Construction models the paper's
+// preprocessing step; callers reset meters afterwards so setup traffic is
+// not charged to queries.
+func NewPathORAM(cfg PathConfig) (*PathORAM, error) {
+	if cfg.Capacity <= 0 {
+		return nil, fmt.Errorf("oram: capacity must be positive, got %d", cfg.Capacity)
+	}
+	if cfg.PayloadSize <= 0 {
+		return nil, fmt.Errorf("oram: payload size must be positive, got %d", cfg.PayloadSize)
+	}
+	if cfg.Sealer == nil {
+		return nil, fmt.Errorf("oram: sealer is required")
+	}
+	z := cfg.Z
+	if z == 0 {
+		z = DefaultZ
+	}
+	if z < 1 {
+		return nil, fmt.Errorf("oram: bucket size Z must be >= 1, got %d", cfg.Z)
+	}
+	rnd := cfg.Rand
+	if rnd == nil {
+		rnd = NewCryptoSource()
+	}
+	leaves := nextPow2(cfg.Capacity)
+	levels := 1
+	for l := leaves; l > 1; l >>= 1 {
+		levels++
+	}
+	slotSize := slotHeader + cfg.PayloadSize
+	bucketSize := z * slotSize
+	nodes := 2*leaves - 1
+	o := &PathORAM{
+		cfg:        cfg,
+		leaves:     leaves,
+		levels:     levels,
+		z:          z,
+		slotSize:   slotSize,
+		bucketSize: bucketSize,
+		stash:      make(map[uint64]stashEntry),
+		rand:       rnd,
+	}
+	o.store = storage.NewMemStore(cfg.Name, nodes, xcrypto.SealedLen(bucketSize), cfg.Meter)
+	// Initialize every bucket to a sealed empty bucket so the adversary sees
+	// a fully populated, uniformly encrypted tree from the start.
+	empty := make([]byte, bucketSize)
+	for i := int64(0); i < nodes; i++ {
+		sealed, err := cfg.Sealer.Seal(empty)
+		if err != nil {
+			return nil, err
+		}
+		if err := o.store.Write(i, sealed); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.RecursePosMap {
+		cutoff := cfg.RecurseCutoff
+		if cutoff <= 0 {
+			cutoff = 64
+		}
+		pm, err := newORAMPosMap(cfg, cfg.Capacity, cutoff, rnd)
+		if err != nil {
+			return nil, err
+		}
+		o.pos = pm
+	} else {
+		o.pos = newFlatPosMap(cfg.Capacity)
+	}
+	return o, nil
+}
+
+func nextPow2(n int64) int64 {
+	p := int64(1)
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Levels returns the path length in buckets (tree height + 1).
+func (o *PathORAM) Levels() int { return o.levels }
+
+// PayloadSize implements ORAM.
+func (o *PathORAM) PayloadSize() int { return o.cfg.PayloadSize }
+
+// Capacity implements ORAM.
+func (o *PathORAM) Capacity() int64 { return o.cfg.Capacity }
+
+// AccessesPerOp implements ORAM: each access reads then rewrites one full
+// root-to-leaf path, plus whatever the (possibly outsourced) position map
+// costs.
+func (o *PathORAM) AccessesPerOp() int { return 2*o.levels + o.pos.accessesPerOp() }
+
+// ClientBytes implements ORAM: stash plus position-map footprint.
+func (o *PathORAM) ClientBytes() int64 {
+	return int64(len(o.stash))*int64(12+o.cfg.PayloadSize) + o.pos.clientBytes()
+}
+
+// ServerBytes implements ORAM.
+func (o *PathORAM) ServerBytes() int64 {
+	return o.store.SizeBytes() + o.pos.serverBytes()
+}
+
+// MaxStash reports the high-water stash occupancy, a standard Path-ORAM
+// health metric (stays O(log N)·ω(1) w.h.p. for Z=4).
+func (o *PathORAM) MaxStash() int { return o.maxStash }
+
+// StashSize reports the current stash occupancy.
+func (o *PathORAM) StashSize() int { return len(o.stash) }
+
+// Read implements ORAM.
+func (o *PathORAM) Read(key uint64) ([]byte, error) {
+	return o.access(key, nil, false, nil)
+}
+
+// Write implements ORAM.
+func (o *PathORAM) Write(key uint64, payload []byte) error {
+	if len(payload) > o.cfg.PayloadSize {
+		return fmt.Errorf("oram: payload %d exceeds block payload size %d", len(payload), o.cfg.PayloadSize)
+	}
+	buf := make([]byte, o.cfg.PayloadSize)
+	copy(buf, payload)
+	_, err := o.access(key, buf, false, nil)
+	return err
+}
+
+// Update implements ORAM: a single path access that reads, mutates, and
+// rewrites the block — indistinguishable from Read and Write.
+func (o *PathORAM) Update(key uint64, fn func(payload []byte) error) ([]byte, error) {
+	return o.access(key, nil, false, fn)
+}
+
+// DummyAccess implements ORAM: reads and rewrites a uniformly random path.
+// Indistinguishable from a real access because every access touches a fresh
+// uniformly random path and rewrites it re-encrypted.
+func (o *PathORAM) DummyAccess() error {
+	_, err := o.access(0, nil, true, nil)
+	return err
+}
+
+func (o *PathORAM) randomLeaf() uint32 {
+	return uint32(o.rand.Uint64() % uint64(o.leaves))
+}
+
+// access is the Path-ORAM protocol core. If newData is non-nil the access is
+// a write; if update is non-nil it mutates the fetched payload in place; if
+// dummy, no logical block is touched.
+func (o *PathORAM) access(key uint64, newData []byte, dummy bool, update func([]byte) error) ([]byte, error) {
+	var leaf, newLeaf uint32
+	notFound := false
+	if dummy {
+		leaf = o.randomLeaf()
+		// Keep position-map access counts uniform across real and dummy
+		// operations so they remain indistinguishable even when the position
+		// map itself lives in a recursive ORAM.
+		if err := o.pos.dummyOp(); err != nil {
+			return nil, err
+		}
+	} else {
+		if key >= uint64(o.cfg.Capacity) {
+			return nil, fmt.Errorf("oram: key %d out of capacity %d", key, o.cfg.Capacity)
+		}
+		newLeaf = o.randomLeaf()
+		old, ok, err := o.pos.getAndSet(key, newLeaf)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			leaf = old
+		} else {
+			leaf = o.randomLeaf()
+			notFound = true
+		}
+	}
+
+	// Read the whole path into the stash.
+	path := o.pathNodes(leaf)
+	for _, node := range path {
+		sealed, err := o.store.Read(node)
+		if err != nil {
+			return nil, err
+		}
+		plain, err := o.cfg.Sealer.Open(sealed)
+		if err != nil {
+			return nil, fmt.Errorf("oram: bucket %d: %w", node, err)
+		}
+		o.parseBucketInto(plain)
+	}
+
+	var result []byte
+	var err error
+	if !dummy {
+		entry, ok := o.stash[key]
+		switch {
+		case newData != nil:
+			o.stash[key] = stashEntry{leaf: newLeaf, payload: newData}
+		case !ok || notFound:
+			err = fmt.Errorf("%w: key %d", ErrNotFound, key)
+		default:
+			entry.leaf = newLeaf
+			if update != nil {
+				if uerr := update(entry.payload); uerr != nil {
+					err = uerr
+				}
+			}
+			o.stash[key] = entry
+			result = make([]byte, len(entry.payload))
+			copy(result, entry.payload)
+		}
+	}
+
+	// Evict: refill the path bottom-up with stash blocks that may live there.
+	if werr := o.writePath(leaf, path); werr != nil && err == nil {
+		err = werr
+	}
+	if len(o.stash) > o.maxStash {
+		o.maxStash = len(o.stash)
+	}
+	if o.cfg.Meter != nil {
+		o.cfg.Meter.CountRound()
+	}
+	return result, err
+}
+
+// pathNodes returns the 0-based store indices of the buckets on the path
+// from the root to the given leaf, root first.
+func (o *PathORAM) pathNodes(leaf uint32) []int64 {
+	nodes := make([]int64, o.levels)
+	// 1-based heap index of the leaf bucket.
+	idx := o.leaves + int64(leaf)
+	for i := o.levels - 1; i >= 0; i-- {
+		nodes[i] = idx - 1
+		idx >>= 1
+	}
+	return nodes
+}
+
+// sharesBucket reports whether the paths to leaves a and b pass through the
+// same bucket at level lvl (root is level 0).
+func (o *PathORAM) sharesBucket(a, b uint32, lvl int) bool {
+	shift := uint(o.levels - 1 - lvl)
+	return (int64(a) >> shift) == (int64(b) >> shift)
+}
+
+func (o *PathORAM) parseBucketInto(plain []byte) {
+	for s := 0; s < o.z; s++ {
+		slot := plain[s*o.slotSize : (s+1)*o.slotSize]
+		if slot[0] == 0 {
+			continue
+		}
+		key := binary.LittleEndian.Uint64(slot[1:9])
+		if _, already := o.stash[key]; already {
+			continue // stash copy is authoritative
+		}
+		payload := make([]byte, o.cfg.PayloadSize)
+		copy(payload, slot[slotHeader:])
+		o.stash[key] = stashEntry{
+			leaf:    binary.LittleEndian.Uint32(slot[9:13]),
+			payload: payload,
+		}
+	}
+}
+
+func (o *PathORAM) writePath(leaf uint32, path []int64) error {
+	// Work bottom-up (deepest bucket first) so blocks sink as far as allowed.
+	for lvl := o.levels - 1; lvl >= 0; lvl-- {
+		bucket := make([]byte, o.bucketSize)
+		filled := 0
+		for key, entry := range o.stash {
+			if filled == o.z {
+				break
+			}
+			if !o.sharesBucket(entry.leaf, leaf, lvl) {
+				continue
+			}
+			slot := bucket[filled*o.slotSize:]
+			slot[0] = 1
+			binary.LittleEndian.PutUint64(slot[1:9], key)
+			binary.LittleEndian.PutUint32(slot[9:13], entry.leaf)
+			copy(slot[slotHeader:], entry.payload)
+			delete(o.stash, key)
+			filled++
+		}
+		sealed, err := o.cfg.Sealer.Seal(bucket)
+		if err != nil {
+			return err
+		}
+		if err := o.store.Write(path[lvl], sealed); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BulkLoad places the given dense key space (payloads[i] stored under key i)
+// directly into the tree, modeling the client-side preprocessing upload.
+// It must be called before any access; it overwrites the whole tree.
+func (o *PathORAM) BulkLoad(payloads [][]byte) error {
+	if int64(len(payloads)) > o.cfg.Capacity {
+		return fmt.Errorf("oram: bulk load of %d blocks exceeds capacity %d", len(payloads), o.cfg.Capacity)
+	}
+	type placed struct {
+		key  uint64
+		leaf uint32
+	}
+	occ := make([]int, 2*o.leaves-1)
+	buckets := make([][]placed, 2*o.leaves-1)
+	for i, p := range payloads {
+		if len(p) > o.cfg.PayloadSize {
+			return fmt.Errorf("oram: bulk payload %d is %d bytes, exceeds %d", i, len(p), o.cfg.PayloadSize)
+		}
+		key := uint64(i)
+		leaf := o.randomLeaf()
+		if err := o.pos.set(key, leaf); err != nil {
+			return err
+		}
+		// Place in the deepest non-full bucket on the path.
+		nodes := o.pathNodes(leaf)
+		done := false
+		for lvl := o.levels - 1; lvl >= 0; lvl-- {
+			n := nodes[lvl]
+			if occ[n] < o.z {
+				buckets[n] = append(buckets[n], placed{key, leaf})
+				occ[n]++
+				done = true
+				break
+			}
+		}
+		if !done {
+			buf := make([]byte, o.cfg.PayloadSize)
+			copy(buf, p)
+			o.stash[key] = stashEntry{leaf: leaf, payload: buf}
+		}
+	}
+	// Serialize and upload every bucket once.
+	for n := int64(0); n < 2*o.leaves-1; n++ {
+		bucket := make([]byte, o.bucketSize)
+		for s, pl := range buckets[n] {
+			slot := bucket[s*o.slotSize:]
+			slot[0] = 1
+			binary.LittleEndian.PutUint64(slot[1:9], pl.key)
+			binary.LittleEndian.PutUint32(slot[9:13], pl.leaf)
+			copy(slot[slotHeader:], payloads[pl.key])
+		}
+		sealed, err := o.cfg.Sealer.Seal(bucket)
+		if err != nil {
+			return err
+		}
+		if err := o.store.Write(n, sealed); err != nil {
+			return err
+		}
+	}
+	if len(o.stash) > o.maxStash {
+		o.maxStash = len(o.stash)
+	}
+	return nil
+}

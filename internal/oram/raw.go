@@ -1,0 +1,114 @@
+package oram
+
+import (
+	"fmt"
+
+	"oblivjoin/internal/storage"
+)
+
+// RawStore implements the ORAM interface with no obliviousness and no
+// encryption: every logical block sits at a fixed server location and each
+// access is a single plaintext block transfer. It backs the paper's insecure
+// "Raw Index(+Cache)" baseline, which "builds B-tree indices over data
+// blocks and stores them in the cloud without using any encryption and ORAM
+// protocol" (Section 9.1).
+type RawStore struct {
+	store *storage.MemStore
+	size  int
+	meter *storage.Meter
+	rand  LeafSource
+}
+
+// NewRawStore creates a raw store with capacity blocks of payloadSize bytes.
+func NewRawStore(name string, capacity int64, payloadSize int, meter *storage.Meter, rnd LeafSource) (*RawStore, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("oram: capacity must be positive, got %d", capacity)
+	}
+	if payloadSize <= 0 {
+		return nil, fmt.Errorf("oram: payload size must be positive, got %d", payloadSize)
+	}
+	if rnd == nil {
+		rnd = NewCryptoSource()
+	}
+	return &RawStore{
+		store: storage.NewMemStore(name, capacity, payloadSize, meter),
+		size:  payloadSize,
+		meter: meter,
+		rand:  rnd,
+	}, nil
+}
+
+// Read implements ORAM.
+func (r *RawStore) Read(key uint64) ([]byte, error) {
+	data, err := r.store.Read(int64(key))
+	if err != nil {
+		return nil, err
+	}
+	if r.meter != nil {
+		r.meter.CountRound()
+	}
+	return data, nil
+}
+
+// Write implements ORAM.
+func (r *RawStore) Write(key uint64, payload []byte) error {
+	if len(payload) > r.size {
+		return fmt.Errorf("oram: payload %d exceeds block size %d", len(payload), r.size)
+	}
+	buf := make([]byte, r.size)
+	copy(buf, payload)
+	if r.meter != nil {
+		r.meter.CountRound()
+	}
+	return r.store.Write(int64(key), buf)
+}
+
+// Update implements ORAM as a read followed by a write (two transfers; the
+// raw baseline does not hide anything).
+func (r *RawStore) Update(key uint64, fn func(payload []byte) error) ([]byte, error) {
+	data, err := r.Read(key)
+	if err != nil {
+		return nil, err
+	}
+	if err := fn(data); err != nil {
+		return nil, err
+	}
+	if err := r.Write(key, data); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// DummyAccess implements ORAM; the raw baseline never issues dummies, but
+// for interface completeness it reads a random block.
+func (r *RawStore) DummyAccess() error {
+	_, err := r.Read(uint64(r.rand.Uint64() % uint64(r.store.Len())))
+	return err
+}
+
+// PayloadSize implements ORAM.
+func (r *RawStore) PayloadSize() int { return r.size }
+
+// Capacity implements ORAM.
+func (r *RawStore) Capacity() int64 { return r.store.Len() }
+
+// AccessesPerOp implements ORAM.
+func (r *RawStore) AccessesPerOp() int { return 1 }
+
+// ClientBytes implements ORAM; the raw client keeps no state.
+func (r *RawStore) ClientBytes() int64 { return 0 }
+
+// ServerBytes implements ORAM.
+func (r *RawStore) ServerBytes() int64 { return r.store.SizeBytes() }
+
+// BulkLoad stores payloads[i] under key i, mirroring PathORAM.BulkLoad.
+func (r *RawStore) BulkLoad(payloads [][]byte) error {
+	for i, p := range payloads {
+		buf := make([]byte, r.size)
+		copy(buf, p)
+		if err := r.store.Write(int64(i), buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}

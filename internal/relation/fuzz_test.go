@@ -1,0 +1,29 @@
+package relation
+
+import "testing"
+
+// FuzzDecode hardens tuple decoding against arbitrary record bytes.
+func FuzzDecode(f *testing.F) {
+	s := Schema{Table: "f", Columns: []string{"a", "b"}, PayloadBytes: 4}
+	buf := make([]byte, s.TupleSize())
+	if err := Encode(s, Tuple{Values: []int64{1, -2}, Payload: []byte{9}}, buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append([]byte(nil), buf...))
+	f.Add([]byte{})
+	f.Add(make([]byte, s.TupleSize()))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tu, ok, err := Decode(s, data)
+		if err != nil {
+			return
+		}
+		if !ok {
+			return
+		}
+		// Decoded tuples re-encode cleanly.
+		out := make([]byte, s.TupleSize())
+		if err := Encode(s, tu, out); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+	})
+}

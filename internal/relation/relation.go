@@ -1,0 +1,149 @@
+// Package relation defines the plaintext relational model the client works
+// with before encryption: schemas, fixed-width tuples, and their byte
+// encodings inside fixed-size blocks. Attribute values are int64 (join keys
+// in the paper's workloads are integer keys); each tuple may carry an opaque
+// payload that pads it to a realistic width (TPC-H rows are 100–200 bytes).
+package relation
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// Schema names a table and its columns.
+type Schema struct {
+	Table   string
+	Columns []string
+	// PayloadBytes pads each encoded tuple beyond its column values to model
+	// realistic row widths.
+	PayloadBytes int
+}
+
+// Col returns the index of the named column, or -1.
+func (s Schema) Col(name string) int {
+	for i, c := range s.Columns {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// MustCol is Col but panics on unknown columns — schema references in query
+// definitions are programmer errors, not runtime conditions.
+func (s Schema) MustCol(name string) int {
+	i := s.Col(name)
+	if i < 0 {
+		panic(fmt.Sprintf("relation: table %s has no column %q (have %s)",
+			s.Table, name, strings.Join(s.Columns, ",")))
+	}
+	return i
+}
+
+// TupleSize returns the encoded byte width of one tuple: a real/dummy flag,
+// the column values, and the payload padding.
+func (s Schema) TupleSize() int { return 1 + 8*len(s.Columns) + s.PayloadBytes }
+
+// Tuple is one row: column values plus optional opaque payload.
+type Tuple struct {
+	Values  []int64
+	Payload []byte
+}
+
+// Relation is a plaintext table held client-side before upload.
+type Relation struct {
+	Schema Schema
+	Tuples []Tuple
+}
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.Tuples) }
+
+// Encode serializes t under schema s into dst (which must be at least
+// s.TupleSize() bytes): flag=1, values, payload.
+func Encode(s Schema, t Tuple, dst []byte) error {
+	if len(t.Values) != len(s.Columns) {
+		return fmt.Errorf("relation: tuple has %d values, schema %s has %d columns",
+			len(t.Values), s.Table, len(s.Columns))
+	}
+	if len(t.Payload) > s.PayloadBytes {
+		return fmt.Errorf("relation: payload %d exceeds schema payload %d", len(t.Payload), s.PayloadBytes)
+	}
+	if len(dst) < s.TupleSize() {
+		return fmt.Errorf("relation: encode buffer %d < tuple size %d", len(dst), s.TupleSize())
+	}
+	dst[0] = 1
+	for i, v := range t.Values {
+		binary.LittleEndian.PutUint64(dst[1+8*i:], uint64(v))
+	}
+	pad := dst[1+8*len(t.Values) : s.TupleSize()]
+	for i := range pad {
+		pad[i] = 0
+	}
+	copy(pad, t.Payload)
+	return nil
+}
+
+// EncodeDummy writes a dummy tuple marker into dst.
+func EncodeDummy(s Schema, dst []byte) error {
+	if len(dst) < s.TupleSize() {
+		return fmt.Errorf("relation: encode buffer %d < tuple size %d", len(dst), s.TupleSize())
+	}
+	for i := 0; i < s.TupleSize(); i++ {
+		dst[i] = 0
+	}
+	return nil
+}
+
+// IsDummy reports whether an encoded tuple is a dummy.
+func IsDummy(enc []byte) bool { return len(enc) == 0 || enc[0] == 0 }
+
+// Decode parses an encoded tuple under schema s. Decoding a dummy returns
+// ok=false.
+func Decode(s Schema, enc []byte) (Tuple, bool, error) {
+	if len(enc) < s.TupleSize() {
+		return Tuple{}, false, fmt.Errorf("relation: decode buffer %d < tuple size %d", len(enc), s.TupleSize())
+	}
+	if enc[0] == 0 {
+		return Tuple{}, false, nil
+	}
+	t := Tuple{Values: make([]int64, len(s.Columns))}
+	for i := range t.Values {
+		t.Values[i] = int64(binary.LittleEndian.Uint64(enc[1+8*i:]))
+	}
+	if s.PayloadBytes > 0 {
+		t.Payload = append([]byte(nil), enc[1+8*len(s.Columns):s.TupleSize()]...)
+	}
+	return t, true, nil
+}
+
+// Alias returns a view of the relation under a different table name — the
+// mechanism behind SQL self-joins like "supplier s1, supplier s2". Tuples
+// are shared, not copied.
+func (r *Relation) Alias(name string) *Relation {
+	s := r.Schema
+	s.Table = name
+	return &Relation{Schema: s, Tuples: r.Tuples}
+}
+
+// JoinedSchema returns the schema of the concatenation of the given schemas,
+// as produced by a join: columns are qualified table.column.
+func JoinedSchema(name string, schemas ...Schema) Schema {
+	out := Schema{Table: name}
+	for _, s := range schemas {
+		for _, c := range s.Columns {
+			out.Columns = append(out.Columns, s.Table+"."+c)
+		}
+	}
+	return out
+}
+
+// Concat builds the joined tuple from per-table tuples, in schema order.
+func Concat(tuples ...Tuple) Tuple {
+	var out Tuple
+	for _, t := range tuples {
+		out.Values = append(out.Values, t.Values...)
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var testSchema = Schema{
+	Table:        "t",
+	Columns:      []string{"a", "b", "c"},
+	PayloadBytes: 20,
+}
+
+func TestSchemaCol(t *testing.T) {
+	if testSchema.Col("b") != 1 {
+		t.Fatal("Col(b)")
+	}
+	if testSchema.Col("zzz") != -1 {
+		t.Fatal("Col(zzz)")
+	}
+	if testSchema.MustCol("c") != 2 {
+		t.Fatal("MustCol(c)")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustCol of unknown column did not panic")
+		}
+	}()
+	testSchema.MustCol("nope")
+}
+
+func TestTupleSize(t *testing.T) {
+	if got := testSchema.TupleSize(); got != 1+24+20 {
+		t.Fatalf("TupleSize = %d", got)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tu := Tuple{Values: []int64{1, -2, 1 << 40}, Payload: []byte("hello")}
+	buf := make([]byte, testSchema.TupleSize())
+	if err := Encode(testSchema, tu, buf); err != nil {
+		t.Fatal(err)
+	}
+	if IsDummy(buf) {
+		t.Fatal("real tuple decoded as dummy")
+	}
+	got, ok, err := Decode(testSchema, buf)
+	if err != nil || !ok {
+		t.Fatalf("decode: ok=%v err=%v", ok, err)
+	}
+	for i := range tu.Values {
+		if got.Values[i] != tu.Values[i] {
+			t.Fatalf("value %d = %d", i, got.Values[i])
+		}
+	}
+	if string(got.Payload[:5]) != "hello" {
+		t.Fatalf("payload %q", got.Payload[:5])
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	buf := make([]byte, testSchema.TupleSize())
+	if err := Encode(testSchema, Tuple{Values: []int64{1}}, buf); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	if err := Encode(testSchema, Tuple{Values: []int64{1, 2, 3}, Payload: make([]byte, 21)}, buf); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+	if err := Encode(testSchema, Tuple{Values: []int64{1, 2, 3}}, make([]byte, 4)); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+}
+
+func TestDummyEncoding(t *testing.T) {
+	buf := make([]byte, testSchema.TupleSize())
+	if err := Encode(testSchema, Tuple{Values: []int64{9, 9, 9}}, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeDummy(testSchema, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !IsDummy(buf) {
+		t.Fatal("dummy not detected")
+	}
+	_, ok, err := Decode(testSchema, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("dummy decoded as real")
+	}
+	if err := EncodeDummy(testSchema, make([]byte, 3)); err == nil {
+		t.Fatal("short dummy buffer accepted")
+	}
+	if _, _, err := Decode(testSchema, make([]byte, 3)); err == nil {
+		t.Fatal("short decode buffer accepted")
+	}
+}
+
+func TestEncodeZeroesStalePayload(t *testing.T) {
+	buf := make([]byte, testSchema.TupleSize())
+	if err := Encode(testSchema, Tuple{Values: []int64{1, 2, 3}, Payload: []byte("longer-payload-data")}, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := Encode(testSchema, Tuple{Values: []int64{1, 2, 3}, Payload: []byte("x")}, buf); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Decode(testSchema, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Payload[0] != 'x' || got.Payload[1] != 0 {
+		t.Fatalf("stale payload bytes: %q", got.Payload)
+	}
+}
+
+func TestJoinedSchemaAndConcat(t *testing.T) {
+	s1 := Schema{Table: "x", Columns: []string{"a", "b"}}
+	s2 := Schema{Table: "y", Columns: []string{"c"}}
+	j := JoinedSchema("out", s1, s2)
+	want := []string{"x.a", "x.b", "y.c"}
+	if len(j.Columns) != 3 {
+		t.Fatalf("columns %v", j.Columns)
+	}
+	for i, c := range want {
+		if j.Columns[i] != c {
+			t.Fatalf("col %d = %s", i, j.Columns[i])
+		}
+	}
+	tu := Concat(Tuple{Values: []int64{1, 2}}, Tuple{Values: []int64{3}})
+	if len(tu.Values) != 3 || tu.Values[2] != 3 {
+		t.Fatalf("concat %v", tu.Values)
+	}
+}
+
+func TestEncodeDecodeQuick(t *testing.T) {
+	s := Schema{Table: "q", Columns: []string{"a", "b"}, PayloadBytes: 8}
+	f := func(a, b int64, pl [8]byte) bool {
+		buf := make([]byte, s.TupleSize())
+		if err := Encode(s, Tuple{Values: []int64{a, b}, Payload: pl[:]}, buf); err != nil {
+			return false
+		}
+		got, ok, err := Decode(s, buf)
+		if err != nil || !ok {
+			return false
+		}
+		if got.Values[0] != a || got.Values[1] != b {
+			return false
+		}
+		for i := range pl {
+			if got.Payload[i] != pl[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(5))}); err != nil {
+		t.Fatal(err)
+	}
+}

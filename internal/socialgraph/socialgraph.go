@@ -1,0 +1,215 @@
+// Package socialgraph generates the Twitter-like follower workload of the
+// paper's second dataset (Section 9.1): users split into "popular",
+// "normal", and "inactive" classes, with one friendship-link table per
+// class (each record is a directed edge with a source and destination user
+// ID), plus the query definitions SE1–SE3 and SM1–SM3 of Appendix B.
+//
+// The original dataset (Cha et al.'s billion-edge Twitter crawl, sampled to
+// 5k–200k users) is replaced by a seeded synthetic generator reproducing
+// the properties the queries exercise: a small popular class that attracts
+// most follows (heavy in-degree skew) and class-dependent activity
+// (out-degree): popular and normal users follow actively, inactive users
+// follow few. See DESIGN.md §3.
+package socialgraph
+
+import (
+	"math/rand"
+
+	"oblivjoin/internal/jointree"
+	"oblivjoin/internal/relation"
+)
+
+// Config sizes the generated graph.
+type Config struct {
+	// Users is the number of sampled users; 0 means 2000.
+	Users int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+func (c Config) users() int {
+	if c.Users <= 0 {
+		return 2000
+	}
+	return c.Users
+}
+
+// Class proportions and behavior, loosely following Cha et al.'s analysis:
+// ~2% of accounts are popular, ~58% normal, ~40% inactive; 70% of follow
+// edges point at popular accounts.
+const (
+	popularFrac     = 0.02
+	normalFrac      = 0.58
+	popularBias     = 0.70
+	popularFollows  = 12
+	normalFollows   = 6
+	inactiveFollows = 1
+)
+
+// DB holds the three per-class edge tables. Each table's rows are the
+// follow edges whose source user belongs to that class.
+type DB struct {
+	Popular  *relation.Relation // "popular-user"
+	Normal   *relation.Relation // "normal-user"
+	Inactive *relation.Relation // "inactive-user"
+	// NumUsers is the sampled user count.
+	NumUsers int
+}
+
+// Tables lists the three relations.
+func (db *DB) Tables() []*relation.Relation {
+	return []*relation.Relation{db.Popular, db.Normal, db.Inactive}
+}
+
+// RawBytes returns the total plaintext size.
+func (db *DB) RawBytes() int64 {
+	var total int64
+	for _, t := range db.Tables() {
+		total += int64(t.Len()) * int64(t.Schema.TupleSize())
+	}
+	return total
+}
+
+func edgeSchema(name string) relation.Schema {
+	// Two 8-byte IDs and no padding: the paper notes social-graph tuples are
+	// "2 integers", far below the block size.
+	return relation.Schema{Table: name, Columns: []string{"src", "dst"}}
+}
+
+// Generate builds the graph.
+func Generate(cfg Config) *DB {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	n := cfg.users()
+	nPop := int(float64(n) * popularFrac)
+	if nPop < 1 {
+		nPop = 1
+	}
+	nNorm := int(float64(n) * normalFrac)
+	if nPop+nNorm >= n {
+		nNorm = n - nPop - 1
+		if nNorm < 0 {
+			nNorm = 0
+		}
+	}
+	// User IDs: [0, nPop) popular, [nPop, nPop+nNorm) normal, rest inactive.
+	pickDst := func(src int) int64 {
+		for {
+			var d int
+			if r.Float64() < popularBias {
+				d = r.Intn(nPop)
+			} else {
+				d = r.Intn(n)
+			}
+			if d != src {
+				return int64(d)
+			}
+		}
+	}
+	db := &DB{
+		Popular:  &relation.Relation{Schema: edgeSchema("popular-user")},
+		Normal:   &relation.Relation{Schema: edgeSchema("normal-user")},
+		Inactive: &relation.Relation{Schema: edgeSchema("inactive-user")},
+		NumUsers: n,
+	}
+	addEdges := func(rel *relation.Relation, src, follows int) {
+		k := follows
+		if k > 0 {
+			k = 1 + r.Intn(2*follows) // mean ≈ follows, some variance
+		}
+		for e := 0; e < k; e++ {
+			rel.Tuples = append(rel.Tuples, relation.Tuple{
+				Values: []int64{int64(src), pickDst(src)},
+			})
+		}
+	}
+	for u := 0; u < n; u++ {
+		switch {
+		case u < nPop:
+			addEdges(db.Popular, u, popularFollows)
+		case u < nPop+nNorm:
+			addEdges(db.Normal, u, normalFollows)
+		default:
+			addEdges(db.Inactive, u, inactiveFollows)
+		}
+	}
+	return db
+}
+
+// BinaryQuery is a two-table equi-join instance.
+type BinaryQuery struct {
+	Name   string
+	R1, R2 *relation.Relation
+	A1, A2 string
+}
+
+// MultiQuery is an acyclic multiway equi-join instance.
+type MultiQuery struct {
+	Name  string
+	Rels  map[string]*relation.Relation
+	Query jointree.Query
+}
+
+// SE1: a popular user followed by an inactive user (p.dst = i.src).
+func (db *DB) SE1() BinaryQuery {
+	return BinaryQuery{Name: "SE1", R1: db.Popular, R2: db.Inactive, A1: "dst", A2: "src"}
+}
+
+// SE2: a popular user followed by a normal user (p.dst = n.src).
+func (db *DB) SE2() BinaryQuery {
+	return BinaryQuery{Name: "SE2", R1: db.Popular, R2: db.Normal, A1: "dst", A2: "src"}
+}
+
+// SE3: a normal user followed by a popular user (p.src = n.dst).
+func (db *DB) SE3() BinaryQuery {
+	return BinaryQuery{Name: "SE3", R1: db.Popular, R2: db.Normal, A1: "src", A2: "dst"}
+}
+
+// SM1: p.dst = n.src AND n.dst = i.src.
+func (db *DB) SM1() MultiQuery {
+	return MultiQuery{Name: "SM1",
+		Rels: map[string]*relation.Relation{
+			"popular-user": db.Popular, "normal-user": db.Normal, "inactive-user": db.Inactive,
+		},
+		Query: jointree.Query{
+			Tables: []string{"popular-user", "normal-user", "inactive-user"},
+			Preds: []jointree.Pred{
+				{Left: "popular-user", LeftAttr: "dst", Right: "normal-user", RightAttr: "src"},
+				{Left: "normal-user", LeftAttr: "dst", Right: "inactive-user", RightAttr: "src"},
+			},
+		},
+	}
+}
+
+// SM2: p.dst = i.src AND n.dst = i.src.
+func (db *DB) SM2() MultiQuery {
+	return MultiQuery{Name: "SM2",
+		Rels: map[string]*relation.Relation{
+			"popular-user": db.Popular, "normal-user": db.Normal, "inactive-user": db.Inactive,
+		},
+		Query: jointree.Query{
+			Tables: []string{"inactive-user", "popular-user", "normal-user"},
+			Preds: []jointree.Pred{
+				{Left: "popular-user", LeftAttr: "dst", Right: "inactive-user", RightAttr: "src"},
+				{Left: "normal-user", LeftAttr: "dst", Right: "inactive-user", RightAttr: "src"},
+			},
+		},
+	}
+}
+
+// SM3: i1.dst = p.src AND i1.dst = n.src AND i1.dst = i2.src.
+func (db *DB) SM3() MultiQuery {
+	return MultiQuery{Name: "SM3",
+		Rels: map[string]*relation.Relation{
+			"i1": db.Inactive.Alias("i1"), "i2": db.Inactive.Alias("i2"),
+			"popular-user": db.Popular, "normal-user": db.Normal,
+		},
+		Query: jointree.Query{
+			Tables: []string{"i1", "popular-user", "normal-user", "i2"},
+			Preds: []jointree.Pred{
+				{Left: "i1", LeftAttr: "dst", Right: "popular-user", RightAttr: "src"},
+				{Left: "i1", LeftAttr: "dst", Right: "normal-user", RightAttr: "src"},
+				{Left: "i1", LeftAttr: "dst", Right: "i2", RightAttr: "src"},
+			},
+		},
+	}
+}

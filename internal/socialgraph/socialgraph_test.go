@@ -1,0 +1,95 @@
+package socialgraph
+
+import (
+	"testing"
+
+	"oblivjoin/internal/core"
+	"oblivjoin/internal/jointree"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Users: 500, Seed: 1})
+	b := Generate(Config{Users: 500, Seed: 1})
+	if a.RawBytes() != b.RawBytes() {
+		t.Fatal("same seed, different sizes")
+	}
+	if a.Popular.Len() != b.Popular.Len() {
+		t.Fatal("same seed, different popular edges")
+	}
+}
+
+func TestClassStructure(t *testing.T) {
+	db := Generate(Config{Users: 1000, Seed: 2})
+	if db.NumUsers != 1000 {
+		t.Fatalf("users %d", db.NumUsers)
+	}
+	// All three tables nonempty, normal table the biggest (most users x
+	// medium activity).
+	if db.Popular.Len() == 0 || db.Normal.Len() == 0 || db.Inactive.Len() == 0 {
+		t.Fatal("empty class table")
+	}
+	if db.Normal.Len() <= db.Popular.Len() {
+		t.Fatalf("normal (%d) should out-edge popular (%d)", db.Normal.Len(), db.Popular.Len())
+	}
+	// In-degree skew: popular users (IDs < 2% of range) attract most edges.
+	popCut := int64(float64(db.NumUsers) * popularFrac)
+	toPop, total := 0, 0
+	for _, rel := range db.Tables() {
+		dst := rel.Schema.MustCol("dst")
+		for _, tu := range rel.Tuples {
+			total++
+			if tu.Values[dst] < popCut {
+				toPop++
+			}
+		}
+	}
+	if frac := float64(toPop) / float64(total); frac < 0.5 {
+		t.Fatalf("only %.2f of edges point at popular users", frac)
+	}
+}
+
+func TestNoSelfLoops(t *testing.T) {
+	db := Generate(Config{Users: 300, Seed: 3})
+	for _, rel := range db.Tables() {
+		src, dst := rel.Schema.MustCol("src"), rel.Schema.MustCol("dst")
+		for _, tu := range rel.Tuples {
+			if tu.Values[src] == tu.Values[dst] {
+				t.Fatalf("self-loop %v in %s", tu.Values, rel.Schema.Table)
+			}
+		}
+	}
+}
+
+func TestQueriesWellFormed(t *testing.T) {
+	db := Generate(Config{Users: 800, Seed: 4})
+	for _, q := range []BinaryQuery{db.SE1(), db.SE2(), db.SE3()} {
+		if q.R1.Schema.Col(q.A1) < 0 || q.R2.Schema.Col(q.A2) < 0 {
+			t.Fatalf("%s references missing attribute", q.Name)
+		}
+		if got := core.ReferenceEquiJoin(q.R1, q.R2, q.A1, q.A2); len(got) == 0 {
+			t.Fatalf("%s yields empty result", q.Name)
+		}
+	}
+	for _, q := range []MultiQuery{db.SM1(), db.SM2(), db.SM3()} {
+		tree, err := jointree.Build(q.Query)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		if _, err := core.ReferenceMultiwayJoin(q.Rels, tree); err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	db := Generate(Config{Seed: 5})
+	if db.NumUsers != 2000 {
+		t.Fatalf("default users %d", db.NumUsers)
+	}
+	// The paper's default sample (20k users) is ~4.5 MB; per-user raw size
+	// should be in the same ballpark (a few hundred bytes of edges each).
+	perUser := float64(db.RawBytes()) / float64(db.NumUsers)
+	if perUser < 20 || perUser > 2000 {
+		t.Fatalf("raw bytes per user %.1f out of plausible range", perUser)
+	}
+}

@@ -1,0 +1,188 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// AccessKind distinguishes the two server-visible operations.
+type AccessKind uint8
+
+// Access kinds.
+const (
+	KindRead AccessKind = iota
+	KindWrite
+)
+
+func (k AccessKind) String() string {
+	if k == KindRead {
+		return "read"
+	}
+	return "write"
+}
+
+// Access is one server-visible block operation. A sequence of Accesses is
+// exactly the Trace of Definition 1 in the paper (location + traffic).
+type Access struct {
+	Store string
+	Kind  AccessKind
+	Index int64
+	Bytes int
+}
+
+// Meter accumulates traffic statistics across one or more stores. It is safe
+// for concurrent use. When tracing is enabled it also records the full
+// access sequence for obliviousness testing.
+type Meter struct {
+	mu         sync.Mutex
+	reads      int64
+	writes     int64
+	bytesRead  int64
+	bytesWrite int64
+	rounds     int64
+	tracing    bool
+	trace      []Access
+}
+
+// NewMeter returns an empty meter.
+func NewMeter() *Meter { return &Meter{} }
+
+// Stats is a snapshot of a Meter.
+type Stats struct {
+	BlockReads    int64
+	BlockWrites   int64
+	BytesRead     int64
+	BytesWritten  int64
+	NetworkRounds int64
+}
+
+// BlocksMoved returns total block operations.
+func (s Stats) BlocksMoved() int64 { return s.BlockReads + s.BlockWrites }
+
+// BytesMoved returns total bytes transferred in either direction.
+func (s Stats) BytesMoved() int64 { return s.BytesRead + s.BytesWritten }
+
+// Sub returns s - o, the traffic between two snapshots.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		BlockReads:    s.BlockReads - o.BlockReads,
+		BlockWrites:   s.BlockWrites - o.BlockWrites,
+		BytesRead:     s.BytesRead - o.BytesRead,
+		BytesWritten:  s.BytesWritten - o.BytesWritten,
+		NetworkRounds: s.NetworkRounds - o.NetworkRounds,
+	}
+}
+
+// Add returns s + o.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		BlockReads:    s.BlockReads + o.BlockReads,
+		BlockWrites:   s.BlockWrites + o.BlockWrites,
+		BytesRead:     s.BytesRead + o.BytesRead,
+		BytesWritten:  s.BytesWritten + o.BytesWritten,
+		NetworkRounds: s.NetworkRounds + o.NetworkRounds,
+	}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("reads=%d writes=%d bytes=%d rounds=%d",
+		s.BlockReads, s.BlockWrites, s.BytesMoved(), s.NetworkRounds)
+}
+
+func (m *Meter) countRead(store string, idx int64, n int) {
+	m.mu.Lock()
+	m.reads++
+	m.bytesRead += int64(n)
+	if m.tracing {
+		m.trace = append(m.trace, Access{Store: store, Kind: KindRead, Index: idx, Bytes: n})
+	}
+	m.mu.Unlock()
+}
+
+func (m *Meter) countWrite(store string, idx int64, n int) {
+	m.mu.Lock()
+	m.writes++
+	m.bytesWrite += int64(n)
+	if m.tracing {
+		m.trace = append(m.trace, Access{Store: store, Kind: KindWrite, Index: idx, Bytes: n})
+	}
+	m.mu.Unlock()
+}
+
+// CountRound records one client↔server round trip. ORAM protocols batch a
+// whole path per round, so the ORAM layer calls this once per path access.
+func (m *Meter) CountRound() {
+	m.mu.Lock()
+	m.rounds++
+	m.mu.Unlock()
+}
+
+// Snapshot returns the current counters.
+func (m *Meter) Snapshot() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{
+		BlockReads:    m.reads,
+		BlockWrites:   m.writes,
+		BytesRead:     m.bytesRead,
+		BytesWritten:  m.bytesWrite,
+		NetworkRounds: m.rounds,
+	}
+}
+
+// Reset zeroes all counters and drops any recorded trace.
+func (m *Meter) Reset() {
+	m.mu.Lock()
+	m.reads, m.writes, m.bytesRead, m.bytesWrite, m.rounds = 0, 0, 0, 0, 0
+	m.trace = nil
+	m.mu.Unlock()
+}
+
+// SetTracing enables or disables full access-sequence recording.
+func (m *Meter) SetTracing(on bool) {
+	m.mu.Lock()
+	m.tracing = on
+	if !on {
+		m.trace = nil
+	}
+	m.mu.Unlock()
+}
+
+// Trace returns a copy of the recorded access sequence.
+func (m *Meter) Trace() []Access {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Access, len(m.trace))
+	copy(out, m.trace)
+	return out
+}
+
+// CostModel converts traffic counters into a simulated query time. The
+// defaults mirror the paper's testbed: a 1 Gbps link between client and
+// server plus a per-round-trip latency.
+type CostModel struct {
+	// BandwidthBps is the link bandwidth in bits per second.
+	BandwidthBps float64
+	// RTT is the per-network-round latency.
+	RTT time.Duration
+}
+
+// DefaultCostModel matches the paper's 1 Gbps setup with a LAN-class RTT.
+func DefaultCostModel() CostModel {
+	return CostModel{BandwidthBps: 1e9, RTT: 500 * time.Microsecond}
+}
+
+// Cost returns the simulated wall-clock time for the given traffic.
+func (c CostModel) Cost(s Stats) time.Duration {
+	if c.BandwidthBps <= 0 {
+		c.BandwidthBps = 1e9
+	}
+	transfer := time.Duration(float64(s.BytesMoved()*8) / c.BandwidthBps * float64(time.Second))
+	return transfer + time.Duration(s.NetworkRounds)*c.RTT
+}
+
+// CostSeconds is Cost expressed in seconds, convenient for figure output.
+func (c CostModel) CostSeconds(s Stats) float64 {
+	return c.Cost(s).Seconds()
+}

@@ -1,0 +1,191 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMemStoreReadWrite(t *testing.T) {
+	m := NewMeter()
+	s := NewMemStore("t", 8, 32, m)
+	if s.Len() != 8 || s.BlockSize() != 32 {
+		t.Fatalf("geometry: len=%d bs=%d", s.Len(), s.BlockSize())
+	}
+	blk := bytes.Repeat([]byte{0xAB}, 32)
+	if err := s.Write(3, blk); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, blk) {
+		t.Fatal("read back mismatch")
+	}
+	// Unwritten slots read as zeros.
+	zero, err := s.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(zero, make([]byte, 32)) {
+		t.Fatal("fresh slot not zero")
+	}
+}
+
+func TestMemStoreBounds(t *testing.T) {
+	s := NewMemStore("t", 4, 16, nil)
+	if _, err := s.Read(-1); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("read -1: %v", err)
+	}
+	if _, err := s.Read(4); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("read 4: %v", err)
+	}
+	if err := s.Write(4, make([]byte, 16)); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("write 4: %v", err)
+	}
+	if err := s.Write(0, make([]byte, 15)); err == nil {
+		t.Error("short write accepted")
+	}
+}
+
+func TestMemStoreReadReturnsCopy(t *testing.T) {
+	s := NewMemStore("t", 1, 8, nil)
+	if err := s.Write(0, []byte("12345678")); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := s.Read(0)
+	a[0] = 'X'
+	b, _ := s.Read(0)
+	if b[0] != '1' {
+		t.Fatal("Read did not return a copy")
+	}
+}
+
+func TestMeterCountsAndTrace(t *testing.T) {
+	m := NewMeter()
+	m.SetTracing(true)
+	s := NewMemStore("data", 4, 16, m)
+	blk := make([]byte, 16)
+	if err := s.Write(1, blk); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Read(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Read(2); err != nil {
+		t.Fatal(err)
+	}
+	m.CountRound()
+	st := m.Snapshot()
+	if st.BlockReads != 2 || st.BlockWrites != 1 {
+		t.Fatalf("counts: %+v", st)
+	}
+	if st.BytesRead != 32 || st.BytesWritten != 16 {
+		t.Fatalf("bytes: %+v", st)
+	}
+	if st.NetworkRounds != 1 {
+		t.Fatalf("rounds: %+v", st)
+	}
+	if st.BlocksMoved() != 3 || st.BytesMoved() != 48 {
+		t.Fatalf("aggregates: %+v", st)
+	}
+	tr := m.Trace()
+	want := []Access{
+		{Store: "data", Kind: KindWrite, Index: 1, Bytes: 16},
+		{Store: "data", Kind: KindRead, Index: 1, Bytes: 16},
+		{Store: "data", Kind: KindRead, Index: 2, Bytes: 16},
+	}
+	if len(tr) != len(want) {
+		t.Fatalf("trace length %d", len(tr))
+	}
+	for i := range want {
+		if tr[i] != want[i] {
+			t.Errorf("trace[%d] = %+v, want %+v", i, tr[i], want[i])
+		}
+	}
+}
+
+func TestMeterReset(t *testing.T) {
+	m := NewMeter()
+	m.SetTracing(true)
+	s := NewMemStore("x", 2, 8, m)
+	_ = s.Write(0, make([]byte, 8))
+	m.Reset()
+	if st := m.Snapshot(); st != (Stats{}) {
+		t.Fatalf("after reset: %+v", st)
+	}
+	if len(m.Trace()) != 0 {
+		t.Fatal("trace survived reset")
+	}
+}
+
+func TestStatsSubAdd(t *testing.T) {
+	a := Stats{BlockReads: 10, BlockWrites: 5, BytesRead: 100, BytesWritten: 50, NetworkRounds: 3}
+	b := Stats{BlockReads: 4, BlockWrites: 2, BytesRead: 40, BytesWritten: 20, NetworkRounds: 1}
+	d := a.Sub(b)
+	if d.BlockReads != 6 || d.BlockWrites != 3 || d.BytesRead != 60 || d.BytesWritten != 30 || d.NetworkRounds != 2 {
+		t.Fatalf("sub: %+v", d)
+	}
+	if got := d.Add(b); got != a {
+		t.Fatalf("add: %+v", got)
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	cm := CostModel{BandwidthBps: 8e6, RTT: time.Millisecond} // 1 MB/s
+	s := Stats{BytesRead: 500_000, BytesWritten: 500_000, NetworkRounds: 100}
+	// 1 MB at 1 MB/s = 1 s, plus 100 ms latency.
+	got := cm.Cost(s)
+	want := time.Second + 100*time.Millisecond
+	if got != want {
+		t.Fatalf("cost = %v, want %v", got, want)
+	}
+	if sec := cm.CostSeconds(s); sec < 1.09 || sec > 1.11 {
+		t.Fatalf("cost seconds = %v", sec)
+	}
+}
+
+func TestCostModelZeroBandwidthDefaults(t *testing.T) {
+	cm := CostModel{}
+	s := Stats{BytesRead: 1e9 / 8}
+	if got := cm.Cost(s); got != time.Second {
+		t.Fatalf("default bandwidth cost = %v", got)
+	}
+}
+
+func TestMemStoreConcurrentAccess(t *testing.T) {
+	m := NewMeter()
+	s := NewMemStore("c", 64, 16, m)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			blk := bytes.Repeat([]byte{byte(g)}, 16)
+			for i := int64(0); i < 64; i++ {
+				if err := s.Write(i, blk); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.Read(i); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := m.Snapshot()
+	if st.BlockReads != 8*64 || st.BlockWrites != 8*64 {
+		t.Fatalf("concurrent counts: %+v", st)
+	}
+}
+
+func TestAccessKindString(t *testing.T) {
+	if KindRead.String() != "read" || KindWrite.String() != "write" {
+		t.Fatal("AccessKind strings")
+	}
+}

@@ -1,0 +1,221 @@
+package table
+
+import (
+	"fmt"
+
+	"oblivjoin/internal/btree"
+	"oblivjoin/internal/relation"
+)
+
+// Row is the result of one tuple retrieval: the decoded tuple, the index
+// entry it came from (when retrieved through an index), and OK=false for a
+// dummy / past-the-end retrieval (the paper's ⊥).
+type Row struct {
+	Tuple relation.Tuple
+	Entry btree.Entry
+	OK    bool
+}
+
+// ScanCursor iterates a table's data blocks in storage order — the outer
+// (root) table role of the index nested-loop joins, where "we retrieve
+// tuples from T1 one by one according to sequential block IDs". Every Next
+// and Dummy performs exactly one data-ORAM access.
+type ScanCursor struct {
+	t   *StoredTable
+	pos int
+}
+
+// NewScanCursor returns a cursor at the first tuple.
+func NewScanCursor(t *StoredTable) *ScanCursor { return &ScanCursor{t: t} }
+
+// Next retrieves the next tuple, or a dummy once past the end.
+func (c *ScanCursor) Next() (Row, error) {
+	if c.pos >= c.t.NumTuples() {
+		if err := c.t.DummyData(); err != nil {
+			return Row{}, err
+		}
+		return Row{}, nil
+	}
+	ref := btree.Ref{Block: uint64(c.pos / c.t.perBlock), Slot: c.pos % c.t.perBlock}
+	tu, ok, err := c.t.ReadTuple(ref)
+	if err != nil {
+		return Row{}, err
+	}
+	if !ok {
+		return Row{}, fmt.Errorf("table: scan hit dummy slot at %d", c.pos)
+	}
+	c.pos++
+	return Row{Tuple: tu, OK: true}, nil
+}
+
+// Dummy performs an access indistinguishable from Next without advancing.
+func (c *ScanCursor) Dummy() error { return c.t.DummyData() }
+
+// Pos returns the number of tuples consumed.
+func (c *ScanCursor) Pos() int { return c.pos }
+
+// LeafCursor iterates a table in index (attribute) order by walking the
+// B-tree leaf level — the sort-merge join's retrieval primitive: each
+// retrieval is one index-ORAM access (the leaf) plus one data-ORAM access,
+// real or dummy, so all retrievals are indistinguishable.
+type LeafCursor struct {
+	t    *StoredTable
+	tree *btree.Tree
+	pos  int64 // ordinal of the next entry to retrieve
+}
+
+// NewLeafCursor returns a cursor over the index on attr, positioned before
+// the first entry.
+func NewLeafCursor(t *StoredTable, attr string) (*LeafCursor, error) {
+	tree, err := t.Index(attr)
+	if err != nil {
+		return nil, err
+	}
+	return &LeafCursor{t: t, tree: tree}, nil
+}
+
+// Next retrieves the tuple at the cursor and advances; past the end it
+// performs the same accesses and returns a dummy Row — the ⊥ tuple that
+// Algorithm 1 ranks behind every real tuple.
+func (c *LeafCursor) Next() (Row, error) {
+	if c.pos >= c.tree.NumEntries() {
+		if err := c.dummyIndex(); err != nil {
+			return Row{}, err
+		}
+		if err := c.t.DummyData(); err != nil {
+			return Row{}, err
+		}
+		return Row{}, nil
+	}
+	ents, err := c.tree.ReadLeaf(c.tree.LeafFor(c.pos))
+	if err != nil {
+		return Row{}, err
+	}
+	ent := ents[int(c.pos)%c.tree.LeafFanoutEntries()]
+	tu, ok, err := c.t.ReadTuple(ent.Ref)
+	if err != nil {
+		return Row{}, err
+	}
+	if !ok {
+		return Row{}, fmt.Errorf("table: leaf entry ord %d points at dummy slot", c.pos)
+	}
+	c.pos++
+	return Row{Tuple: tu, Entry: ent, OK: true}, nil
+}
+
+// Dummy performs accesses indistinguishable from Next without advancing.
+func (c *LeafCursor) Dummy() error {
+	if err := c.dummyIndex(); err != nil {
+		return err
+	}
+	return c.t.DummyData()
+}
+
+func (c *LeafCursor) dummyIndex() error { return c.tree.ORAM().DummyAccess() }
+
+// Pos returns the ordinal of the next entry.
+func (c *LeafCursor) Pos() int64 { return c.pos }
+
+// SeekOrd repositions the cursor (client-side bookkeeping only; Algorithm 1's
+// "tuple[2] := begin" restores a saved position without a retrieval).
+func (c *LeafCursor) SeekOrd(ord int64) { c.pos = ord }
+
+// IndexCursor retrieves tuples through full B-tree descents — the inner
+// table role of the index nested-loop joins. Every operation (seek, advance,
+// or dummy) performs exactly tree.AccessesPerRetrieval() index-ORAM accesses
+// plus one data-ORAM access.
+type IndexCursor struct {
+	t    *StoredTable
+	tree *btree.Tree
+	cur  btree.Entry
+	ok   bool
+}
+
+// NewIndexCursor returns a cursor over the index on attr.
+func NewIndexCursor(t *StoredTable, attr string) (*IndexCursor, error) {
+	tree, err := t.Index(attr)
+	if err != nil {
+		return nil, err
+	}
+	return &IndexCursor{t: t, tree: tree}, nil
+}
+
+// Tree exposes the underlying index (for disable operations).
+func (c *IndexCursor) Tree() *btree.Tree { return c.tree }
+
+// Current returns the entry the cursor rests on.
+func (c *IndexCursor) Current() (btree.Entry, bool) { return c.cur, c.ok }
+
+func (c *IndexCursor) finish(ent btree.Entry, found bool, err error) (Row, error) {
+	if err != nil {
+		return Row{}, err
+	}
+	c.cur, c.ok = ent, found
+	if !found {
+		if derr := c.t.DummyData(); derr != nil {
+			return Row{}, derr
+		}
+		return Row{}, nil
+	}
+	tu, ok, err := c.t.ReadTuple(ent.Ref)
+	if err != nil {
+		return Row{}, err
+	}
+	if !ok {
+		return Row{}, fmt.Errorf("table: entry ord %d points at dummy slot", ent.Ord)
+	}
+	return Row{Tuple: tu, Entry: ent, OK: true}, nil
+}
+
+// SeekGE positions at the first live entry with key >= k and retrieves its
+// tuple (Algorithm 2's getFirst(tuple.key)).
+func (c *IndexCursor) SeekGE(k int64) (Row, error) {
+	return c.finish(c.tree.LookupGE(k))
+}
+
+// SeekOrdGE positions at the first live entry with ordinal >= o (band joins
+// start ascending passes at ordinal 0).
+func (c *IndexCursor) SeekOrdGE(o int64) (Row, error) {
+	return c.finish(c.tree.LookupOrdGE(o))
+}
+
+// SeekOrdLE positions at the last live entry with ordinal <= o (band joins
+// start descending passes at the last entry).
+func (c *IndexCursor) SeekOrdLE(o int64) (Row, error) {
+	return c.finish(c.tree.LookupOrdLE(o))
+}
+
+// Next advances to the next live entry in ordinal order.
+func (c *IndexCursor) Next() (Row, error) {
+	if !c.ok {
+		return Row{}, fmt.Errorf("table: Next on unpositioned cursor")
+	}
+	return c.finish(c.tree.LookupOrdGE(c.cur.Ord + 1))
+}
+
+// Prev advances to the previous live entry in ordinal order.
+func (c *IndexCursor) Prev() (Row, error) {
+	if !c.ok {
+		return Row{}, fmt.Errorf("table: Prev on unpositioned cursor")
+	}
+	return c.finish(c.tree.LookupOrdLE(c.cur.Ord - 1))
+}
+
+// Dummy performs accesses indistinguishable from a seek or advance.
+func (c *IndexCursor) Dummy() error {
+	if err := c.tree.DummyOp(); err != nil {
+		return err
+	}
+	return c.t.DummyData()
+}
+
+// Disable marks the cursor's table entry with the given ordinal disabled and
+// performs the uniform dummy data access that keeps a disable step
+// indistinguishable from a retrieval (Section 6: "a tuple disabling
+// operation, which is indistinguishable from a tuple retrieval").
+func (c *IndexCursor) Disable(ord int64) error {
+	if err := c.tree.Disable(ord); err != nil {
+		return err
+	}
+	return c.t.DummyData()
+}

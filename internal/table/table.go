@@ -1,0 +1,398 @@
+// Package table binds the relational layer to the oblivious storage layer:
+// a StoredTable packs a relation's tuples into fixed-size encrypted data
+// blocks inside an ORAM and integrates B-tree indices over chosen attributes
+// (ORAM+B-tree, Section 4.2 of the paper).
+//
+// Three storage settings are supported, matching the paper's evaluation:
+//
+//   - SepORAM: one Path-ORAM for data blocks and one per index (the default,
+//     "Segmenting ORAM" in Section 4.2);
+//   - OneORAM: all tables' data and index blocks in a single Path-ORAM
+//     (Section 7), built with StoreShared;
+//   - Raw: plaintext blocks with direct addressing — the insecure
+//     "Raw Index" baseline.
+package table
+
+import (
+	"fmt"
+
+	"oblivjoin/internal/btree"
+	"oblivjoin/internal/oram"
+	"oblivjoin/internal/relation"
+	"oblivjoin/internal/storage"
+	"oblivjoin/internal/xcrypto"
+)
+
+// DefaultBlockPayload is the usable bytes per block, matching the paper's
+// B = 4 KB encrypted blocks.
+const DefaultBlockPayload = 4096
+
+// Options configures table storage.
+type Options struct {
+	// BlockPayload is the usable bytes per ORAM block; 0 means
+	// DefaultBlockPayload.
+	BlockPayload int
+	// Meter receives all traffic accounting; may be nil.
+	Meter *storage.Meter
+	// Sealer encrypts blocks; required unless Raw.
+	Sealer *xcrypto.Sealer
+	// Rand supplies ORAM randomness; nil means crypto/rand.
+	Rand oram.LeafSource
+	// CacheIndex enables the paper's "+Cache" mode: all index levels above
+	// the leaves are kept client-side (Δ = 1).
+	CacheIndex bool
+	// WriteBackDescents puts indexes in the uniform read-down/write-up mode
+	// required by the multiway join's disable operations.
+	WriteBackDescents bool
+	// Raw disables encryption and ORAM — the insecure baseline.
+	Raw bool
+	// RecursePosMap outsources Path-ORAM position maps recursively.
+	RecursePosMap bool
+	// Z overrides the Path-ORAM bucket size (0 = default 4).
+	Z int
+	// Scheme selects the ORAM construction. The join algorithms treat the
+	// ORAM as a blackbox (Section 1), so any scheme yields identical results
+	// with different costs.
+	Scheme Scheme
+}
+
+// Scheme identifies an ORAM construction.
+type Scheme int
+
+// Supported ORAM schemes.
+const (
+	// SchemePath is Path-ORAM, the paper's choice.
+	SchemePath Scheme = iota
+	// SchemeLinear is the trivial scan-everything ORAM — O(N) per access
+	// but zero client state; the classic baseline.
+	SchemeLinear
+)
+
+func (o Options) payload() int {
+	if o.BlockPayload == 0 {
+		return DefaultBlockPayload
+	}
+	return o.BlockPayload
+}
+
+// StoredTable is a relation stored in oblivious (or raw) cloud blocks with
+// B-tree indices over selected attributes.
+type StoredTable struct {
+	rel      *relation.Relation
+	opts     Options
+	data     oram.ORAM
+	perBlock int
+	indexes  map[string]*btree.Tree
+}
+
+// Store uploads rel with its own ORAMs (SepORAM setting, or Raw when
+// opts.Raw): one for data blocks and one per indexed attribute.
+func Store(rel *relation.Relation, indexAttrs []string, opts Options) (*StoredTable, error) {
+	t, built, err := prepare(rel, indexAttrs, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Data ORAM.
+	dataBlocks := t.dataBlockCount()
+	dataORAM, err := newStore(rel.Schema.Table+".data", dataBlocks, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := bulkLoad(dataORAM, t.dataPayloads()); err != nil {
+		return nil, err
+	}
+	t.data = dataORAM
+	// One ORAM per index.
+	for _, attr := range indexAttrs {
+		b := built[attr]
+		idxORAM, err := newStore(rel.Schema.Table+".idx."+attr, b.NumNodes(), opts)
+		if err != nil {
+			return nil, err
+		}
+		payloads, err := b.Payloads()
+		if err != nil {
+			return nil, err
+		}
+		if err := bulkLoad(idxORAM, payloads); err != nil {
+			return nil, err
+		}
+		tree, err := btree.New(btree.Config{
+			ORAM:              idxORAM,
+			CacheInternal:     opts.CacheIndex,
+			WriteBackDescents: opts.WriteBackDescents,
+		}, b)
+		if err != nil {
+			return nil, err
+		}
+		t.indexes[attr] = tree
+	}
+	return t, nil
+}
+
+// StoreShared uploads several relations into one shared Path-ORAM — the
+// OneORAM setting of Section 7. indexAttrs maps table name to the attributes
+// to index. The returned map is keyed by table name.
+func StoreShared(rels []*relation.Relation, indexAttrs map[string][]string, opts Options) (map[string]*StoredTable, *oram.PathORAM, error) {
+	if opts.Raw {
+		return nil, nil, fmt.Errorf("table: OneORAM setting is incompatible with Raw")
+	}
+	type piece struct {
+		t     *StoredTable
+		built map[string]*btree.Built
+		attrs []string
+	}
+	pieces := make([]piece, 0, len(rels))
+	var allPayloads [][]byte
+	type span struct{ offset, count int64 }
+	dataSpans := make([]span, len(rels))
+	idxSpans := make([]map[string]span, len(rels))
+
+	for i, rel := range rels {
+		attrs := indexAttrs[rel.Schema.Table]
+		t, built, err := prepare(rel, attrs, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		dataSpans[i] = span{offset: int64(len(allPayloads)), count: t.dataBlockCount()}
+		allPayloads = append(allPayloads, t.dataPayloads()...)
+		idxSpans[i] = make(map[string]span, len(attrs))
+		for _, attr := range attrs {
+			b := built[attr]
+			payloads, err := b.Payloads()
+			if err != nil {
+				return nil, nil, err
+			}
+			idxSpans[i][attr] = span{offset: int64(len(allPayloads)), count: b.NumNodes()}
+			allPayloads = append(allPayloads, payloads...)
+		}
+		pieces = append(pieces, piece{t: t, built: built, attrs: attrs})
+	}
+
+	shared, err := oram.NewPathORAM(oram.PathConfig{
+		Name:          "shared",
+		Capacity:      int64(len(allPayloads)),
+		PayloadSize:   opts.payload(),
+		Z:             opts.Z,
+		Meter:         opts.Meter,
+		Sealer:        opts.Sealer,
+		Rand:          opts.Rand,
+		RecursePosMap: opts.RecursePosMap,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := shared.BulkLoad(allPayloads); err != nil {
+		return nil, nil, err
+	}
+
+	out := make(map[string]*StoredTable, len(rels))
+	for i, p := range pieces {
+		dv, err := oram.NewView(shared, uint64(dataSpans[i].offset), dataSpans[i].count)
+		if err != nil {
+			return nil, nil, err
+		}
+		p.t.data = dv
+		for _, attr := range p.attrs {
+			s := idxSpans[i][attr]
+			iv, err := oram.NewView(shared, uint64(s.offset), s.count)
+			if err != nil {
+				return nil, nil, err
+			}
+			tree, err := btree.New(btree.Config{
+				ORAM:              iv,
+				CacheInternal:     opts.CacheIndex,
+				WriteBackDescents: opts.WriteBackDescents,
+			}, p.built[attr])
+			if err != nil {
+				return nil, nil, err
+			}
+			p.t.indexes[attr] = tree
+		}
+		out[rels[i].Schema.Table] = p.t
+	}
+	return out, shared, nil
+}
+
+// prepare validates the relation, computes geometry, and constructs index
+// node sets (client-side; nothing uploaded yet).
+func prepare(rel *relation.Relation, indexAttrs []string, opts Options) (*StoredTable, map[string]*btree.Built, error) {
+	if rel == nil {
+		return nil, nil, fmt.Errorf("table: nil relation")
+	}
+	if !opts.Raw && opts.Sealer == nil {
+		return nil, nil, fmt.Errorf("table: sealer required unless Raw")
+	}
+	payload := opts.payload()
+	ts := rel.Schema.TupleSize()
+	perBlock := payload / ts
+	if perBlock < 1 {
+		return nil, nil, fmt.Errorf("table: tuple size %d exceeds block payload %d", ts, payload)
+	}
+	if perBlock > 0xFFFF {
+		perBlock = 0xFFFF // Ref.Slot is serialized as uint16
+	}
+	t := &StoredTable{
+		rel:      rel,
+		opts:     opts,
+		perBlock: perBlock,
+		indexes:  make(map[string]*btree.Tree, len(indexAttrs)),
+	}
+	built := make(map[string]*btree.Built, len(indexAttrs))
+	for _, attr := range indexAttrs {
+		col := rel.Schema.Col(attr)
+		if col < 0 {
+			return nil, nil, fmt.Errorf("table: %s has no column %q", rel.Schema.Table, attr)
+		}
+		items := make([]btree.Item, len(rel.Tuples))
+		for i, tu := range rel.Tuples {
+			items[i] = btree.Item{
+				Key: tu.Values[col],
+				Ref: btree.Ref{Block: uint64(i / perBlock), Slot: i % perBlock},
+			}
+		}
+		b, err := btree.Construct(payload, items)
+		if err != nil {
+			return nil, nil, err
+		}
+		built[attr] = b
+	}
+	return t, built, nil
+}
+
+func (t *StoredTable) dataBlockCount() int64 {
+	n := (len(t.rel.Tuples) + t.perBlock - 1) / t.perBlock
+	if n == 0 {
+		n = 1
+	}
+	return int64(n)
+}
+
+// dataPayloads encodes the tuples into data-block payloads.
+func (t *StoredTable) dataPayloads() [][]byte {
+	payload := t.opts.payload()
+	ts := t.rel.Schema.TupleSize()
+	blocks := make([][]byte, t.dataBlockCount())
+	for b := range blocks {
+		buf := make([]byte, payload)
+		for s := 0; s < t.perBlock; s++ {
+			i := b*t.perBlock + s
+			if i >= len(t.rel.Tuples) {
+				break
+			}
+			// Encoding errors are impossible here: prepare validated widths.
+			if err := relation.Encode(t.rel.Schema, t.rel.Tuples[i], buf[s*ts:]); err != nil {
+				panic(fmt.Sprintf("table: encoding tuple %d of %s: %v", i, t.rel.Schema.Table, err))
+			}
+		}
+		blocks[b] = buf
+	}
+	return blocks
+}
+
+func newStore(name string, capacity int64, opts Options) (oram.ORAM, error) {
+	if opts.Raw {
+		return oram.NewRawStore(name, capacity, opts.payload(), opts.Meter, opts.Rand)
+	}
+	if opts.Scheme == SchemeLinear {
+		return oram.NewLinearORAM(oram.PathConfig{
+			Name:        name,
+			Capacity:    capacity,
+			PayloadSize: opts.payload(),
+			Meter:       opts.Meter,
+			Sealer:      opts.Sealer,
+		})
+	}
+	return oram.NewPathORAM(oram.PathConfig{
+		Name:          name,
+		Capacity:      capacity,
+		PayloadSize:   opts.payload(),
+		Z:             opts.Z,
+		Meter:         opts.Meter,
+		Sealer:        opts.Sealer,
+		Rand:          opts.Rand,
+		RecursePosMap: opts.RecursePosMap,
+	})
+}
+
+func bulkLoad(o oram.ORAM, payloads [][]byte) error {
+	type bulkLoader interface{ BulkLoad([][]byte) error }
+	bl, ok := o.(bulkLoader)
+	if !ok {
+		return fmt.Errorf("table: ORAM %T does not support bulk load", o)
+	}
+	return bl.BulkLoad(payloads)
+}
+
+// Schema returns the stored relation's schema.
+func (t *StoredTable) Schema() relation.Schema { return t.rel.Schema }
+
+// NumTuples returns the row count (public sizing information).
+func (t *StoredTable) NumTuples() int { return len(t.rel.Tuples) }
+
+// TuplesPerBlock returns the data-block packing factor.
+func (t *StoredTable) TuplesPerBlock() int { return t.perBlock }
+
+// Index returns the B-tree over attr, or an error if not built.
+func (t *StoredTable) Index(attr string) (*btree.Tree, error) {
+	tr, ok := t.indexes[attr]
+	if !ok {
+		return nil, fmt.Errorf("table: %s has no index on %q", t.rel.Schema.Table, attr)
+	}
+	return tr, nil
+}
+
+// ReadTuple fetches the tuple at ref with exactly one data-ORAM access.
+func (t *StoredTable) ReadTuple(ref btree.Ref) (relation.Tuple, bool, error) {
+	buf, err := t.data.Read(ref.Block)
+	if err != nil {
+		return relation.Tuple{}, false, err
+	}
+	ts := t.rel.Schema.TupleSize()
+	off := ref.Slot * ts
+	if off+ts > len(buf) {
+		return relation.Tuple{}, false, fmt.Errorf("table: slot %d out of block", ref.Slot)
+	}
+	return relation.Decode(t.rel.Schema, buf[off:off+ts])
+}
+
+// DummyData performs one data-ORAM access indistinguishable from ReadTuple.
+func (t *StoredTable) DummyData() error { return t.data.DummyAccess() }
+
+// CloudBytes returns the server-side footprint of the table's data and
+// index storage. In the OneORAM setting views report pro-rated shares.
+func (t *StoredTable) CloudBytes() int64 {
+	total := t.data.ServerBytes()
+	for _, tr := range t.indexes {
+		total += treeServerBytes(tr)
+	}
+	return total
+}
+
+// ClientBytes returns the client-side footprint: ORAM metadata (stash +
+// position maps) plus cached index levels.
+func (t *StoredTable) ClientBytes() int64 {
+	total := t.data.ClientBytes()
+	for _, tr := range t.indexes {
+		total += tr.ClientCacheBytes() + treeClientBytes(tr)
+	}
+	return total
+}
+
+// ResetIndexes restores liveness tags on every index (the multiway join's
+// post-query cleanup).
+func (t *StoredTable) ResetIndexes() error {
+	for attr, tr := range t.indexes {
+		if err := tr.Reset(); err != nil {
+			return fmt.Errorf("table: resetting %s.%s: %w", t.rel.Schema.Table, attr, err)
+		}
+	}
+	return nil
+}
+
+// Relation exposes the client-side plaintext relation (tests and reference
+// joins only; a real deployment would not retain it).
+func (t *StoredTable) Relation() *relation.Relation { return t.rel }
+
+// treeServerBytes and treeClientBytes reach through to the tree's ORAM.
+func treeServerBytes(tr *btree.Tree) int64 { return tr.ORAM().ServerBytes() }
+func treeClientBytes(tr *btree.Tree) int64 { return tr.ORAM().ClientBytes() }

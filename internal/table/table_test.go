@@ -1,0 +1,574 @@
+package table
+
+import (
+	"bytes"
+	"testing"
+
+	"oblivjoin/internal/btree"
+	"oblivjoin/internal/oram"
+	"oblivjoin/internal/relation"
+	"oblivjoin/internal/storage"
+	"oblivjoin/internal/xcrypto"
+)
+
+func testOpts(t testing.TB, m *storage.Meter) Options {
+	t.Helper()
+	sealer, err := xcrypto.NewSealer(bytes.Repeat([]byte{9}, xcrypto.KeySize), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Options{
+		BlockPayload: 256, // small blocks force interesting geometry
+		Meter:        m,
+		Sealer:       sealer,
+		Rand:         oram.NewSeededSource(100),
+	}
+}
+
+func testRelation(name string, keys []int64) *relation.Relation {
+	rel := &relation.Relation{Schema: relation.Schema{
+		Table:   name,
+		Columns: []string{"k", "v"},
+	}}
+	for i, k := range keys {
+		rel.Tuples = append(rel.Tuples, relation.Tuple{Values: []int64{k, int64(i)}})
+	}
+	return rel
+}
+
+func TestStoreAndReadTuple(t *testing.T) {
+	rel := testRelation("t", []int64{5, 3, 8, 3, 1, 9, 2})
+	st, err := Store(rel, []string{"k"}, testOpts(t, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumTuples() != 7 {
+		t.Fatalf("NumTuples %d", st.NumTuples())
+	}
+	// Direct positional read.
+	for i := range rel.Tuples {
+		ref := btree.Ref{Block: uint64(i / st.TuplesPerBlock()), Slot: i % st.TuplesPerBlock()}
+		tu, ok, err := st.ReadTuple(ref)
+		if err != nil || !ok {
+			t.Fatalf("tuple %d: ok=%v err=%v", i, ok, err)
+		}
+		if tu.Values[0] != rel.Tuples[i].Values[0] {
+			t.Fatalf("tuple %d key %d", i, tu.Values[0])
+		}
+	}
+}
+
+func TestStoreIndexLookup(t *testing.T) {
+	rel := testRelation("t", []int64{5, 3, 8, 3, 1, 9, 2})
+	st, err := Store(rel, []string{"k"}, testOpts(t, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := st.Index("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok, err := idx.LookupGE(3)
+	if err != nil || !ok || e.Key != 3 {
+		t.Fatalf("LookupGE(3): %+v ok=%v err=%v", e, ok, err)
+	}
+	tu, ok, err := st.ReadTuple(e.Ref)
+	if err != nil || !ok || tu.Values[0] != 3 {
+		t.Fatalf("deref: %+v ok=%v err=%v", tu, ok, err)
+	}
+	if _, err := st.Index("v"); err == nil {
+		t.Fatal("missing index accepted")
+	}
+}
+
+func TestStoreRejectsBadInput(t *testing.T) {
+	opts := testOpts(t, nil)
+	if _, err := Store(nil, nil, opts); err == nil {
+		t.Fatal("nil relation accepted")
+	}
+	rel := testRelation("t", []int64{1})
+	if _, err := Store(rel, []string{"nope"}, opts); err == nil {
+		t.Fatal("unknown index attr accepted")
+	}
+	noSealer := opts
+	noSealer.Sealer = nil
+	if _, err := Store(rel, nil, noSealer); err == nil {
+		t.Fatal("missing sealer accepted")
+	}
+	wide := &relation.Relation{Schema: relation.Schema{Table: "w", Columns: []string{"a"}, PayloadBytes: 1000}}
+	wide.Tuples = []relation.Tuple{{Values: []int64{1}}}
+	if _, err := Store(wide, nil, opts); err == nil {
+		t.Fatal("tuple wider than block accepted")
+	}
+}
+
+func TestScanCursor(t *testing.T) {
+	m := storage.NewMeter()
+	rel := testRelation("t", []int64{4, 4, 7, 1, 0, 2, 2, 2, 9, 5, 6})
+	st, err := Store(rel, nil, testOpts(t, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Reset()
+	c := NewScanCursor(st)
+	per := int64(0)
+	for i := 0; i < len(rel.Tuples); i++ {
+		before := m.Snapshot()
+		row, err := c.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !row.OK || row.Tuple.Values[0] != rel.Tuples[i].Values[0] {
+			t.Fatalf("scan %d: %+v", i, row)
+		}
+		d := m.Snapshot().Sub(before).BlocksMoved()
+		if per == 0 {
+			per = d
+		} else if d != per {
+			t.Fatalf("scan %d moved %d blocks, first moved %d", i, d, per)
+		}
+	}
+	// Past the end: dummy row, same cost.
+	before := m.Snapshot()
+	row, err := c.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.OK {
+		t.Fatal("past-end scan returned a real row")
+	}
+	if d := m.Snapshot().Sub(before).BlocksMoved(); d != per {
+		t.Fatalf("past-end moved %d, want %d", d, per)
+	}
+	// Dummy: same cost.
+	before = m.Snapshot()
+	if err := c.Dummy(); err != nil {
+		t.Fatal(err)
+	}
+	if d := m.Snapshot().Sub(before).BlocksMoved(); d != per {
+		t.Fatalf("dummy moved %d, want %d", d, per)
+	}
+}
+
+func TestLeafCursorSortedTraversal(t *testing.T) {
+	m := storage.NewMeter()
+	keys := []int64{4, 4, 7, 1, 0, 2, 2, 2, 9, 5, 6, 3, 3, 8, 8, 8, 8}
+	rel := testRelation("t", keys)
+	st, err := Store(rel, []string{"k"}, testOpts(t, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Reset()
+	c, err := NewLeafCursor(st, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int64
+	per := int64(-1)
+	for i := 0; i < len(keys); i++ {
+		before := m.Snapshot()
+		row, err := c.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !row.OK {
+			t.Fatalf("unexpected dummy at %d", i)
+		}
+		got = append(got, row.Tuple.Values[0])
+		d := m.Snapshot().Sub(before).BlocksMoved()
+		if per < 0 {
+			per = d
+		} else if d != per {
+			t.Fatalf("retrieval %d moved %d blocks, want %d", i, d, per)
+		}
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] > got[i] {
+			t.Fatalf("not sorted at %d: %v", i, got)
+		}
+	}
+	// Past-the-end and Dummy cost the same.
+	for name, op := range map[string]func() error{
+		"past-end": func() error { _, err := c.Next(); return err },
+		"dummy":    c.Dummy,
+	} {
+		before := m.Snapshot()
+		if err := op(); err != nil {
+			t.Fatal(err)
+		}
+		if d := m.Snapshot().Sub(before).BlocksMoved(); d != per {
+			t.Fatalf("%s moved %d, want %d", name, d, per)
+		}
+	}
+	// Seek replays a saved position without accesses.
+	before := m.Snapshot()
+	c.SeekOrd(3)
+	if d := m.Snapshot().Sub(before).BlocksMoved(); d != 0 {
+		t.Fatalf("seek moved %d blocks", d)
+	}
+	row, err := c.Next()
+	if err != nil || !row.OK {
+		t.Fatal(err)
+	}
+	if row.Entry.Ord != 3 {
+		t.Fatalf("after seek: ord %d", row.Entry.Ord)
+	}
+}
+
+func TestIndexCursorUniformCost(t *testing.T) {
+	m := storage.NewMeter()
+	keys := []int64{1, 2, 2, 2, 3, 4, 5, 5, 6, 7, 8, 9, 10, 11, 12}
+	rel := testRelation("t", keys)
+	opts := testOpts(t, m)
+	opts.WriteBackDescents = true
+	st, err := Store(rel, []string{"k"}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Reset()
+	c, err := NewIndexCursor(st, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	type step struct {
+		name string
+		op   func() (Row, error)
+		key  int64 // expected key, -1 for dummy expected
+	}
+	steps := []step{
+		{"seek2", func() (Row, error) { return c.SeekGE(2) }, 2},
+		{"next", c.Next, 2},
+		{"next", c.Next, 2},
+		{"next", c.Next, 3},
+		{"seek100", func() (Row, error) { return c.SeekGE(100) }, -1},
+		{"seekOrd0", func() (Row, error) { return c.SeekOrdGE(0) }, 1},
+		{"seekOrdLE", func() (Row, error) { return c.SeekOrdLE(int64(len(keys) - 1)) }, 12},
+		{"prev", c.Prev, 11},
+		{"dummy", func() (Row, error) { return Row{}, c.Dummy() }, -1},
+		{"disable", func() (Row, error) { return Row{}, c.Disable(0) }, -1},
+		{"seek1", func() (Row, error) { return c.SeekGE(1) }, 2}, // ord 0 disabled
+	}
+	per := int64(-1)
+	for _, s := range steps {
+		before := m.Snapshot()
+		row, err := s.op()
+		if err != nil {
+			t.Fatalf("%s: %v", s.name, err)
+		}
+		if s.key >= 0 && (!row.OK || row.Tuple.Values[0] != s.key) {
+			t.Fatalf("%s: got %+v, want key %d", s.name, row, s.key)
+		}
+		d := m.Snapshot().Sub(before).BlocksMoved()
+		if per < 0 {
+			per = d
+		} else if d != per {
+			t.Fatalf("%s moved %d blocks, want %d", s.name, d, per)
+		}
+	}
+}
+
+func TestIndexCursorUnpositioned(t *testing.T) {
+	rel := testRelation("t", []int64{1, 2, 3})
+	st, err := Store(rel, []string{"k"}, testOpts(t, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewIndexCursor(st, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Next(); err == nil {
+		t.Fatal("Next on unpositioned cursor accepted")
+	}
+	if _, err := c.Prev(); err == nil {
+		t.Fatal("Prev on unpositioned cursor accepted")
+	}
+}
+
+func TestStoreShared(t *testing.T) {
+	m := storage.NewMeter()
+	r1 := testRelation("a", []int64{1, 2, 3, 4, 5})
+	r2 := testRelation("b", []int64{3, 3, 4, 9})
+	opts := testOpts(t, m)
+	tables, shared, err := StoreShared(
+		[]*relation.Relation{r1, r2},
+		map[string][]string{"a": {"k"}, "b": {"k"}},
+		opts,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared == nil || len(tables) != 2 {
+		t.Fatal("shared store incomplete")
+	}
+	// Tuples and index lookups work through the views.
+	ta, tb := tables["a"], tables["b"]
+	ia, err := ta.Index("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok, err := ia.LookupGE(4)
+	if err != nil || !ok || e.Key != 4 {
+		t.Fatalf("a lookup: %+v %v %v", e, ok, err)
+	}
+	tu, ok, err := ta.ReadTuple(e.Ref)
+	if err != nil || !ok || tu.Values[0] != 4 {
+		t.Fatalf("a deref: %+v", tu)
+	}
+	ib, err := tb.Index("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok, err = ib.LookupGE(3)
+	if err != nil || !ok || e.Key != 3 || e.Ord != 0 {
+		t.Fatalf("b lookup: %+v", e)
+	}
+	tu, ok, err = tb.ReadTuple(e.Ref)
+	if err != nil || !ok || tu.Values[0] != 3 {
+		t.Fatalf("b deref: %+v", tu)
+	}
+	// All accesses hit the one shared ORAM: per-op cost is the shared cost.
+	m.Reset()
+	before := m.Snapshot()
+	if _, _, err := ia.LookupGE(1); err != nil {
+		t.Fatal(err)
+	}
+	d := m.Snapshot().Sub(before)
+	if d.NetworkRounds != int64(ia.AccessesPerRetrieval()) {
+		t.Fatalf("shared lookup rounds %d, want %d", d.NetworkRounds, ia.AccessesPerRetrieval())
+	}
+}
+
+func TestStoreSharedRejectsRaw(t *testing.T) {
+	opts := testOpts(t, nil)
+	opts.Raw = true
+	if _, _, err := StoreShared(nil, nil, opts); err == nil {
+		t.Fatal("raw shared accepted")
+	}
+}
+
+func TestRawTable(t *testing.T) {
+	m := storage.NewMeter()
+	opts := testOpts(t, m)
+	opts.Raw = true
+	opts.Sealer = nil
+	rel := testRelation("t", []int64{2, 1, 3})
+	st, err := Store(rel, []string{"k"}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := st.Index("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Reset()
+	before := m.Snapshot()
+	e, ok, err := idx.LookupGE(2)
+	if err != nil || !ok || e.Key != 2 {
+		t.Fatalf("raw lookup: %+v", e)
+	}
+	// Raw lookups are Height() single-block accesses, no ORAM blowup.
+	d := m.Snapshot().Sub(before)
+	if d.BlocksMoved() != int64(idx.Height()) {
+		t.Fatalf("raw lookup moved %d blocks, height %d", d.BlocksMoved(), idx.Height())
+	}
+	if st.ClientBytes() != 0 {
+		t.Fatalf("raw client bytes %d", st.ClientBytes())
+	}
+}
+
+func TestStorageAccounting(t *testing.T) {
+	rel := testRelation("t", make([]int64, 200))
+	opts := testOpts(t, nil)
+	st, err := Store(rel, []string{"k"}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := opts
+	raw.Raw = true
+	raw.Sealer = nil
+	rst, err := Store(rel, []string{"k"}, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ORAM-backed storage costs several times the raw footprint (the paper
+	// reports roughly 10x).
+	if st.CloudBytes() < 4*rst.CloudBytes() {
+		t.Fatalf("oram cloud %d, raw cloud %d", st.CloudBytes(), rst.CloudBytes())
+	}
+	if st.ClientBytes() == 0 {
+		t.Fatal("oram client bytes zero (position map missing?)")
+	}
+	// +Cache adds client memory.
+	cached := opts
+	cached.CacheIndex = true
+	cst, err := Store(rel, []string{"k"}, cached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cst.ClientBytes() <= st.ClientBytes() {
+		t.Fatalf("cache client %d <= plain client %d", cst.ClientBytes(), st.ClientBytes())
+	}
+}
+
+func TestResetIndexes(t *testing.T) {
+	opts := testOpts(t, nil)
+	opts.WriteBackDescents = true
+	rel := testRelation("t", []int64{1, 2, 3, 4, 5, 6})
+	st, err := Store(rel, []string{"k"}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, _ := st.Index("k")
+	if err := idx.Disable(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.ResetIndexes(); err != nil {
+		t.Fatal(err)
+	}
+	e, ok, err := idx.LookupGE(1)
+	if err != nil || !ok || e.Ord != 0 {
+		t.Fatalf("after reset: %+v ok=%v err=%v", e, ok, err)
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	rel := testRelation("t", nil)
+	st, err := Store(rel, []string{"k"}, testOpts(t, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewScanCursor(st)
+	row, err := c.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.OK {
+		t.Fatal("empty table scan returned a row")
+	}
+	ic, err := NewIndexCursor(st, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err = ic.SeekGE(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.OK {
+		t.Fatal("empty table seek returned a row")
+	}
+}
+
+// TestLinearSchemeBlackbox: the paper treats the ORAM as a blackbox; tables
+// (and therefore joins) must work unchanged over the trivial linear ORAM.
+func TestLinearSchemeBlackbox(t *testing.T) {
+	m := storage.NewMeter()
+	opts := testOpts(t, m)
+	opts.Scheme = SchemeLinear
+	rel := testRelation("t", []int64{3, 1, 4, 1, 5})
+	st, err := Store(rel, []string{"k"}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := st.Index("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok, err := idx.LookupGE(4)
+	if err != nil || !ok || e.Key != 4 {
+		t.Fatalf("linear lookup: %+v ok=%v err=%v", e, ok, err)
+	}
+	tu, ok, err := st.ReadTuple(e.Ref)
+	if err != nil || !ok || tu.Values[0] != 4 {
+		t.Fatalf("linear deref: %+v", tu)
+	}
+	// Linear ORAM: zero client state.
+	if st.ClientBytes() != 0 {
+		t.Fatalf("linear client bytes %d", st.ClientBytes())
+	}
+	// Every access costs a full scan of the store.
+	m.Reset()
+	before := m.Snapshot()
+	if _, _, err := idx.LookupGE(1); err != nil {
+		t.Fatal(err)
+	}
+	d := m.Snapshot().Sub(before)
+	if d.BlocksMoved() < 2*int64(idx.Height()) {
+		t.Fatalf("linear lookup moved only %d blocks", d.BlocksMoved())
+	}
+}
+
+func TestStoreChainedOrderAndRewind(t *testing.T) {
+	rel := testRelation("t", []int64{4, 1, 3, 1, 2})
+	ct, err := StoreChained(rel, "k", testOpts(t, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewChainCursor(ct)
+	var keys []int64
+	var mark ChainMark
+	var marked bool
+	for i := 0; i < 5; i++ {
+		row, err := c.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !row.OK {
+			t.Fatalf("chain ended early at %d", i)
+		}
+		keys = append(keys, row.Entry.Key)
+		if i == 1 {
+			mark, marked = c.Mark(), true
+		}
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] > keys[i] {
+			t.Fatalf("chain not sorted: %v", keys)
+		}
+	}
+	// Past the end: dummy.
+	row, err := c.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.OK {
+		t.Fatal("past-end chain returned a row")
+	}
+	// Rewind to the mark: the next row is the third-smallest key.
+	if !marked {
+		t.Fatal("no mark")
+	}
+	c.Restore(mark)
+	row, err = c.Next()
+	if err != nil || !row.OK {
+		t.Fatal(err)
+	}
+	if row.Entry.Key != keys[2] {
+		t.Fatalf("after rewind got %d, want %d", row.Entry.Key, keys[2])
+	}
+}
+
+func TestStoreChainedValidation(t *testing.T) {
+	if _, err := StoreChained(nil, "k", testOpts(t, nil)); err == nil {
+		t.Fatal("nil relation accepted")
+	}
+	rel := testRelation("t", []int64{1})
+	if _, err := StoreChained(rel, "nope", testOpts(t, nil)); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+	opts := testOpts(t, nil)
+	opts.Sealer = nil
+	if _, err := StoreChained(rel, "k", opts); err == nil {
+		t.Fatal("missing sealer accepted")
+	}
+	// Empty relation: cursor yields only dummies.
+	empty := testRelation("e", nil)
+	ct, err := StoreChained(empty, "k", testOpts(t, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := NewChainCursor(ct).Next()
+	if err != nil || row.OK {
+		t.Fatalf("empty chain: %+v %v", row, err)
+	}
+}

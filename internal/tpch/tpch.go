@@ -1,0 +1,253 @@
+// Package tpch generates a deterministic, scaled-down TPC-H-like database
+// with the schema, cardinality ratios, and key distributions the paper's
+// TPC-H experiments rely on (Section 9.1 and Appendix A), plus the query
+// definitions TE1–TE3, TB1–TB2, and TM1–TM3.
+//
+// The official dbgen is replaced by a seeded synthetic generator (see
+// DESIGN.md §3): the paper's queries touch only key columns and row widths,
+// both of which are reproduced — foreign keys are uniform over their
+// domains (25 nations in 5 regions, orders per customer, lineitems per
+// order) and every row carries payload padding matching TPC-H's 100–200
+// byte rows.
+package tpch
+
+import (
+	"math/rand"
+
+	"oblivjoin/internal/core"
+	"oblivjoin/internal/jointree"
+	"oblivjoin/internal/relation"
+)
+
+// Config sizes the generated database. Table cardinalities follow TPC-H's
+// ratios relative to the supplier count (1 : 15 : 150 : 600 for supplier :
+// customer : orders : lineitem, with parts at 20x suppliers).
+type Config struct {
+	// Suppliers is the supplier row count; 0 means 100.
+	Suppliers int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+func (c Config) suppliers() int {
+	if c.Suppliers <= 0 {
+		return 100
+	}
+	return c.Suppliers
+}
+
+// Cardinality ratios per supplier, following TPC-H SF proportions.
+const (
+	customersPerSupplier = 15
+	ordersPerSupplier    = 150
+	lineitemsPerSupplier = 600
+	partsPerSupplier     = 20
+	numNations           = 25
+	numRegions           = 5
+)
+
+// DB is the generated database.
+type DB struct {
+	Region   *relation.Relation
+	Nation   *relation.Relation
+	Supplier *relation.Relation
+	Customer *relation.Relation
+	Orders   *relation.Relation
+	Lineitem *relation.Relation
+	Part     *relation.Relation
+}
+
+// Tables lists all relations, largest last.
+func (db *DB) Tables() []*relation.Relation {
+	return []*relation.Relation{db.Region, db.Nation, db.Supplier, db.Customer, db.Orders, db.Lineitem, db.Part}
+}
+
+// RawBytes returns the total plaintext size of the database — the "raw data
+// size" axis of the paper's figures.
+func (db *DB) RawBytes() int64 {
+	var total int64
+	for _, t := range db.Tables() {
+		total += int64(t.Len()) * int64(t.Schema.TupleSize())
+	}
+	return total
+}
+
+// Generate builds the database.
+func Generate(cfg Config) *DB {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	s := cfg.suppliers()
+	db := &DB{}
+
+	db.Region = &relation.Relation{Schema: relation.Schema{
+		Table: "region", Columns: []string{"r_regionkey"}, PayloadBytes: 116,
+	}}
+	for i := 0; i < numRegions; i++ {
+		db.Region.Tuples = append(db.Region.Tuples, relation.Tuple{Values: []int64{int64(i)}})
+	}
+
+	db.Nation = &relation.Relation{Schema: relation.Schema{
+		Table: "nation", Columns: []string{"n_nationkey", "n_regionkey"}, PayloadBytes: 104,
+	}}
+	for i := 0; i < numNations; i++ {
+		db.Nation.Tuples = append(db.Nation.Tuples,
+			relation.Tuple{Values: []int64{int64(i), int64(i % numRegions)}})
+	}
+
+	db.Supplier = &relation.Relation{Schema: relation.Schema{
+		Table: "supplier", Columns: []string{"s_suppkey", "s_nationkey", "s_acctbal"}, PayloadBytes: 120,
+	}}
+	for i := 0; i < s; i++ {
+		db.Supplier.Tuples = append(db.Supplier.Tuples, relation.Tuple{Values: []int64{
+			int64(i + 1), int64(r.Intn(numNations)), int64(r.Intn(10_000_00)) - 100_00,
+		}})
+	}
+
+	db.Customer = &relation.Relation{Schema: relation.Schema{
+		Table: "customer", Columns: []string{"c_custkey", "c_nationkey", "c_acctbal"}, PayloadBytes: 140,
+	}}
+	nc := s * customersPerSupplier
+	for i := 0; i < nc; i++ {
+		db.Customer.Tuples = append(db.Customer.Tuples, relation.Tuple{Values: []int64{
+			int64(i + 1), int64(r.Intn(numNations)), int64(r.Intn(10_000_00)) - 100_00,
+		}})
+	}
+
+	db.Orders = &relation.Relation{Schema: relation.Schema{
+		Table: "orders", Columns: []string{"o_orderkey", "o_custkey"}, PayloadBytes: 84,
+	}}
+	no := s * ordersPerSupplier
+	for i := 0; i < no; i++ {
+		db.Orders.Tuples = append(db.Orders.Tuples, relation.Tuple{Values: []int64{
+			int64(i + 1), int64(r.Intn(nc) + 1),
+		}})
+	}
+
+	db.Lineitem = &relation.Relation{Schema: relation.Schema{
+		Table: "lineitem", Columns: []string{"l_orderkey", "l_linenumber"}, PayloadBytes: 96,
+	}}
+	nl := s * lineitemsPerSupplier
+	for i := 0; i < nl; i++ {
+		db.Lineitem.Tuples = append(db.Lineitem.Tuples, relation.Tuple{Values: []int64{
+			int64(r.Intn(no) + 1), int64(i%7 + 1),
+		}})
+	}
+
+	db.Part = &relation.Relation{Schema: relation.Schema{
+		Table: "part", Columns: []string{"p_partkey", "p_retailprice"}, PayloadBytes: 132,
+	}}
+	np := s * partsPerSupplier
+	for i := 0; i < np; i++ {
+		db.Part.Tuples = append(db.Part.Tuples, relation.Tuple{Values: []int64{
+			int64(i + 1), int64(90_000 + (i%200_000)/10 + r.Intn(1000)),
+		}})
+	}
+	return db
+}
+
+// BinaryQuery is a two-table equi-join instance.
+type BinaryQuery struct {
+	Name   string
+	R1, R2 *relation.Relation
+	A1, A2 string
+}
+
+// BandQuery is a two-table band-join instance.
+type BandQuery struct {
+	Name   string
+	R1, R2 *relation.Relation
+	A1, A2 string
+	Op     core.BandOp
+}
+
+// MultiQuery is an acyclic multiway equi-join instance.
+type MultiQuery struct {
+	Name  string
+	Rels  map[string]*relation.Relation
+	Query jointree.Query
+}
+
+// TE1: suppliers and customers in the same nations.
+func (db *DB) TE1() BinaryQuery {
+	return BinaryQuery{Name: "TE1", R1: db.Supplier, R2: db.Customer, A1: "s_nationkey", A2: "c_nationkey"}
+}
+
+// TE2: suppliers in the same nations (self-join).
+func (db *DB) TE2() BinaryQuery {
+	return BinaryQuery{Name: "TE2",
+		R1: db.Supplier.Alias("s1"), R2: db.Supplier.Alias("s2"),
+		A1: "s_nationkey", A2: "s_nationkey"}
+}
+
+// TE3: customers in the same nations (self-join).
+func (db *DB) TE3() BinaryQuery {
+	return BinaryQuery{Name: "TE3",
+		R1: db.Customer.Alias("c1"), R2: db.Customer.Alias("c2"),
+		A1: "c_nationkey", A2: "c_nationkey"}
+}
+
+// TB1: suppliers joined with other suppliers with higher account balance.
+func (db *DB) TB1() BandQuery {
+	return BandQuery{Name: "TB1",
+		R1: db.Supplier.Alias("s1"), R2: db.Supplier.Alias("s2"),
+		A1: "s_acctbal", A2: "s_acctbal", Op: core.BandLess}
+}
+
+// TB2: parts joined with other parts with higher retail price.
+func (db *DB) TB2() BandQuery {
+	return BandQuery{Name: "TB2",
+		R1: db.Part.Alias("p1"), R2: db.Part.Alias("p2"),
+		A1: "p_retailprice", A2: "p_retailprice", Op: core.BandLess}
+}
+
+// TM1: lineitems with their orders and the customers who placed them.
+func (db *DB) TM1() MultiQuery {
+	return MultiQuery{Name: "TM1",
+		Rels: map[string]*relation.Relation{
+			"customer": db.Customer, "orders": db.Orders, "lineitem": db.Lineitem,
+		},
+		Query: jointree.Query{
+			Tables: []string{"customer", "orders", "lineitem"},
+			Preds: []jointree.Pred{
+				{Left: "customer", LeftAttr: "c_custkey", Right: "orders", RightAttr: "o_custkey"},
+				{Left: "orders", LeftAttr: "o_orderkey", Right: "lineitem", RightAttr: "l_orderkey"},
+			},
+		},
+	}
+}
+
+// TM2: suppliers and customers in the same regions (via two nation aliases).
+func (db *DB) TM2() MultiQuery {
+	return MultiQuery{Name: "TM2",
+		Rels: map[string]*relation.Relation{
+			"n1": db.Nation.Alias("n1"), "n2": db.Nation.Alias("n2"),
+			"supplier": db.Supplier, "customer": db.Customer,
+		},
+		Query: jointree.Query{
+			Tables: []string{"n1", "supplier", "n2", "customer"},
+			Preds: []jointree.Pred{
+				{Left: "supplier", LeftAttr: "s_nationkey", Right: "n1", RightAttr: "n_nationkey"},
+				{Left: "n1", LeftAttr: "n_regionkey", Right: "n2", RightAttr: "n_regionkey"},
+				{Left: "n2", LeftAttr: "n_nationkey", Right: "customer", RightAttr: "c_nationkey"},
+			},
+		},
+	}
+}
+
+// TM3: nation–supplier–customer–orders–lineitem chain.
+func (db *DB) TM3() MultiQuery {
+	return MultiQuery{Name: "TM3",
+		Rels: map[string]*relation.Relation{
+			"nation": db.Nation, "supplier": db.Supplier, "customer": db.Customer,
+			"orders": db.Orders, "lineitem": db.Lineitem,
+		},
+		Query: jointree.Query{
+			Tables: []string{"nation", "supplier", "customer", "orders", "lineitem"},
+			Preds: []jointree.Pred{
+				{Left: "nation", LeftAttr: "n_nationkey", Right: "supplier", RightAttr: "s_nationkey"},
+				{Left: "supplier", LeftAttr: "s_nationkey", Right: "customer", RightAttr: "c_nationkey"},
+				{Left: "customer", LeftAttr: "c_custkey", Right: "orders", RightAttr: "o_custkey"},
+				{Left: "orders", LeftAttr: "o_orderkey", Right: "lineitem", RightAttr: "l_orderkey"},
+			},
+		},
+	}
+}

@@ -1,0 +1,121 @@
+package tpch
+
+import (
+	"testing"
+
+	"oblivjoin/internal/core"
+	"oblivjoin/internal/jointree"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Suppliers: 20, Seed: 1})
+	b := Generate(Config{Suppliers: 20, Seed: 1})
+	if a.RawBytes() != b.RawBytes() {
+		t.Fatal("same seed produced different sizes")
+	}
+	for i := range a.Supplier.Tuples {
+		for j := range a.Supplier.Tuples[i].Values {
+			if a.Supplier.Tuples[i].Values[j] != b.Supplier.Tuples[i].Values[j] {
+				t.Fatal("same seed produced different suppliers")
+			}
+		}
+	}
+	c := Generate(Config{Suppliers: 20, Seed: 2})
+	diff := false
+	for i := range a.Supplier.Tuples {
+		if a.Supplier.Tuples[i].Values[1] != c.Supplier.Tuples[i].Values[1] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical nation keys")
+	}
+}
+
+func TestGenerateCardinalities(t *testing.T) {
+	db := Generate(Config{Suppliers: 10, Seed: 3})
+	if db.Supplier.Len() != 10 {
+		t.Fatalf("suppliers %d", db.Supplier.Len())
+	}
+	if db.Customer.Len() != 150 {
+		t.Fatalf("customers %d", db.Customer.Len())
+	}
+	if db.Orders.Len() != 1500 {
+		t.Fatalf("orders %d", db.Orders.Len())
+	}
+	if db.Lineitem.Len() != 6000 {
+		t.Fatalf("lineitems %d", db.Lineitem.Len())
+	}
+	if db.Part.Len() != 200 {
+		t.Fatalf("parts %d", db.Part.Len())
+	}
+	if db.Nation.Len() != 25 || db.Region.Len() != 5 {
+		t.Fatalf("nation/region %d/%d", db.Nation.Len(), db.Region.Len())
+	}
+	if db.RawBytes() < 100_000 {
+		t.Fatalf("raw bytes %d suspiciously small", db.RawBytes())
+	}
+}
+
+func TestKeysInDomain(t *testing.T) {
+	db := Generate(Config{Suppliers: 15, Seed: 4})
+	snk := db.Supplier.Schema.MustCol("s_nationkey")
+	for _, tu := range db.Supplier.Tuples {
+		if tu.Values[snk] < 0 || tu.Values[snk] >= 25 {
+			t.Fatalf("supplier nation key %d", tu.Values[snk])
+		}
+	}
+	oc := db.Orders.Schema.MustCol("o_custkey")
+	for _, tu := range db.Orders.Tuples {
+		if tu.Values[oc] < 1 || tu.Values[oc] > int64(db.Customer.Len()) {
+			t.Fatalf("order cust key %d", tu.Values[oc])
+		}
+	}
+	lo := db.Lineitem.Schema.MustCol("l_orderkey")
+	for _, tu := range db.Lineitem.Tuples {
+		if tu.Values[lo] < 1 || tu.Values[lo] > int64(db.Orders.Len()) {
+			t.Fatalf("lineitem order key %d", tu.Values[lo])
+		}
+	}
+}
+
+func TestQueriesWellFormed(t *testing.T) {
+	db := Generate(Config{Suppliers: 5, Seed: 5})
+	for _, q := range []BinaryQuery{db.TE1(), db.TE2(), db.TE3()} {
+		if q.R1.Schema.Col(q.A1) < 0 || q.R2.Schema.Col(q.A2) < 0 {
+			t.Fatalf("%s references missing attribute", q.Name)
+		}
+		if got := core.ReferenceEquiJoin(q.R1, q.R2, q.A1, q.A2); len(got) == 0 {
+			t.Fatalf("%s yields empty result", q.Name)
+		}
+	}
+	for _, q := range []BandQuery{db.TB1(), db.TB2()} {
+		if got := core.ReferenceBandJoin(q.R1, q.R2, q.A1, q.A2, q.Op); len(got) == 0 {
+			t.Fatalf("%s yields empty result", q.Name)
+		}
+	}
+	for _, q := range []MultiQuery{db.TM1(), db.TM2(), db.TM3()} {
+		tree, err := jointree.Build(q.Query)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		got, err := core.ReferenceMultiwayJoin(q.Rels, tree)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		if len(got) == 0 {
+			t.Fatalf("%s yields empty result", q.Name)
+		}
+	}
+}
+
+func TestSelfJoinAliases(t *testing.T) {
+	db := Generate(Config{Suppliers: 5, Seed: 6})
+	q := db.TE2()
+	if q.R1.Schema.Table == q.R2.Schema.Table {
+		t.Fatal("self-join aliases share a name")
+	}
+	if q.R1.Len() != q.R2.Len() {
+		t.Fatal("aliases diverge in size")
+	}
+}

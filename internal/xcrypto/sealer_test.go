@@ -1,0 +1,181 @@
+package xcrypto
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newTestSealer(t *testing.T) *Sealer {
+	t.Helper()
+	key := bytes.Repeat([]byte{0x42}, KeySize)
+	s, err := NewSealer(key, nil)
+	if err != nil {
+		t.Fatalf("NewSealer: %v", err)
+	}
+	return s
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	s := newTestSealer(t)
+	for _, n := range []int{0, 1, 15, 16, 17, 100, 4096} {
+		pt := make([]byte, n)
+		for i := range pt {
+			pt[i] = byte(i)
+		}
+		ct, err := s.Seal(pt)
+		if err != nil {
+			t.Fatalf("Seal(%d bytes): %v", n, err)
+		}
+		if len(ct) != SealedLen(n) {
+			t.Errorf("SealedLen(%d) = %d, ciphertext is %d", n, SealedLen(n), len(ct))
+		}
+		got, err := s.Open(ct)
+		if err != nil {
+			t.Fatalf("Open(%d bytes): %v", n, err)
+		}
+		if !bytes.Equal(got, pt) {
+			t.Errorf("round trip of %d bytes mismatched", n)
+		}
+	}
+}
+
+func TestSealIsRandomized(t *testing.T) {
+	s := newTestSealer(t)
+	pt := []byte("the same plaintext block")
+	a, err := s.Seal(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Seal(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, b) {
+		t.Fatal("two seals of the same plaintext must differ (semantic security)")
+	}
+}
+
+func TestOpenRejectsTampering(t *testing.T) {
+	s := newTestSealer(t)
+	ct, err := s.Seal([]byte("sensitive tuple data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pos := range []int{0, IVSize, len(ct) - 1} {
+		bad := append([]byte(nil), ct...)
+		bad[pos] ^= 0x01
+		if _, err := s.Open(bad); err != ErrAuthFailed {
+			t.Errorf("tamper at %d: got err %v, want ErrAuthFailed", pos, err)
+		}
+	}
+}
+
+func TestOpenRejectsShortInput(t *testing.T) {
+	s := newTestSealer(t)
+	if _, err := s.Open(make([]byte, Overhead-1)); err != ErrCiphertextTooShort {
+		t.Errorf("got %v, want ErrCiphertextTooShort", err)
+	}
+}
+
+func TestOpenRejectsWrongKey(t *testing.T) {
+	s1 := newTestSealer(t)
+	s2, err := NewSealer(bytes.Repeat([]byte{0x99}, KeySize), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := s1.Seal([]byte("data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Open(ct); err != ErrAuthFailed {
+		t.Errorf("wrong key: got %v, want ErrAuthFailed", err)
+	}
+}
+
+func TestNewSealerRejectsBadKeyLength(t *testing.T) {
+	for _, n := range []int{0, 1, 15, 17, 32} {
+		if _, err := NewSealer(make([]byte, n), nil); err == nil {
+			t.Errorf("NewSealer with %d-byte key should fail", n)
+		}
+	}
+}
+
+func TestNewRandomSealer(t *testing.T) {
+	s, key, err := NewRandomSealer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(key) != KeySize {
+		t.Fatalf("key length %d", len(key))
+	}
+	ct, err := s.Seal([]byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A sealer reconstructed from the returned key must open the block.
+	s2, err := NewSealer(key, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := s2.Open(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pt) != "x" {
+		t.Fatalf("got %q", pt)
+	}
+}
+
+func TestSealOpenQuick(t *testing.T) {
+	s := newTestSealer(t)
+	f := func(pt []byte) bool {
+		ct, err := s.Seal(pt)
+		if err != nil {
+			return false
+		}
+		got, err := s.Open(ct)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, pt)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSeal4KB(b *testing.B) {
+	s, _, err := NewRandomSealer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pt := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Seal(pt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOpen4KB(b *testing.B) {
+	s, _, err := NewRandomSealer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ct, err := s.Seal(make([]byte, 4096))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Open(ct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,376 @@
+// Package oblivjoin is a from-scratch implementation of "Towards Practical
+// Oblivious Join" (Chang, Xie, Wang, Li — SIGMOD 2022): oblivious binary
+// equi-joins (sort-merge and index nested-loop), band joins, and acyclic
+// multiway equi-joins over a cloud database, built on B-tree indices
+// integrated into Path-ORAMs.
+//
+// The client encrypts its tables, packs them into fixed-size blocks, builds
+// B-tree indices, and uploads everything into Path-ORAM structures held by
+// an untrusted server. Join queries then run with access patterns that
+// depend only on public sizing information: every join step retrieves one
+// (real or dummy) tuple from every input table at a fixed access cost, one
+// output record (real or dummy) is written per step, step counts are padded
+// to closed-form bounds, and dummies are removed by an oblivious filter.
+//
+// Basic use:
+//
+//	db := oblivjoin.NewDatabase(oblivjoin.Config{})
+//	db.AddTable(passengers, "passport")
+//	db.AddTable(watchlist, "passport")
+//	if err := db.Seal(); err != nil { ... }
+//	res, err := db.IndexNestedLoopJoin("passengers", "passport", "watchlist", "passport")
+//
+// See the examples directory for complete programs and DESIGN.md for the
+// architecture.
+package oblivjoin
+
+import (
+	"fmt"
+
+	"oblivjoin/internal/core"
+	"oblivjoin/internal/jointree"
+	"oblivjoin/internal/oram"
+	"oblivjoin/internal/relation"
+	"oblivjoin/internal/storage"
+	"oblivjoin/internal/table"
+	"oblivjoin/internal/xcrypto"
+)
+
+// Re-exported model types.
+type (
+	// Schema names a table and its columns.
+	Schema = relation.Schema
+	// Tuple is one row.
+	Tuple = relation.Tuple
+	// Relation is a plaintext table before upload.
+	Relation = relation.Relation
+	// Result reports a join's outcome and cost.
+	Result = core.Result
+	// Stats is measured traffic.
+	Stats = storage.Stats
+	// CostModel converts traffic to simulated time.
+	CostModel = storage.CostModel
+	// BandOp is a band-join comparison operator.
+	BandOp = core.BandOp
+	// PaddingMode selects the output-size padding strategy (Section 8).
+	PaddingMode = core.PaddingMode
+	// Query is an acyclic multiway equi-join specification.
+	Query = jointree.Query
+	// Pred is one equality predicate of a Query.
+	Pred = jointree.Pred
+)
+
+// Band-join operators.
+const (
+	Less      = core.BandLess
+	LessEq    = core.BandLessEq
+	Greater   = core.BandGreater
+	GreaterEq = core.BandGreaterEq
+)
+
+// Padding modes.
+const (
+	PadNone         = core.PadNone
+	PadClosestPower = core.PadClosestPower
+	PadCartesian    = core.PadCartesian
+	PadDP           = core.PadDP
+)
+
+// Setting selects where tables live.
+type Setting int
+
+const (
+	// SepORAM gives every table its own data ORAM and per-index ORAMs — the
+	// paper's default ("Segmenting ORAM", Section 4.2).
+	SepORAM Setting = iota
+	// OneORAM stores every table in a single shared Path-ORAM (Section 7).
+	OneORAM
+	// Insecure disables encryption and ORAM entirely — the paper's "Raw
+	// Index" baseline, useful only for comparisons.
+	Insecure
+)
+
+// Config configures a Database.
+type Config struct {
+	// BlockPayload is the usable bytes per encrypted block (0 = 4096, the
+	// paper's B = 4 KB).
+	BlockPayload int
+	// Key is the 16-byte master key; nil generates a fresh random key.
+	Key []byte
+	// Setting selects SepORAM (default), OneORAM, or Insecure.
+	Setting Setting
+	// CacheIndexes keeps all index levels above the leaves client-side —
+	// the paper's "+Cache" mode (Δ = 1).
+	CacheIndexes bool
+	// EnableMultiway puts indexes in the uniform write-back mode the
+	// multiway join's disable operations require; binary joins then cost 2Δ
+	// index accesses per retrieval instead of Δ.
+	EnableMultiway bool
+	// Padding selects the Section 8 output padding strategy.
+	Padding PaddingMode
+	// Cost converts traffic into simulated time; zero value uses the
+	// paper's 1 Gbps model.
+	Cost CostModel
+}
+
+// Database is the client-side handle: it holds the encryption key, ORAM
+// metadata (stash and position maps), cached index levels, and speaks the
+// ORAM protocol with the (simulated) untrusted server.
+type Database struct {
+	cfg        Config
+	meter      *storage.Meter
+	sealer     *xcrypto.Sealer
+	pending    []pendingTable
+	tables     map[string]*table.StoredTable
+	shared     *oram.PathORAM
+	sealed     bool
+	setupStats storage.Stats
+}
+
+type pendingTable struct {
+	rel   *Relation
+	attrs []string
+}
+
+// NewDatabase creates an empty database with the given configuration.
+func NewDatabase(cfg Config) *Database {
+	return &Database{
+		cfg:    cfg,
+		meter:  storage.NewMeter(),
+		tables: make(map[string]*table.StoredTable),
+	}
+}
+
+func (db *Database) blockPayload() int {
+	if db.cfg.BlockPayload > 0 {
+		return db.cfg.BlockPayload
+	}
+	return table.DefaultBlockPayload
+}
+
+func (db *Database) costModel() CostModel {
+	if db.cfg.Cost.BandwidthBps > 0 {
+		return db.cfg.Cost
+	}
+	return storage.DefaultCostModel()
+}
+
+// AddTable registers a plaintext relation and the attributes to index
+// (every attribute a query will join on). Must be called before Seal.
+func (db *Database) AddTable(rel *Relation, indexAttrs ...string) error {
+	if db.sealed {
+		return fmt.Errorf("oblivjoin: database already sealed")
+	}
+	if rel == nil {
+		return fmt.Errorf("oblivjoin: nil relation")
+	}
+	for _, p := range db.pending {
+		if p.rel.Schema.Table == rel.Schema.Table {
+			return fmt.Errorf("oblivjoin: duplicate table %q", rel.Schema.Table)
+		}
+	}
+	for _, a := range indexAttrs {
+		if rel.Schema.Col(a) < 0 {
+			return fmt.Errorf("oblivjoin: table %q has no column %q", rel.Schema.Table, a)
+		}
+	}
+	db.pending = append(db.pending, pendingTable{rel: rel, attrs: indexAttrs})
+	return nil
+}
+
+// Seal encrypts, uploads, and indexes every registered table — the paper's
+// preprocessing step. After Seal the database answers join queries.
+func (db *Database) Seal() error {
+	if db.sealed {
+		return fmt.Errorf("oblivjoin: database already sealed")
+	}
+	if len(db.pending) == 0 {
+		return fmt.Errorf("oblivjoin: no tables added")
+	}
+	if db.cfg.Setting != Insecure {
+		var err error
+		if db.cfg.Key != nil {
+			db.sealer, err = xcrypto.NewSealer(db.cfg.Key, nil)
+		} else {
+			db.sealer, _, err = xcrypto.NewRandomSealer()
+		}
+		if err != nil {
+			return err
+		}
+	}
+	opts := table.Options{
+		BlockPayload:      db.blockPayload(),
+		Meter:             db.meter,
+		Sealer:            db.sealer,
+		CacheIndex:        db.cfg.CacheIndexes,
+		WriteBackDescents: db.cfg.EnableMultiway,
+		Raw:               db.cfg.Setting == Insecure,
+	}
+	switch db.cfg.Setting {
+	case OneORAM:
+		rels := make([]*Relation, len(db.pending))
+		attrs := make(map[string][]string, len(db.pending))
+		for i, p := range db.pending {
+			rels[i] = p.rel
+			attrs[p.rel.Schema.Table] = p.attrs
+		}
+		tables, shared, err := table.StoreShared(rels, attrs, opts)
+		if err != nil {
+			return err
+		}
+		db.tables, db.shared = tables, shared
+	default:
+		for _, p := range db.pending {
+			st, err := table.Store(p.rel, p.attrs, opts)
+			if err != nil {
+				return err
+			}
+			db.tables[p.rel.Schema.Table] = st
+		}
+	}
+	db.sealed = true
+	db.setupStats = db.meter.Snapshot()
+	db.meter.Reset() // setup traffic is not query cost
+	return nil
+}
+
+// SetupStats returns the one-time upload traffic Seal consumed (the paper's
+// preprocessing step), separate from query cost.
+func (db *Database) SetupStats() Stats { return db.setupStats }
+
+func (db *Database) lookup(name string) (*table.StoredTable, error) {
+	if !db.sealed {
+		return nil, fmt.Errorf("oblivjoin: Seal the database before querying")
+	}
+	st, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("oblivjoin: unknown table %q", name)
+	}
+	return st, nil
+}
+
+func (db *Database) joinOpts() core.Options {
+	return core.Options{
+		Mem:          0, // paper default M = 2B
+		Padding:      db.cfg.Padding,
+		Meter:        db.meter,
+		Sealer:       db.sealer,
+		OutBlockSize: db.blockPayload() + xcrypto.Overhead,
+		OneORAM:      db.shared,
+	}
+}
+
+// SortMergeJoin runs the oblivious sort-merge equi-join (Algorithm 1) of
+// t1.a1 = t2.a2. Both attributes must be indexed.
+func (db *Database) SortMergeJoin(t1, a1, t2, a2 string) (*Result, error) {
+	s1, err := db.lookup(t1)
+	if err != nil {
+		return nil, err
+	}
+	s2, err := db.lookup(t2)
+	if err != nil {
+		return nil, err
+	}
+	if db.cfg.Setting == Insecure {
+		return nil, fmt.Errorf("oblivjoin: the Insecure setting supports comparisons only; use the baseline package")
+	}
+	return core.SortMergeJoin(s1, s2, a1, a2, db.joinOpts())
+}
+
+// IndexNestedLoopJoin runs the oblivious index nested-loop equi-join
+// (Algorithm 2) of t1.a1 = t2.a2. Only a2 must be indexed.
+func (db *Database) IndexNestedLoopJoin(t1, a1, t2, a2 string) (*Result, error) {
+	s1, err := db.lookup(t1)
+	if err != nil {
+		return nil, err
+	}
+	s2, err := db.lookup(t2)
+	if err != nil {
+		return nil, err
+	}
+	if db.cfg.Setting == Insecure {
+		return nil, fmt.Errorf("oblivjoin: the Insecure setting supports comparisons only; use the baseline package")
+	}
+	return core.IndexNestedLoopJoin(s1, s2, a1, a2, db.joinOpts())
+}
+
+// BandJoin runs the oblivious band join (Section 5.3) of t1.a1 OP t2.a2.
+func (db *Database) BandJoin(t1, a1 string, op BandOp, t2, a2 string) (*Result, error) {
+	s1, err := db.lookup(t1)
+	if err != nil {
+		return nil, err
+	}
+	s2, err := db.lookup(t2)
+	if err != nil {
+		return nil, err
+	}
+	if db.cfg.Setting == Insecure {
+		return nil, fmt.Errorf("oblivjoin: the Insecure setting supports comparisons only; use the baseline package")
+	}
+	return core.BandJoin(s1, s2, a1, a2, op, db.joinOpts())
+}
+
+// MultiwayJoin runs the oblivious acyclic multiway equi-join (Section 6).
+// The database must have been configured with EnableMultiway, and every
+// non-root table needs an index on the attribute it joins its parent on.
+func (db *Database) MultiwayJoin(q Query) (*Result, error) {
+	if !db.sealed {
+		return nil, fmt.Errorf("oblivjoin: Seal the database before querying")
+	}
+	if !db.cfg.EnableMultiway {
+		return nil, fmt.Errorf("oblivjoin: configure EnableMultiway for multiway joins")
+	}
+	if db.cfg.Setting == Insecure {
+		return nil, fmt.Errorf("oblivjoin: the Insecure setting supports comparisons only; use the baseline package")
+	}
+	tree, err := jointree.Build(q)
+	if err != nil {
+		return nil, err
+	}
+	in := core.MultiwayInput{Tree: tree, Tables: make([]*table.StoredTable, tree.Len())}
+	for i, n := range tree.Order {
+		st, err := db.lookup(n.Table)
+		if err != nil {
+			return nil, err
+		}
+		in.Tables[i] = st
+	}
+	return core.MultiwayJoin(in, db.joinOpts())
+}
+
+// Stats returns the cumulative query traffic since Seal.
+func (db *Database) Stats() Stats { return db.meter.Snapshot() }
+
+// ResetStats zeroes the traffic counters.
+func (db *Database) ResetStats() { db.meter.Reset() }
+
+// QueryCost converts a result's traffic into simulated wall-clock seconds
+// under the configured cost model.
+func (db *Database) QueryCost(res *Result) float64 {
+	return db.costModel().CostSeconds(res.Stats)
+}
+
+// CloudBytes returns the server-side storage footprint.
+func (db *Database) CloudBytes() int64 {
+	if db.shared != nil {
+		return db.shared.ServerBytes()
+	}
+	var total int64
+	for _, st := range db.tables {
+		total += st.CloudBytes()
+	}
+	return total
+}
+
+// ClientBytes returns the client-side memory footprint (ORAM stash and
+// position maps, cached index levels).
+func (db *Database) ClientBytes() int64 {
+	var total int64
+	if db.shared != nil {
+		total += db.shared.ClientBytes()
+	}
+	for _, st := range db.tables {
+		total += st.ClientBytes()
+	}
+	return total
+}
