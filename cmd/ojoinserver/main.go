@@ -1,0 +1,95 @@
+// Command ojoinserver runs the untrusted block-store server the oblivious
+// join client talks to over TCP. It hosts named fixed-geometry block stores
+// (pre-registered with -store or created on demand by clients), executes
+// reads and writes verbatim, and performs no other computation — the role
+// MongoDB plays in the paper's testbed (Section 9.1).
+//
+// An injectable latency/fault model (-latency, -fail-every) shapes the
+// transport so benchmark curves reproduce the paper's WAN round-trip cost
+// argument and clients' retry paths can be exercised deterministically.
+//
+// Example:
+//
+//	ojoinserver -addr 127.0.0.1:9042 -store t1.data:1024:4144 -latency 10ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"oblivjoin/internal/remote"
+	"oblivjoin/internal/storage"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:9042", "TCP address to listen on")
+		latency   = flag.Duration("latency", 0, "added per-request latency (WAN model)")
+		failEvery = flag.Int64("fail-every", 0, "inject a transient failure every Nth request (0 disables)")
+		maxFrame  = flag.Int("max-frame", remote.DefaultMaxFrame, "maximum accepted frame size in bytes")
+		maxBytes  = flag.Int64("max-store-bytes", 1<<30, "cap on dynamically created store footprint")
+	)
+	var stores []string
+	flag.Func("store", "pre-register a store as name:slots:blocksize (repeatable)", func(v string) error {
+		stores = append(stores, v)
+		return nil
+	})
+	flag.Parse()
+
+	opts := remote.ServerOptions{MaxFrame: *maxFrame, MaxStoreBytes: *maxBytes}
+	if *latency > 0 || *failEvery > 0 {
+		opts.Faults = &remote.Shaper{Latency: *latency, FailEvery: *failEvery}
+	}
+	srv := remote.NewServer(opts)
+	for _, spec := range stores {
+		name, slots, blockSize, err := parseStoreSpec(spec)
+		if err != nil {
+			log.Fatalf("ojoinserver: -store %q: %v", spec, err)
+		}
+		if err := srv.Register(name, storage.NewMemStore(name, slots, blockSize, nil)); err != nil {
+			log.Fatalf("ojoinserver: %v", err)
+		}
+		log.Printf("hosting %s (%d × %d bytes)", name, slots, blockSize)
+	}
+
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		log.Fatalf("ojoinserver: listen: %v", err)
+	}
+	log.Printf("listening on %s", bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down (draining in-flight requests)")
+	if err := srv.Close(); err != nil {
+		log.Printf("ojoinserver: close: %v", err)
+	}
+	for _, name := range srv.StoreNames() {
+		c := srv.Counts(name)
+		log.Printf("%s: %d requests (%d reads, %d writes, %d batch reads, %d batch writes); %d blocks down, %d blocks up",
+			name, c.Requests, c.Reads, c.Writes, c.BatchReads, c.BatchWrites, c.BlocksRead, c.BlocksWritten)
+	}
+}
+
+func parseStoreSpec(spec string) (name string, slots int64, blockSize int, err error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 || parts[0] == "" {
+		return "", 0, 0, fmt.Errorf("want name:slots:blocksize")
+	}
+	slots, err = strconv.ParseInt(parts[1], 10, 64)
+	if err != nil || slots <= 0 {
+		return "", 0, 0, fmt.Errorf("bad slot count %q", parts[1])
+	}
+	bs, err := strconv.Atoi(parts[2])
+	if err != nil || bs <= 0 {
+		return "", 0, 0, fmt.Errorf("bad block size %q", parts[2])
+	}
+	return parts[0], slots, bs, nil
+}

@@ -43,6 +43,12 @@ type PathConfig struct {
 	// RecurseCutoff is the position-map size kept client-side when recursing;
 	// 0 means 64 entries.
 	RecurseCutoff int64
+	// OpenStore provisions the server-side bucket store (and, when
+	// recursing, the position-map stores). Nil means an in-process MemStore
+	// reporting to Meter; a remote deployment passes a transport-backed
+	// opener (e.g. remote.Client.Opener) so the tree lives on a networked
+	// block server.
+	OpenStore storage.Opener
 }
 
 type stashEntry struct {
@@ -56,7 +62,8 @@ type stashEntry struct {
 // to the leaf the position map assigns it.
 type PathORAM struct {
 	cfg        PathConfig
-	store      *storage.MemStore
+	store      storage.Store
+	batch      storage.BatchStore // non-nil when store supports batched paths
 	leaves     int64
 	levels     int // path length in buckets (root..leaf inclusive)
 	z          int
@@ -112,18 +119,34 @@ func NewPathORAM(cfg PathConfig) (*PathORAM, error) {
 		stash:      make(map[uint64]stashEntry),
 		rand:       rnd,
 	}
-	o.store = storage.NewMemStore(cfg.Name, nodes, xcrypto.SealedLen(bucketSize), cfg.Meter)
+	open := cfg.OpenStore
+	if open == nil {
+		open = func(name string, slots int64, blockSize int) (storage.Store, error) {
+			return storage.NewMemStore(name, slots, blockSize, cfg.Meter), nil
+		}
+	}
+	st, err := open(cfg.Name, nodes, xcrypto.SealedLen(bucketSize))
+	if err != nil {
+		return nil, fmt.Errorf("oram: open store %q: %w", cfg.Name, err)
+	}
+	o.store = st
+	o.batch, _ = st.(storage.BatchStore)
 	// Initialize every bucket to a sealed empty bucket so the adversary sees
-	// a fully populated, uniformly encrypted tree from the start.
+	// a fully populated, uniformly encrypted tree from the start. Each bucket
+	// gets its own fresh ciphertext; the upload itself is batched.
 	empty := make([]byte, bucketSize)
+	up := newUploader(o)
 	for i := int64(0); i < nodes; i++ {
 		sealed, err := cfg.Sealer.Seal(empty)
 		if err != nil {
 			return nil, err
 		}
-		if err := o.store.Write(i, sealed); err != nil {
+		if err := up.add(i, sealed); err != nil {
 			return nil, err
 		}
+	}
+	if err := up.flush(); err != nil {
+		return nil, err
 	}
 	if cfg.RecursePosMap {
 		cutoff := cfg.RecurseCutoff
@@ -149,6 +172,54 @@ func nextPow2(n int64) int64 {
 	return p
 }
 
+// uploadChunk bounds the client memory held by one bulk-upload batch.
+const uploadChunk = 256
+
+// uploader streams sealed buckets to the server in bounded batches, using
+// one round per batch when the store supports it. Only the preprocessing
+// paths (construction, BulkLoad) use it; query-time accesses always move
+// exactly one path per batch.
+type uploader struct {
+	o    *PathORAM
+	idxs []int64
+	data [][]byte
+}
+
+func newUploader(o *PathORAM) *uploader {
+	return &uploader{o: o, idxs: make([]int64, 0, uploadChunk), data: make([][]byte, 0, uploadChunk)}
+}
+
+func (u *uploader) add(i int64, sealed []byte) error {
+	u.idxs = append(u.idxs, i)
+	u.data = append(u.data, sealed)
+	if len(u.idxs) >= uploadChunk {
+		return u.flush()
+	}
+	return nil
+}
+
+func (u *uploader) flush() error {
+	if len(u.idxs) == 0 {
+		return nil
+	}
+	var err error
+	if u.o.batch != nil {
+		err = u.o.batch.WriteMany(u.idxs, u.data)
+	} else {
+		for k, i := range u.idxs {
+			if err = u.o.store.Write(i, u.data[k]); err != nil {
+				break
+			}
+		}
+		if err == nil && u.o.cfg.Meter != nil {
+			u.o.cfg.Meter.CountRound()
+		}
+	}
+	u.idxs = u.idxs[:0]
+	u.data = u.data[:0]
+	return err
+}
+
 // Levels returns the path length in buckets (tree height + 1).
 func (o *PathORAM) Levels() int { return o.levels }
 
@@ -170,8 +241,15 @@ func (o *PathORAM) ClientBytes() int64 {
 
 // ServerBytes implements ORAM.
 func (o *PathORAM) ServerBytes() int64 {
-	return o.store.SizeBytes() + o.pos.serverBytes()
+	return o.store.Len()*int64(o.store.BlockSize()) + o.pos.serverBytes()
 }
+
+// RoundsPerOp is the number of network round trips one access costs over a
+// batching transport: the path download plus the path write-back, plus
+// whatever the (possibly outsourced) position map adds. Like AccessesPerOp
+// it is constant for a given instance — dummy and real operations cost the
+// same number of rounds.
+func (o *PathORAM) RoundsPerOp() int { return 2 + o.pos.roundsPerOp() }
 
 // MaxStash reports the high-water stash occupancy, a standard Path-ORAM
 // health metric (stays O(log N)·ω(1) w.h.p. for Z=4).
@@ -245,18 +323,11 @@ func (o *PathORAM) access(key uint64, newData []byte, dummy bool, update func([]
 		}
 	}
 
-	// Read the whole path into the stash.
+	// Read the whole path into the stash: one round trip when the store
+	// batches, the root-to-leaf sequence of single reads otherwise.
 	path := o.pathNodes(leaf)
-	for _, node := range path {
-		sealed, err := o.store.Read(node)
-		if err != nil {
-			return nil, err
-		}
-		plain, err := o.cfg.Sealer.Open(sealed)
-		if err != nil {
-			return nil, fmt.Errorf("oram: bucket %d: %w", node, err)
-		}
-		o.parseBucketInto(plain)
+	if err := o.readPath(path); err != nil {
+		return nil, err
 	}
 
 	var result []byte
@@ -281,17 +352,50 @@ func (o *PathORAM) access(key uint64, newData []byte, dummy bool, update func([]
 		}
 	}
 
-	// Evict: refill the path bottom-up with stash blocks that may live there.
+	// Evict: refill the path bottom-up with stash blocks that may live there,
+	// then write it back in a second round trip.
 	if werr := o.writePath(leaf, path); werr != nil && err == nil {
 		err = werr
 	}
 	if len(o.stash) > o.maxStash {
 		o.maxStash = len(o.stash)
 	}
-	if o.cfg.Meter != nil {
-		o.cfg.Meter.CountRound()
-	}
 	return result, err
+}
+
+// readPath fetches the sealed buckets at the given nodes into the stash.
+// With a BatchStore this is one ReadMany — the single download round of a
+// Path-ORAM access; otherwise it degrades to per-bucket reads accounted as
+// one simulated round.
+func (o *PathORAM) readPath(path []int64) error {
+	var sealedBuckets [][]byte
+	if o.batch != nil {
+		var err error
+		sealedBuckets, err = o.batch.ReadMany(path)
+		if err != nil {
+			return err
+		}
+	} else {
+		sealedBuckets = make([][]byte, len(path))
+		for k, node := range path {
+			sealed, err := o.store.Read(node)
+			if err != nil {
+				return err
+			}
+			sealedBuckets[k] = sealed
+		}
+		if o.cfg.Meter != nil {
+			o.cfg.Meter.CountRound()
+		}
+	}
+	for k, sealed := range sealedBuckets {
+		plain, err := o.cfg.Sealer.Open(sealed)
+		if err != nil {
+			return fmt.Errorf("oram: bucket %d: %w", path[k], err)
+		}
+		o.parseBucketInto(plain)
+	}
+	return nil
 }
 
 // pathNodes returns the 0-based store indices of the buckets on the path
@@ -334,7 +438,9 @@ func (o *PathORAM) parseBucketInto(plain []byte) {
 }
 
 func (o *PathORAM) writePath(leaf uint32, path []int64) error {
-	// Work bottom-up (deepest bucket first) so blocks sink as far as allowed.
+	// Fill bottom-up (deepest bucket first) so blocks sink as far as
+	// allowed, then upload the whole path in one write-back round.
+	sealedBuckets := make([][]byte, o.levels)
 	for lvl := o.levels - 1; lvl >= 0; lvl-- {
 		bucket := make([]byte, o.bucketSize)
 		filled := 0
@@ -357,9 +463,18 @@ func (o *PathORAM) writePath(leaf uint32, path []int64) error {
 		if err != nil {
 			return err
 		}
-		if err := o.store.Write(path[lvl], sealed); err != nil {
+		sealedBuckets[lvl] = sealed
+	}
+	if o.batch != nil {
+		return o.batch.WriteMany(path, sealedBuckets)
+	}
+	for lvl := o.levels - 1; lvl >= 0; lvl-- {
+		if err := o.store.Write(path[lvl], sealedBuckets[lvl]); err != nil {
 			return err
 		}
+	}
+	if o.cfg.Meter != nil {
+		o.cfg.Meter.CountRound()
 	}
 	return nil
 }
@@ -404,7 +519,8 @@ func (o *PathORAM) BulkLoad(payloads [][]byte) error {
 			o.stash[key] = stashEntry{leaf: leaf, payload: buf}
 		}
 	}
-	// Serialize and upload every bucket once.
+	// Serialize and upload every bucket once, in batched rounds.
+	up := newUploader(o)
 	for n := int64(0); n < 2*o.leaves-1; n++ {
 		bucket := make([]byte, o.bucketSize)
 		for s, pl := range buckets[n] {
@@ -418,9 +534,12 @@ func (o *PathORAM) BulkLoad(payloads [][]byte) error {
 		if err != nil {
 			return err
 		}
-		if err := o.store.Write(n, sealed); err != nil {
+		if err := up.add(n, sealed); err != nil {
 			return err
 		}
+	}
+	if err := up.flush(); err != nil {
+		return err
 	}
 	if len(o.stash) > o.maxStash {
 		o.maxStash = len(o.stash)

@@ -128,8 +128,10 @@ func TestPathORAMUniformAccessCost(t *testing.T) {
 		if d.BlocksMoved() != per {
 			t.Fatalf("op %d moved %d blocks, want %d", i, d.BlocksMoved(), per)
 		}
-		if d.NetworkRounds != 1 {
-			t.Fatalf("op %d used %d rounds, want 1", i, d.NetworkRounds)
+		// A batched access is exactly two round trips: the path download and
+		// the path write-back.
+		if d.NetworkRounds != int64(o.RoundsPerOp()) || d.NetworkRounds != 2 {
+			t.Fatalf("op %d used %d rounds, want %d", i, d.NetworkRounds, o.RoundsPerOp())
 		}
 		// Reads and writes are balanced: a path is read then rewritten.
 		if d.BlockReads != d.BlockWrites {
@@ -416,7 +418,7 @@ func TestPathORAMUpdate(t *testing.T) {
 		t.Fatalf("update returned %d", got[0])
 	}
 	// An Update is a single access, indistinguishable from a Read.
-	if d := m.Snapshot().Sub(before); d.BlocksMoved() != int64(o.AccessesPerOp()) || d.NetworkRounds != 1 {
+	if d := m.Snapshot().Sub(before); d.BlocksMoved() != int64(o.AccessesPerOp()) || d.NetworkRounds != int64(o.RoundsPerOp()) {
 		t.Fatalf("update cost %+v", d)
 	}
 	r, err := o.Read(2)
@@ -472,6 +474,55 @@ func TestPathORAMDetectsTampering(t *testing.T) {
 	}
 	if _, err := o.Read(3); err == nil {
 		t.Fatal("read of tampered storage succeeded")
+	}
+}
+
+// singleOpStore hides MemStore's batch methods, forcing Path-ORAM onto the
+// per-bucket fallback path a non-batching backend would take.
+type singleOpStore struct{ s *storage.MemStore }
+
+func (w singleOpStore) Read(i int64) ([]byte, error)  { return w.s.Read(i) }
+func (w singleOpStore) Write(i int64, d []byte) error { return w.s.Write(i, d) }
+func (w singleOpStore) Len() int64                    { return w.s.Len() }
+func (w singleOpStore) BlockSize() int                { return w.s.BlockSize() }
+
+func TestPathORAMNonBatchStoreFallback(t *testing.T) {
+	m := storage.NewMeter()
+	o, err := NewPathORAM(PathConfig{
+		Name:        "fallback",
+		Capacity:    32,
+		PayloadSize: 16,
+		Meter:       m,
+		Sealer:      testSealer(t),
+		Rand:        NewSeededSource(8),
+		OpenStore: func(name string, slots int64, blockSize int) (storage.Store, error) {
+			return singleOpStore{storage.NewMemStore(name, slots, blockSize, m)}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 32; i++ {
+		if err := o.Write(i, []byte{byte(i)}); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	before := m.Snapshot()
+	got, err := o.Read(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 7 {
+		t.Fatalf("read = %d", got[0])
+	}
+	// The fallback still simulates two rounds per access (read phase +
+	// write-back phase) so accounting stays comparable with batch stores.
+	d := m.Snapshot().Sub(before)
+	if d.NetworkRounds != 2 {
+		t.Fatalf("fallback rounds %d, want 2", d.NetworkRounds)
+	}
+	if d.BlocksMoved() != int64(o.AccessesPerOp()) {
+		t.Fatalf("fallback moved %d blocks, want %d", d.BlocksMoved(), o.AccessesPerOp())
 	}
 }
 

@@ -22,6 +22,9 @@ type posMap interface {
 	// accessesPerOp is the number of server block operations one getAndSet
 	// (or dummyOp) performs.
 	accessesPerOp() int
+	// roundsPerOp is the number of network round trips one getAndSet (or
+	// dummyOp) costs over a batching transport.
+	roundsPerOp() int
 	clientBytes() int64
 	serverBytes() int64
 }
@@ -52,6 +55,7 @@ func (m *flatPosMap) set(key uint64, leaf uint32) error {
 
 func (m *flatPosMap) dummyOp() error     { return nil }
 func (m *flatPosMap) accessesPerOp() int { return 0 }
+func (m *flatPosMap) roundsPerOp() int   { return 0 }
 func (m *flatPosMap) clientBytes() int64 { return int64(len(m.leaves)) * 4 }
 func (m *flatPosMap) serverBytes() int64 { return 0 }
 
@@ -81,6 +85,7 @@ func newORAMPosMap(parent PathConfig, capacity, cutoff int64, rnd LeafSource) (*
 		Rand:          rnd,
 		RecursePosMap: numBlocks > cutoff,
 		RecurseCutoff: cutoff,
+		OpenStore:     parent.OpenStore,
 	}
 	child, err := NewPathORAM(childCfg)
 	if err != nil {
@@ -129,5 +134,6 @@ func (m *oramPosMap) dummyOp() error {
 }
 
 func (m *oramPosMap) accessesPerOp() int { return 2 * m.child.AccessesPerOp() }
+func (m *oramPosMap) roundsPerOp() int   { return 2 * m.child.RoundsPerOp() }
 func (m *oramPosMap) clientBytes() int64 { return m.child.ClientBytes() }
 func (m *oramPosMap) serverBytes() int64 { return m.child.ServerBytes() }

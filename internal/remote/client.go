@@ -1,0 +1,330 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"oblivjoin/internal/storage"
+)
+
+// ClientOptions configures a Client.
+type ClientOptions struct {
+	// Addr is the server's TCP address.
+	Addr string
+	// PoolSize caps the idle connections kept for reuse; 0 means 4.
+	PoolSize int
+	// DialTimeout bounds connection establishment; 0 means 5s.
+	DialTimeout time.Duration
+	// RequestTimeout bounds one round trip (write request, read response);
+	// 0 means 30s.
+	RequestTimeout time.Duration
+	// MaxRetries is how many times a transient failure (injected fault,
+	// network error, timeout) is retried before giving up; 0 means 4.
+	// Retries back off exponentially from RetryBase.
+	MaxRetries int
+	// RetryBase is the first backoff delay; 0 means 5ms. Doubles per
+	// attempt, capped at 1s.
+	RetryBase time.Duration
+	// MaxFrame bounds accepted response frames; 0 means DefaultMaxFrame.
+	MaxFrame int
+	// Meter, when non-nil, receives client-side traffic accounting: every
+	// successful RPC is one network round, batch ops are one round with
+	// many block accesses — the real-transport version of the simulated
+	// accounting MemStore reports.
+	Meter *storage.Meter
+}
+
+func (o ClientOptions) poolSize() int {
+	if o.PoolSize <= 0 {
+		return 4
+	}
+	return o.PoolSize
+}
+
+func (o ClientOptions) dialTimeout() time.Duration {
+	if o.DialTimeout <= 0 {
+		return 5 * time.Second
+	}
+	return o.DialTimeout
+}
+
+func (o ClientOptions) requestTimeout() time.Duration {
+	if o.RequestTimeout <= 0 {
+		return 30 * time.Second
+	}
+	return o.RequestTimeout
+}
+
+func (o ClientOptions) maxRetries() int {
+	if o.MaxRetries <= 0 {
+		return 4
+	}
+	return o.MaxRetries
+}
+
+func (o ClientOptions) retryBase() time.Duration {
+	if o.RetryBase <= 0 {
+		return 5 * time.Millisecond
+	}
+	return o.RetryBase
+}
+
+// ErrClosed is returned by operations on a closed client.
+var ErrClosed = errors.New("remote: client is closed")
+
+// RemoteError is a permanent failure reported by the server.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return e.Msg }
+
+// errTransient wraps failures the client may retry.
+type errTransient struct{ err error }
+
+func (e *errTransient) Error() string { return e.err.Error() }
+func (e *errTransient) Unwrap() error { return e.err }
+
+// Client is a connection-pooled handle to a remote block server. It is safe
+// for concurrent use; each in-flight request holds one pooled connection.
+type Client struct {
+	opts ClientOptions
+
+	mu     sync.Mutex
+	idle   []net.Conn
+	closed bool
+}
+
+// Dial connects to a block server, verifying reachability with one pooled
+// connection up front.
+func Dial(opts ClientOptions) (*Client, error) {
+	c := &Client{opts: opts}
+	conn, err := c.dial()
+	if err != nil {
+		return nil, fmt.Errorf("remote: dial %s: %w", opts.Addr, err)
+	}
+	c.put(conn)
+	return c, nil
+}
+
+func (c *Client) dial() (net.Conn, error) {
+	return net.DialTimeout("tcp", c.opts.Addr, c.opts.dialTimeout())
+}
+
+// get checks a connection out of the pool, dialing a fresh one when empty.
+func (c *Client) get() (net.Conn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if n := len(c.idle); n > 0 {
+		conn := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return conn, nil
+	}
+	c.mu.Unlock()
+	return c.dial()
+}
+
+func (c *Client) put(conn net.Conn) {
+	c.mu.Lock()
+	if !c.closed && len(c.idle) < c.opts.poolSize() {
+		c.idle = append(c.idle, conn)
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	conn.Close()
+}
+
+// Close releases all pooled connections.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	idle := c.idle
+	c.idle = nil
+	c.mu.Unlock()
+	for _, conn := range idle {
+		conn.Close()
+	}
+	return nil
+}
+
+// roundTrip performs one request over one connection under the per-request
+// deadline. Network-level failures come back wrapped as transient.
+func (c *Client) roundTrip(conn net.Conn, req *Request) (*Response, error) {
+	if err := conn.SetDeadline(time.Now().Add(c.opts.requestTimeout())); err != nil {
+		return nil, &errTransient{err}
+	}
+	if err := WriteFrame(conn, EncodeRequest(req)); err != nil {
+		return nil, &errTransient{err}
+	}
+	payload, err := ReadFrame(conn, c.opts.MaxFrame)
+	if err != nil {
+		return nil, &errTransient{err}
+	}
+	return DecodeResponse(payload)
+}
+
+// call executes a request with bounded retry and exponential backoff on
+// transient failures. Block writes are idempotent (absolute index, absolute
+// contents), so retrying after an ambiguous network failure is safe.
+func (c *Client) call(req *Request) (*Response, error) {
+	backoff := c.opts.retryBase()
+	var lastErr error
+	for attempt := 0; attempt <= c.opts.maxRetries(); attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > time.Second {
+				backoff = time.Second
+			}
+		}
+		conn, err := c.get()
+		if err != nil {
+			if errors.Is(err, ErrClosed) {
+				return nil, err
+			}
+			lastErr = err
+			continue
+		}
+		resp, err := c.roundTrip(conn, req)
+		if err != nil {
+			// The connection is in an unknown state mid-protocol: discard it.
+			conn.Close()
+			var tr *errTransient
+			if errors.As(err, &tr) {
+				lastErr = err
+				continue
+			}
+			return nil, err
+		}
+		c.put(conn)
+		switch resp.Status {
+		case StatusOK:
+			return resp, nil
+		case StatusTransient:
+			lastErr = &errTransient{errors.New(resp.Msg)}
+			continue
+		default:
+			return nil, &RemoteError{Msg: resp.Msg}
+		}
+	}
+	return nil, fmt.Errorf("remote: %s %q failed after %d attempts: %w",
+		req.Op, req.Store, c.opts.maxRetries()+1, lastErr)
+}
+
+// Create provisions a named store on the server and returns a handle to it.
+func (c *Client) Create(name string, slots int64, blockSize int) (*RemoteStore, error) {
+	resp, err := c.call(&Request{Op: OpCreate, Store: name, Slots: slots, BlockSize: int64(blockSize)})
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteStore{c: c, name: name, slots: resp.Slots, blockSize: int(resp.BlockSize)}, nil
+}
+
+// Open attaches to an existing named store, fetching its geometry.
+func (c *Client) Open(name string) (*RemoteStore, error) {
+	resp, err := c.call(&Request{Op: OpStat, Store: name})
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteStore{c: c, name: name, slots: resp.Slots, blockSize: int(resp.BlockSize)}, nil
+}
+
+// Opener returns a storage.Opener that provisions stores on the remote
+// server — plug it into oram.PathConfig.OpenStore or table.Options to run
+// the whole engine against this server.
+func (c *Client) Opener() storage.Opener {
+	return func(name string, slots int64, blockSize int) (storage.Store, error) {
+		return c.Create(name, slots, blockSize)
+	}
+}
+
+// RemoteStore is a client-side handle to one named store on the server. It
+// implements storage.Store and storage.BatchStore: batch operations move a
+// whole ORAM path in one round trip.
+type RemoteStore struct {
+	c         *Client
+	name      string
+	slots     int64
+	blockSize int
+}
+
+var _ storage.BatchStore = (*RemoteStore)(nil)
+
+// Name returns the server-side store name.
+func (s *RemoteStore) Name() string { return s.name }
+
+// Len implements storage.Store.
+func (s *RemoteStore) Len() int64 { return s.slots }
+
+// BlockSize implements storage.Store.
+func (s *RemoteStore) BlockSize() int { return s.blockSize }
+
+// Read implements storage.Store: one block, one round trip.
+func (s *RemoteStore) Read(i int64) ([]byte, error) {
+	resp, err := s.c.call(&Request{Op: OpRead, Store: s.name, Indices: []int64{i}})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Blocks) != 1 {
+		return nil, fmt.Errorf("%w: read returned %d blocks", ErrMalformed, len(resp.Blocks))
+	}
+	if m := s.c.opts.Meter; m != nil {
+		m.CountBatch(s.name, storage.KindRead, []int64{i}, s.blockSize)
+	}
+	return resp.Blocks[0], nil
+}
+
+// Write implements storage.Store.
+func (s *RemoteStore) Write(i int64, data []byte) error {
+	_, err := s.c.call(&Request{Op: OpWrite, Store: s.name, Indices: []int64{i}, Blocks: [][]byte{data}})
+	if err != nil {
+		return err
+	}
+	if m := s.c.opts.Meter; m != nil {
+		m.CountBatch(s.name, storage.KindWrite, []int64{i}, s.blockSize)
+	}
+	return nil
+}
+
+// ReadMany implements storage.BatchStore: the whole batch is one request,
+// hence one round trip — the fast path that lets Path-ORAM fetch a full
+// tree path per round.
+func (s *RemoteStore) ReadMany(idxs []int64) ([][]byte, error) {
+	if len(idxs) == 0 {
+		return nil, nil
+	}
+	resp, err := s.c.call(&Request{Op: OpReadMany, Store: s.name, Indices: idxs})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Blocks) != len(idxs) {
+		return nil, fmt.Errorf("%w: batch read returned %d of %d blocks", ErrMalformed, len(resp.Blocks), len(idxs))
+	}
+	if m := s.c.opts.Meter; m != nil {
+		m.CountBatch(s.name, storage.KindRead, idxs, s.blockSize)
+	}
+	return resp.Blocks, nil
+}
+
+// WriteMany implements storage.BatchStore.
+func (s *RemoteStore) WriteMany(idxs []int64, data [][]byte) error {
+	if len(idxs) != len(data) {
+		return fmt.Errorf("remote: batch write of %d blocks with %d payloads", len(idxs), len(data))
+	}
+	if len(idxs) == 0 {
+		return nil
+	}
+	_, err := s.c.call(&Request{Op: OpWriteMany, Store: s.name, Indices: idxs, Blocks: data})
+	if err != nil {
+		return err
+	}
+	if m := s.c.opts.Meter; m != nil {
+		m.CountBatch(s.name, storage.KindWrite, idxs, s.blockSize)
+	}
+	return nil
+}

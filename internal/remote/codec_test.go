@@ -1,0 +1,160 @@
+package remote
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	cases := []*Request{
+		{Op: OpRead, Store: "t1.data", Indices: []int64{7}},
+		{Op: OpWrite, Store: "t1.data", Indices: []int64{3}, Blocks: [][]byte{[]byte("payload")}},
+		{Op: OpReadMany, Store: "x", Indices: []int64{0, 5, 2, 9}},
+		{Op: OpWriteMany, Store: "x", Indices: []int64{1, 2}, Blocks: [][]byte{[]byte("a"), []byte("bb")}},
+		{Op: OpStat, Store: "idx.k"},
+		{Op: OpCreate, Store: "fresh", Slots: 128, BlockSize: 4096},
+	}
+	for _, req := range cases {
+		got, err := DecodeRequest(EncodeRequest(req))
+		if err != nil {
+			t.Fatalf("%s: %v", req.Op, err)
+		}
+		if !reflect.DeepEqual(got, req) {
+			t.Fatalf("%s: round trip %+v != %+v", req.Op, got, req)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	cases := []*Response{
+		{Status: StatusOK, Blocks: [][]byte{[]byte("blk")}},
+		{Status: StatusOK, Slots: 64, BlockSize: 4144},
+		{Status: StatusError, Msg: "remote: unknown store"},
+		{Status: StatusTransient, Msg: "injected"},
+	}
+	for i, resp := range cases {
+		got, err := DecodeResponse(EncodeResponse(resp))
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, resp) {
+			t.Fatalf("case %d: round trip %+v != %+v", i, got, resp)
+		}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("hello frames")
+	if err := WriteFrame(&buf, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestReadFrameRejectsOversized(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 1<<30)
+	if _, err := ReadFrame(bytes.NewReader(hdr[:]), 1024); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("got %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestReadFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("truncate me")); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	for cut := 0; cut < len(whole); cut++ {
+		if _, err := ReadFrame(bytes.NewReader(whole[:cut]), 0); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		} else if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("truncation at %d: %v", cut, err)
+		}
+	}
+}
+
+func TestDecodeRequestMalformed(t *testing.T) {
+	base := EncodeRequest(&Request{Op: OpWriteMany, Store: "s", Indices: []int64{1, 2}, Blocks: [][]byte{[]byte("aa"), []byte("bb")}})
+	cases := map[string][]byte{
+		"empty":          {},
+		"unknown op":     {0xFF},
+		"zero op":        {0x00},
+		"trailing bytes": append(append([]byte{}, base...), 0x01),
+		"truncated":      base[:len(base)-3],
+		// A count claiming more indices than the payload could possibly hold
+		// must be rejected before allocation.
+		"forged count": {byte(OpReadMany), 1, 's', 0, 0, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F},
+	}
+	for name, payload := range cases {
+		if _, err := DecodeRequest(payload); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestDecodeResponseMalformed(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":          {},
+		"bad status":     {0x09},
+		"truncated msg":  {byte(StatusError), 0x10, 'x'},
+		"trailing bytes": append(EncodeResponse(&Response{}), 0xAA),
+	}
+	for name, payload := range cases {
+		if _, err := DecodeResponse(payload); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// FuzzDecodeFrame feeds arbitrary bytes through the frame reader and both
+// message decoders: none may panic, and any allocation they perform must be
+// bounded by the input length (enforced indirectly — a forged count that
+// over-allocates would OOM the fuzzer).
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add(EncodeRequest(&Request{Op: OpRead, Store: "t", Indices: []int64{1}}))
+	f.Add(EncodeRequest(&Request{Op: OpWriteMany, Store: "t", Indices: []int64{1, 2}, Blocks: [][]byte{[]byte("a"), []byte("b")}}))
+	f.Add(EncodeRequest(&Request{Op: OpCreate, Store: "t", Slots: 8, BlockSize: 64}))
+	f.Add(EncodeResponse(&Response{Status: StatusOK, Blocks: [][]byte{[]byte("blk")}}))
+	f.Add(EncodeResponse(&Response{Status: StatusTransient, Msg: "retry"}))
+	var framed bytes.Buffer
+	_ = WriteFrame(&framed, EncodeRequest(&Request{Op: OpStat, Store: "t"}))
+	f.Add(framed.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if payload, err := ReadFrame(bytes.NewReader(data), 1<<20); err == nil {
+			_, _ = DecodeRequest(payload)
+			_, _ = DecodeResponse(payload)
+		}
+		if req, err := DecodeRequest(data); err == nil {
+			// Whatever decodes must re-encode and decode to the same value.
+			back, err := DecodeRequest(EncodeRequest(req))
+			if err != nil {
+				t.Fatalf("re-decode failed: %v", err)
+			}
+			if !reflect.DeepEqual(back, req) {
+				t.Fatalf("re-encode mismatch: %+v != %+v", back, req)
+			}
+		}
+		if resp, err := DecodeResponse(data); err == nil {
+			back, err := DecodeResponse(EncodeResponse(resp))
+			if err != nil {
+				t.Fatalf("re-decode failed: %v", err)
+			}
+			if !reflect.DeepEqual(back, resp) {
+				t.Fatalf("re-encode mismatch: %+v != %+v", back, resp)
+			}
+		}
+	})
+}

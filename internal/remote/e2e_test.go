@@ -1,0 +1,120 @@
+package remote
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"oblivjoin/internal/core"
+	"oblivjoin/internal/oram"
+	"oblivjoin/internal/relation"
+	"oblivjoin/internal/storage"
+	"oblivjoin/internal/table"
+	"oblivjoin/internal/xcrypto"
+)
+
+func e2eRel(name string, keys []int64) *relation.Relation {
+	rel := &relation.Relation{Schema: relation.Schema{Table: name, Columns: []string{"k", "id"}}}
+	for i, k := range keys {
+		rel.Tuples = append(rel.Tuples, relation.Tuple{Values: []int64{k, int64(i)}})
+	}
+	return rel
+}
+
+func multiset(tuples []relation.Tuple) map[string]int {
+	m := map[string]int{}
+	for _, t := range tuples {
+		m[fmt.Sprint(t.Values)]++
+	}
+	return m
+}
+
+// runLoopbackJoin stores both relations on a loopback ojoinserver via the
+// remote client and runs the binary oblivious sort-merge join entirely over
+// the wire.
+func runLoopbackJoin(t *testing.T, faults FaultModel, k1, k2 []int64) *core.Result {
+	t.Helper()
+	m := storage.NewMeter()
+	srv, c := startServer(t,
+		ServerOptions{Faults: faults},
+		ClientOptions{Meter: m, MaxRetries: 6, RequestTimeout: 5 * time.Second})
+	_ = srv
+	sealer, err := xcrypto.NewSealer(bytes.Repeat([]byte{3}, xcrypto.KeySize), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, r2 := e2eRel("t1", k1), e2eRel("t2", k2)
+	topts := table.Options{
+		BlockPayload: 256,
+		Meter:        m,
+		Sealer:       sealer,
+		Rand:         oram.NewSeededSource(21),
+		OpenStore:    c.Opener(),
+	}
+	t1, err := table.Store(r1, []string{"k"}, topts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := table.Store(r2, []string{"k"}, topts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.SortMergeJoin(t1, t2, "k", "k", core.Options{
+		Meter:        m,
+		Sealer:       sealer,
+		OutBlockSize: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestSortMergeJoinOverLoopbackServer runs a binary sort-merge join with
+// every input table hosted on a loopback ojoinserver and checks the result
+// against the in-memory reference join — first over a clean transport, then
+// under deterministic transient fault injection, which must change nothing
+// but the number of wire attempts.
+func TestSortMergeJoinOverLoopbackServer(t *testing.T) {
+	k1 := []int64{1, 2, 2, 4, 6, 7, 7, 9, 12, 15}
+	k2 := []int64{2, 2, 3, 4, 7, 7, 7, 10, 12, 14}
+	want := multiset(core.ReferenceEquiJoin(e2eRel("t1", k1), e2eRel("t2", k2), "k", "k"))
+
+	check := func(t *testing.T, res *core.Result) {
+		t.Helper()
+		got := multiset(res.Tuples)
+		if len(got) != len(want) {
+			t.Fatalf("distinct tuples: got %d, want %d", len(got), len(want))
+		}
+		for k, n := range want {
+			if got[k] != n {
+				t.Fatalf("tuple %s: got %d, want %d", k, got[k], n)
+			}
+		}
+		if res.Stats.NetworkRounds == 0 || res.Stats.BlocksMoved() == 0 {
+			t.Fatalf("no transport traffic recorded: %+v", res.Stats)
+		}
+	}
+
+	var clean, faulty *core.Result
+	t.Run("clean", func(t *testing.T) {
+		clean = runLoopbackJoin(t, nil, k1, k2)
+		check(t, clean)
+	})
+	t.Run("injected-faults", func(t *testing.T) {
+		shaper := &Shaper{FailEvery: 7}
+		faulty = runLoopbackJoin(t, shaper, k1, k2)
+		check(t, faulty)
+		if shaper.Requests() == 0 {
+			t.Fatal("fault model never consulted")
+		}
+	})
+	if clean != nil && faulty != nil {
+		// Fault injection perturbs only the transport, never the join: the
+		// result sizes and the metered logical traffic are identical.
+		if clean.RealCount != faulty.RealCount || clean.PaddedSteps != faulty.PaddedSteps {
+			t.Fatalf("faults changed the join: %+v vs %+v", clean, faulty)
+		}
+	}
+}

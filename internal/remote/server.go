@@ -1,0 +1,371 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"oblivjoin/internal/storage"
+)
+
+// Counters is a per-store snapshot of server-side access accounting. Each
+// request is one network round trip, so Requests is the server's view of
+// the round count the paper's cost argument is about — tests assert ORAM
+// accesses against it rather than against client-side simulation.
+type Counters struct {
+	// Requests counts RPCs served against this store (= round trips).
+	Requests int64
+	// Per-op request counts.
+	Reads, Writes, BatchReads, BatchWrites, Stats int64
+	// BlocksRead / BlocksWritten count individual block transfers.
+	BlocksRead, BlocksWritten int64
+}
+
+// ServerOptions configures a Server.
+type ServerOptions struct {
+	// MaxFrame bounds accepted request frames; 0 means DefaultMaxFrame.
+	MaxFrame int
+	// Faults, when non-nil, shapes every request (latency and injected
+	// transient failures).
+	Faults FaultModel
+	// MaxStoreBytes caps the total footprint OpCreate may allocate across
+	// all dynamically created stores; 0 means 1 GiB.
+	MaxStoreBytes int64
+}
+
+func (o ServerOptions) maxFrame() int {
+	if o.MaxFrame <= 0 {
+		return DefaultMaxFrame
+	}
+	return o.MaxFrame
+}
+
+func (o ServerOptions) maxStoreBytes() int64 {
+	if o.MaxStoreBytes <= 0 {
+		return 1 << 30
+	}
+	return o.MaxStoreBytes
+}
+
+type connState struct {
+	c net.Conn
+	// busy marks a request mid-execution; graceful shutdown lets busy
+	// connections finish their current request before closing.
+	busy bool
+	// closeAfter asks the serving goroutine to exit once the in-flight
+	// request's response has been written.
+	closeAfter bool
+}
+
+// Server hosts named block stores behind the wire protocol. It is the
+// paper's untrusted storage server: it executes block reads and writes
+// verbatim and performs no other computation.
+type Server struct {
+	opts ServerOptions
+
+	mu        sync.Mutex
+	stores    map[string]storage.Store
+	counts    map[string]*Counters
+	conns     map[*connState]struct{}
+	ln        net.Listener
+	closing   bool
+	createdBy int64 // bytes allocated via OpCreate
+
+	wg sync.WaitGroup
+}
+
+// NewServer returns a server with no stores registered.
+func NewServer(opts ServerOptions) *Server {
+	return &Server{
+		opts:   opts,
+		stores: make(map[string]storage.Store),
+		counts: make(map[string]*Counters),
+		conns:  make(map[*connState]struct{}),
+	}
+}
+
+// Register hosts an existing store under the given name.
+func (s *Server) Register(name string, st storage.Store) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.stores[name]; ok {
+		return fmt.Errorf("remote: store %q already registered", name)
+	}
+	s.stores[name] = st
+	s.counts[name] = &Counters{}
+	return nil
+}
+
+// StoreNames lists hosted stores.
+func (s *Server) StoreNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.stores))
+	for n := range s.stores {
+		names = append(names, n)
+	}
+	return names
+}
+
+// Counts returns a snapshot of the access counters for a store.
+func (s *Server) Counts(name string) Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.counts[name]; ok {
+		return *c
+	}
+	return Counters{}
+}
+
+// TotalRequests sums Requests across all stores.
+func (s *Server) TotalRequests() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total int64
+	for _, c := range s.counts {
+		total += c.Requests
+	}
+	return total
+}
+
+// Listen binds addr (e.g. "127.0.0.1:0") and starts serving in the
+// background. The bound address is returned so callers can use port 0.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		ln.Close()
+		return nil, errors.New("remote: server is closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		cs := &connState{c: c}
+		s.mu.Lock()
+		if s.closing {
+			s.mu.Unlock()
+			c.Close()
+			return
+		}
+		s.conns[cs] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(cs)
+	}
+}
+
+func (s *Server) serveConn(cs *connState) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, cs)
+		s.mu.Unlock()
+		cs.c.Close()
+	}()
+	for {
+		payload, err := ReadFrame(cs.c, s.opts.maxFrame())
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		cs.busy = true
+		s.mu.Unlock()
+
+		var resp *Response
+		req, derr := DecodeRequest(payload)
+		if derr != nil {
+			resp = &Response{Status: StatusError, Msg: derr.Error()}
+		} else {
+			resp = s.handle(req)
+		}
+		werr := WriteFrame(cs.c, EncodeResponse(resp))
+
+		s.mu.Lock()
+		cs.busy = false
+		stop := cs.closeAfter
+		s.mu.Unlock()
+		if werr != nil || derr != nil || stop {
+			return
+		}
+	}
+}
+
+// handle executes one request. The fault model runs first so injected
+// latency and transient failures shape every operation uniformly.
+func (s *Server) handle(req *Request) *Response {
+	if f := s.opts.Faults; f != nil {
+		delay, transient := f.Next(req)
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		if transient {
+			return &Response{Status: StatusTransient, Msg: "remote: injected transient fault"}
+		}
+	}
+	if req.Op == OpCreate {
+		return s.handleCreate(req)
+	}
+	s.mu.Lock()
+	st, ok := s.stores[req.Store]
+	c := s.counts[req.Store]
+	if ok {
+		c.Requests++
+		switch req.Op {
+		case OpRead:
+			c.Reads++
+			c.BlocksRead++
+		case OpWrite:
+			c.Writes++
+			c.BlocksWritten++
+		case OpReadMany:
+			c.BatchReads++
+			c.BlocksRead += int64(len(req.Indices))
+		case OpWriteMany:
+			c.BatchWrites++
+			c.BlocksWritten += int64(len(req.Indices))
+		case OpStat:
+			c.Stats++
+		}
+	}
+	s.mu.Unlock()
+	if !ok {
+		return &Response{Status: StatusError, Msg: fmt.Sprintf("remote: unknown store %q", req.Store)}
+	}
+
+	fail := func(err error) *Response { return &Response{Status: StatusError, Msg: err.Error()} }
+	switch req.Op {
+	case OpRead:
+		if len(req.Indices) != 1 {
+			return fail(fmt.Errorf("remote: read wants 1 index, got %d", len(req.Indices)))
+		}
+		blk, err := st.Read(req.Indices[0])
+		if err != nil {
+			return fail(err)
+		}
+		return &Response{Blocks: [][]byte{blk}}
+	case OpWrite:
+		if len(req.Indices) != 1 || len(req.Blocks) != 1 {
+			return fail(fmt.Errorf("remote: write wants 1 index and 1 block, got %d/%d", len(req.Indices), len(req.Blocks)))
+		}
+		if err := st.Write(req.Indices[0], req.Blocks[0]); err != nil {
+			return fail(err)
+		}
+		return &Response{}
+	case OpReadMany:
+		blocks, err := readMany(st, req.Indices)
+		if err != nil {
+			return fail(err)
+		}
+		return &Response{Blocks: blocks}
+	case OpWriteMany:
+		if len(req.Indices) != len(req.Blocks) {
+			return fail(fmt.Errorf("remote: batch write of %d indices with %d blocks", len(req.Indices), len(req.Blocks)))
+		}
+		if err := writeMany(st, req.Indices, req.Blocks); err != nil {
+			return fail(err)
+		}
+		return &Response{}
+	case OpStat:
+		return &Response{Slots: st.Len(), BlockSize: int64(st.BlockSize())}
+	default:
+		return fail(fmt.Errorf("remote: unsupported op %s", req.Op))
+	}
+}
+
+// readMany / writeMany prefer the hosted store's native batch support and
+// fall back to per-block operations otherwise — either way the client paid
+// exactly one round trip.
+func readMany(st storage.Store, idxs []int64) ([][]byte, error) {
+	if b, ok := st.(storage.BatchStore); ok {
+		return b.ReadMany(idxs)
+	}
+	out := make([][]byte, len(idxs))
+	for k, i := range idxs {
+		blk, err := st.Read(i)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = blk
+	}
+	return out, nil
+}
+
+func writeMany(st storage.Store, idxs []int64, blocks [][]byte) error {
+	if b, ok := st.(storage.BatchStore); ok {
+		return b.WriteMany(idxs, blocks)
+	}
+	for k, i := range idxs {
+		if err := st.Write(i, blocks[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Server) handleCreate(req *Request) *Response {
+	if req.Slots < 0 || req.BlockSize <= 0 {
+		return &Response{Status: StatusError, Msg: fmt.Sprintf("remote: bad geometry %d×%d", req.Slots, req.BlockSize)}
+	}
+	need := req.Slots * req.BlockSize
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.stores[req.Store]; ok {
+		return &Response{Status: StatusError, Msg: fmt.Sprintf("remote: store %q already exists", req.Store)}
+	}
+	if s.createdBy+need > s.opts.maxStoreBytes() {
+		return &Response{Status: StatusError, Msg: fmt.Sprintf("remote: create of %d bytes exceeds server capacity", need)}
+	}
+	s.createdBy += need
+	// The server-side store carries no meter: accounting is the client's
+	// concern, the server only counts requests.
+	s.stores[req.Store] = storage.NewMemStore(req.Store, req.Slots, int(req.BlockSize), nil)
+	s.counts[req.Store] = &Counters{Requests: 1}
+	return &Response{Slots: req.Slots, BlockSize: req.BlockSize}
+}
+
+// Close gracefully shuts the server down: it stops accepting connections,
+// lets every in-flight request complete and its response flush, closes all
+// connections, and waits for the serving goroutines to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closing = true
+	ln := s.ln
+	for cs := range s.conns {
+		if cs.busy {
+			cs.closeAfter = true
+		} else {
+			// Idle connections are blocked reading the next frame; closing
+			// unblocks them and their goroutines exit.
+			cs.c.Close()
+		}
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}

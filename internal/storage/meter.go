@@ -110,11 +110,40 @@ func (m *Meter) countWrite(store string, idx int64, n int) {
 	m.mu.Unlock()
 }
 
-// CountRound records one client↔server round trip. ORAM protocols batch a
-// whole path per round, so the ORAM layer calls this once per path access.
+// CountRound records one client↔server round trip. Layers that move blocks
+// through single-block Store operations call this once per logical round;
+// BatchStore implementations instead use CountBatch, which accounts the
+// round and its block traffic together.
 func (m *Meter) CountRound() {
 	m.mu.Lock()
 	m.rounds++
+	m.mu.Unlock()
+}
+
+// CountBatch records a batched transfer of the given blocks as exactly one
+// network round with len(idxs) accesses of blockBytes each. Transports call
+// this once per batch RPC so NetworkRounds counts real round trips rather
+// than simulated ones; when tracing, every block in the batch is appended
+// to the trace individually so obliviousness checks see the full access
+// sequence. An empty batch records nothing.
+func (m *Meter) CountBatch(store string, kind AccessKind, idxs []int64, blockBytes int) {
+	if len(idxs) == 0 {
+		return
+	}
+	m.mu.Lock()
+	m.rounds++
+	if kind == KindRead {
+		m.reads += int64(len(idxs))
+		m.bytesRead += int64(len(idxs)) * int64(blockBytes)
+	} else {
+		m.writes += int64(len(idxs))
+		m.bytesWrite += int64(len(idxs)) * int64(blockBytes)
+	}
+	if m.tracing {
+		for _, i := range idxs {
+			m.trace = append(m.trace, Access{Store: store, Kind: kind, Index: i, Bytes: blockBytes})
+		}
+	}
 	m.mu.Unlock()
 }
 

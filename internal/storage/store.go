@@ -34,6 +34,27 @@ type Store interface {
 	BlockSize() int
 }
 
+// BatchStore is a Store that can move many blocks per network round trip.
+// The paper argues oblivious join cost in round trips (Section 9.1): a
+// Path-ORAM access touches O(log n) buckets, and a transport that batches
+// the whole path pays one round instead of O(log n). Implementations that
+// report to a Meter must account each batch as exactly one round.
+type BatchStore interface {
+	Store
+	// ReadMany returns copies of the blocks at the given indices, in order,
+	// in a single round trip. An empty batch performs no round.
+	ReadMany(idxs []int64) ([][]byte, error)
+	// WriteMany replaces the block at idxs[i] with data[i] for every i, in a
+	// single round trip. len(data) must equal len(idxs).
+	WriteMany(idxs []int64, data [][]byte) error
+}
+
+// Opener provisions a named block store with the given geometry. It is how
+// the ORAM layer is parameterized over backends: nil means an in-process
+// MemStore; a remote deployment passes a transport-backed opener so the
+// same join code runs against a networked block server.
+type Opener func(name string, slots int64, blockSize int) (Store, error)
+
 // MemStore is an in-memory Store. It is safe for concurrent use.
 type MemStore struct {
 	mu        sync.RWMutex
@@ -103,6 +124,57 @@ func (s *MemStore) Write(i int64, data []byte) error {
 	s.mu.Unlock()
 	if s.meter != nil {
 		s.meter.countWrite(s.name, i, len(data))
+	}
+	return nil
+}
+
+// ReadMany implements BatchStore. All blocks are copied under one lock
+// acquisition and metered as a single network round.
+func (s *MemStore) ReadMany(idxs []int64) ([][]byte, error) {
+	if len(idxs) == 0 {
+		return nil, nil
+	}
+	out := make([][]byte, len(idxs))
+	s.mu.RLock()
+	for k, i := range idxs {
+		if i < 0 || i >= s.n {
+			s.mu.RUnlock()
+			return nil, fmt.Errorf("%w: batch read %d of %d (%s)", ErrOutOfRange, i, s.n, s.name)
+		}
+		blk := make([]byte, s.blockSize)
+		copy(blk, s.data[i*int64(s.blockSize):])
+		out[k] = blk
+	}
+	s.mu.RUnlock()
+	if s.meter != nil {
+		s.meter.CountBatch(s.name, KindRead, idxs, s.blockSize)
+	}
+	return out, nil
+}
+
+// WriteMany implements BatchStore.
+func (s *MemStore) WriteMany(idxs []int64, data [][]byte) error {
+	if len(idxs) != len(data) {
+		return fmt.Errorf("storage: batch write of %d blocks with %d payloads (%s)", len(idxs), len(data), s.name)
+	}
+	if len(idxs) == 0 {
+		return nil
+	}
+	for k, i := range idxs {
+		if i < 0 || i >= s.n {
+			return fmt.Errorf("%w: batch write %d of %d (%s)", ErrOutOfRange, i, s.n, s.name)
+		}
+		if len(data[k]) != s.blockSize {
+			return fmt.Errorf("storage: batch write of %d bytes to %d-byte block (%s)", len(data[k]), s.blockSize, s.name)
+		}
+	}
+	s.mu.Lock()
+	for k, i := range idxs {
+		copy(s.data[i*int64(s.blockSize):], data[k])
+	}
+	s.mu.Unlock()
+	if s.meter != nil {
+		s.meter.CountBatch(s.name, KindWrite, idxs, s.blockSize)
 	}
 	return nil
 }

@@ -184,6 +184,143 @@ func TestMemStoreConcurrentAccess(t *testing.T) {
 	}
 }
 
+func TestMemStoreBatchOps(t *testing.T) {
+	m := NewMeter()
+	s := NewMemStore("b", 16, 8, m)
+	idxs := []int64{3, 9, 1, 14}
+	data := make([][]byte, len(idxs))
+	for k := range idxs {
+		data[k] = bytes.Repeat([]byte{byte(k + 1)}, 8)
+	}
+	if err := s.WriteMany(idxs, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ReadMany(idxs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range idxs {
+		if !bytes.Equal(got[k], data[k]) {
+			t.Fatalf("block %d mismatch", idxs[k])
+		}
+	}
+	// Batch reads return copies.
+	got[0][0] = 0xEE
+	again, _ := s.Read(idxs[0])
+	if again[0] != 1 {
+		t.Fatal("ReadMany did not return copies")
+	}
+	// Each batch is one round with len(idxs) block accesses.
+	st := m.Snapshot()
+	if st.NetworkRounds != 2 {
+		t.Fatalf("rounds %d, want 2", st.NetworkRounds)
+	}
+	if st.BlockReads != 4+1 || st.BlockWrites != 4 {
+		t.Fatalf("counts: %+v", st)
+	}
+	// Errors: bounds, length mismatch, short block.
+	if _, err := s.ReadMany([]int64{0, 99}); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("batch read oob: %v", err)
+	}
+	if err := s.WriteMany([]int64{0, 99}, [][]byte{data[0], data[1]}); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("batch write oob: %v", err)
+	}
+	if err := s.WriteMany([]int64{0}, data); err == nil {
+		t.Fatal("mismatched batch lengths accepted")
+	}
+	if err := s.WriteMany([]int64{0}, [][]byte{{1, 2}}); err == nil {
+		t.Fatal("short batch block accepted")
+	}
+	// A failed batch write is all-or-nothing: block 0 was not modified by
+	// the out-of-range attempt above.
+	if blk, _ := s.Read(0); !bytes.Equal(blk, make([]byte, 8)) {
+		t.Fatal("failed batch write partially applied")
+	}
+	// Empty batches move nothing and cost nothing.
+	before := m.Snapshot()
+	if out, err := s.ReadMany(nil); err != nil || out != nil {
+		t.Fatalf("empty read: %v %v", out, err)
+	}
+	if err := s.WriteMany(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if d := m.Snapshot().Sub(before); d != (Stats{}) {
+		t.Fatalf("empty batch cost %+v", d)
+	}
+}
+
+func TestMeterCountBatchTrace(t *testing.T) {
+	m := NewMeter()
+	m.SetTracing(true)
+	m.CountBatch("tree", KindRead, []int64{5, 2, 8}, 16)
+	m.CountBatch("tree", KindWrite, []int64{5, 2, 8}, 16)
+	m.CountBatch("tree", KindRead, nil, 16) // no-op
+	st := m.Snapshot()
+	if st.NetworkRounds != 2 {
+		t.Fatalf("rounds %d, want 2", st.NetworkRounds)
+	}
+	if st.BlockReads != 3 || st.BlockWrites != 3 || st.BytesRead != 48 || st.BytesWritten != 48 {
+		t.Fatalf("counts: %+v", st)
+	}
+	tr := m.Trace()
+	if len(tr) != 6 {
+		t.Fatalf("trace length %d, want 6", len(tr))
+	}
+	want := []Access{
+		{Store: "tree", Kind: KindRead, Index: 5, Bytes: 16},
+		{Store: "tree", Kind: KindRead, Index: 2, Bytes: 16},
+		{Store: "tree", Kind: KindRead, Index: 8, Bytes: 16},
+		{Store: "tree", Kind: KindWrite, Index: 5, Bytes: 16},
+		{Store: "tree", Kind: KindWrite, Index: 2, Bytes: 16},
+		{Store: "tree", Kind: KindWrite, Index: 8, Bytes: 16},
+	}
+	for i := range want {
+		if tr[i] != want[i] {
+			t.Fatalf("trace[%d] = %+v, want %+v", i, tr[i], want[i])
+		}
+	}
+}
+
+// TestMeterConcurrent hammers one Meter from many goroutines across every
+// entry point; run with -race this is the regression test for the batch
+// accounting's lock discipline.
+func TestMeterConcurrent(t *testing.T) {
+	m := NewMeter()
+	m.SetTracing(true)
+	const goroutines, iters = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			idxs := []int64{int64(g), int64(g + 1)}
+			for i := 0; i < iters; i++ {
+				m.countRead("s", int64(i), 8)
+				m.countWrite("s", int64(i), 8)
+				m.CountBatch("s", KindRead, idxs, 8)
+				m.CountBatch("s", KindWrite, idxs, 8)
+				m.CountRound()
+				_ = m.Snapshot()
+				if i%50 == 0 {
+					_ = m.Trace()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := m.Snapshot()
+	wantOps := int64(goroutines * iters * 3) // 1 single + 2 batched per iter
+	if st.BlockReads != wantOps || st.BlockWrites != wantOps {
+		t.Fatalf("counts: %+v, want %d each", st, wantOps)
+	}
+	if st.NetworkRounds != int64(goroutines*iters*3) { // 2 batches + 1 CountRound
+		t.Fatalf("rounds: %d", st.NetworkRounds)
+	}
+	if len(m.Trace()) != int(wantOps*2) {
+		t.Fatalf("trace length %d", len(m.Trace()))
+	}
+}
+
 func TestAccessKindString(t *testing.T) {
 	if KindRead.String() != "read" || KindWrite.String() != "write" {
 		t.Fatal("AccessKind strings")

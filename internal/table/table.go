@@ -54,6 +54,10 @@ type Options struct {
 	// ORAM as a blackbox (Section 1), so any scheme yields identical results
 	// with different costs.
 	Scheme Scheme
+	// OpenStore provisions the Path-ORAM bucket stores; nil means in-process
+	// MemStores. A remote deployment passes a transport-backed opener (e.g.
+	// remote.Client.Opener) so every table lives on a networked block server.
+	OpenStore storage.Opener
 }
 
 // Scheme identifies an ORAM construction.
@@ -177,6 +181,7 @@ func StoreShared(rels []*relation.Relation, indexAttrs map[string][]string, opts
 		Sealer:        opts.Sealer,
 		Rand:          opts.Rand,
 		RecursePosMap: opts.RecursePosMap,
+		OpenStore:     opts.OpenStore,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -311,6 +316,7 @@ func newStore(name string, capacity int64, opts Options) (oram.ORAM, error) {
 		Sealer:        opts.Sealer,
 		Rand:          opts.Rand,
 		RecursePosMap: opts.RecursePosMap,
+		OpenStore:     opts.OpenStore,
 	})
 }
 
