@@ -41,6 +41,7 @@ func main() {
 	alg := flag.String("alg", "inlj", "binary algorithm: inlj or smj")
 	cache := flag.Bool("cache", false, "cache index levels above the leaves (+Cache mode)")
 	one := flag.Bool("oneoram", false, "store all tables in a single shared ORAM (Section 7)")
+	workers := flag.Int("workers", 1, "oblivious sort worker pool size (1 = serial)")
 	maxPrint := flag.Int("n", 10, "print at most this many result rows")
 	flag.Parse()
 
@@ -72,6 +73,7 @@ func main() {
 		Setting:        setting,
 		CacheIndexes:   *cache,
 		EnableMultiway: len(joins) > 1,
+		SortWorkers:    *workers,
 	})
 
 	type pred struct {

@@ -25,18 +25,21 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (table1, fig7..fig21, or all)")
+		exp      = flag.String("exp", "all", "experiment id (table1, fig7..fig21, sort, or all)")
 		seed     = flag.Int64("seed", 42, "workload and ORAM seed")
 		payload  = flag.Int("payload", 512, "block payload bytes (the paper uses 4096)")
 		bwMbps   = flag.Float64("bandwidth", 1000, "simulated link bandwidth in Mbit/s")
 		rttMicro = flag.Int("rtt", 500, "simulated round-trip latency in microseconds")
 		csv      = flag.Bool("csv", false, "emit plot-ready CSV instead of tables (figures only)")
+		workers  = flag.Int("workers", 1, "oblivious sort worker pool size for the join experiments (1 = serial)")
+		jsonOut  = flag.String("json", "", "with -exp sort: also write the machine-readable report to this path (e.g. BENCH_sort.json)")
 	)
 	flag.Parse()
 
 	env := bench.Default()
 	env.Seed = *seed
 	env.BlockPayload = *payload
+	env.SortWorkers = *workers
 	env.Cost = storage.CostModel{
 		BandwidthBps: *bwMbps * 1e6,
 		RTT:          time.Duration(*rttMicro) * time.Microsecond,
@@ -48,6 +51,25 @@ func main() {
 	}
 	for _, id := range ids {
 		start := time.Now()
+		if id == "sort" {
+			rep, err := bench.RunSort(os.Stdout, env)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ojoinbench: sort: %v\n", err)
+				os.Exit(1)
+			}
+			if *jsonOut != "" {
+				out, err := bench.MarshalSortReport(rep)
+				if err == nil {
+					err = os.WriteFile(*jsonOut, out, 0o644)
+				}
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "ojoinbench: writing %s: %v\n", *jsonOut, err)
+					os.Exit(1)
+				}
+			}
+			fmt.Printf("   [sort regenerated in %.1fs]\n\n", time.Since(start).Seconds())
+			continue
+		}
 		run := bench.Run
 		if *csv && id != "table1" {
 			run = bench.RunCSV

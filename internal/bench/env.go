@@ -70,6 +70,10 @@ type Env struct {
 	ObliDBSampleCap int64
 	// Padding applies a Section 8 strategy to the oblivious methods.
 	Padding core.PaddingMode
+	// SortWorkers sizes the oblivious sort engine's worker pool for the
+	// core joins (0 or 1 = serial). Traffic counts are identical either
+	// way; only client-side wall-clock changes.
+	SortWorkers int
 	// Scales sizes the workloads per figure.
 	Scales Scales
 }
@@ -231,6 +235,7 @@ func (e *Env) coreOpts(m *storage.Meter) (core.Options, error) {
 		Sealer:       s,
 		OutBlockSize: e.payload() + xcrypto.Overhead,
 		Padding:      e.Padding,
+		SortWorkers:  e.SortWorkers,
 	}, nil
 }
 

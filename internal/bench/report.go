@@ -152,7 +152,8 @@ func WriteTable1(w io.Writer, rows []Table1Row) {
 }
 
 // Experiments lists every runnable experiment by ID: the paper's Table 1
-// and Figures 7–21, plus this repo's ablations.
+// and Figures 7–21, plus this repo's ablations and the parallel-sort
+// engine comparison ("sort").
 func Experiments() []string {
 	ids := []string{"table1"}
 	for i := 7; i <= 21; i++ {
@@ -160,11 +161,16 @@ func Experiments() []string {
 	}
 	return append(ids,
 		"ablation-blocksize", "ablation-z", "ablation-posmap",
-		"ablation-writeback", "ablation-scheme", "ablation-chained", "ablation-dppad")
+		"ablation-writeback", "ablation-scheme", "ablation-chained", "ablation-dppad",
+		"sort")
 }
 
 // Run executes one experiment by ID and writes its report.
 func Run(w io.Writer, e *Env, id string) error {
+	if id == "sort" {
+		_, err := RunSort(w, e)
+		return err
+	}
 	if id == "table1" {
 		rows, err := Table1(e)
 		if err != nil {

@@ -69,7 +69,8 @@ func (w *outWriter) finish(opts Options, cartesian int64) (tuples []relation.Tup
 		}
 	}
 	mem := opts.mem(w.recSize, opts.outBlockSize())
-	if err := obliv.CompactReal(w.vec, mem, relation.IsDummy, int(padded), dummy); err != nil {
+	sorter := obliv.Sorter{Workers: opts.SortWorkers}
+	if err := sorter.CompactReal(w.vec, mem, relation.IsDummy, int(padded), dummy); err != nil {
 		return nil, 0, 0, err
 	}
 	// Decode the real prefix client-side for the caller.

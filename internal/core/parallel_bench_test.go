@@ -1,0 +1,44 @@
+package core
+
+import (
+	"fmt"
+	mrand "math/rand"
+	"testing"
+
+	"oblivjoin/internal/table"
+)
+
+// BenchmarkSortMergeJoin runs the full oblivious sort-merge join with the
+// output compaction's sort engine at different worker-pool sizes. The sort
+// dominates the join's trusted-side compute, so this shows how far the
+// SortWorkers knob moves end-to-end join latency.
+func BenchmarkSortMergeJoin(b *testing.B) {
+	const n = 96
+	r := mrand.New(mrand.NewSource(4))
+	k1 := make([]int64, n)
+	k2 := make([]int64, n)
+	for i := range k1 {
+		k1[i] = int64(r.Intn(n / 2))
+		k2[i] = int64(r.Intn(n / 2))
+	}
+	topts := testTableOpts(b, nil, false)
+	s1, err := table.Store(makeRel("t1", k1), []string{"k"}, topts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s2, err := table.Store(makeRel("t2", k2), []string{"k"}, topts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 4, 8} {
+		opts := testJoinOpts(b, nil)
+		opts.SortWorkers = w
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := SortMergeJoin(s1, s2, "k", "k", opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,9 +1,6 @@
 package obliv
 
-import (
-	"fmt"
-	"sort"
-)
+import "fmt"
 
 // ChunkShape returns the padded length and chunk size SortVector requires
 // for an n-record vector with mem records of trusted memory: records are
@@ -22,6 +19,10 @@ func ChunkShape(n, mem int) (padded, chunk int) {
 	return chunk * NextPow2(chunks), chunk
 }
 
+func errUnpadded(padded, chunk, n int) error {
+	return fmt.Errorf("obliv: external sort needs %d records (chunks of %d), have %d; pad first", padded, chunk, n)
+}
+
 // SortVector sorts v obliviously by less, using at most mem records of
 // trusted client memory — the external oblivious sort of Opaque/ObliDB with
 // O(n log²(n/m)) record transfers (Section 4.1 of the paper).
@@ -31,62 +32,12 @@ func ChunkShape(n, mem int) (padded, chunk int) {
 // ChunkShape (callers pad with records that sort last); the sort then runs
 // a bitonic network over sorted chunks with in-memory merge-splits. Every
 // server access depends only on v.Len() and mem.
+//
+// SortVector is the serial form of Sorter.SortVector, which performs the
+// identical record transfers with the chunk sorts and per-stage merge-splits
+// fanned out over a worker pool.
 func SortVector(v Vector, mem int, less func(a, b []byte) bool) error {
-	n := v.Len()
-	if n <= 1 {
-		return nil
-	}
-	if mem < 2 {
-		mem = 2
-	}
-	if n <= mem {
-		recs, err := v.LoadRange(0, n)
-		if err != nil {
-			return err
-		}
-		sort.SliceStable(recs, func(i, j int) bool { return less(recs[i], recs[j]) })
-		return v.StoreRange(0, recs)
-	}
-	padded, chunk := ChunkShape(n, mem)
-	if n != padded {
-		return fmt.Errorf("obliv: external sort needs %d records (chunks of %d), have %d; pad first", padded, chunk, n)
-	}
-	chunks := n / chunk
-
-	// Phase 1: sort each chunk locally. The access pattern is a fixed
-	// sequential sweep.
-	for c := 0; c < chunks; c++ {
-		recs, err := v.LoadRange(c*chunk, chunk)
-		if err != nil {
-			return err
-		}
-		sort.SliceStable(recs, func(i, j int) bool { return less(recs[i], recs[j]) })
-		if err := v.StoreRange(c*chunk, recs); err != nil {
-			return err
-		}
-	}
-
-	// Phase 2: bitonic network over chunks with merge-split exchanges.
-	// Each exchange loads two sorted chunks, merges them in trusted memory,
-	// and writes the lower half to the ascending side.
-	return Network(chunks, func(i, j int, asc bool) error {
-		a, err := v.LoadRange(i*chunk, chunk)
-		if err != nil {
-			return err
-		}
-		b, err := v.LoadRange(j*chunk, chunk)
-		if err != nil {
-			return err
-		}
-		lo, hi := mergeSplit(a, b, less)
-		if !asc {
-			lo, hi = hi, lo
-		}
-		if err := v.StoreRange(i*chunk, lo); err != nil {
-			return err
-		}
-		return v.StoreRange(j*chunk, hi)
-	})
+	return Sorter{}.SortVector(v, mem, less)
 }
 
 // mergeSplit merges two sorted runs of equal length and returns the sorted

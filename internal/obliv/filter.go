@@ -10,7 +10,17 @@ import "fmt"
 //
 // realCount is known to the client (it counted real outputs while joining)
 // and is public under Definition 1, which leaks the output size.
+//
+// Concurrency contract: CompactReal requires exclusive access to v for its
+// whole duration — it appends padding and truncates, which the Vector
+// implementations only support single-threaded. (Sorter.CompactReal holds
+// the same external contract; internally its sort phase issues concurrent
+// disjoint-range accesses, which BlockVector supports.)
 func CompactReal(v *BlockVector, mem int, isDummy func([]byte) bool, realCount int, pad []byte) error {
+	return compactReal(Sorter{}, v, mem, isDummy, realCount, pad)
+}
+
+func compactReal(s Sorter, v *BlockVector, mem int, isDummy func([]byte) bool, realCount int, pad []byte) error {
 	if realCount > v.Len() {
 		return fmt.Errorf("obliv: realCount %d exceeds length %d", realCount, v.Len())
 	}
@@ -24,7 +34,7 @@ func CompactReal(v *BlockVector, mem int, isDummy func([]byte) bool, realCount i
 	// Dummies sort after reals; ties keep arbitrary order (sufficient: the
 	// result set is a set).
 	less := func(a, b []byte) bool { return !isDummy(a) && isDummy(b) }
-	if err := SortVector(v, mem, less); err != nil {
+	if err := s.SortVector(v, mem, less); err != nil {
 		return err
 	}
 	return v.Truncate(realCount)

@@ -1,12 +1,22 @@
 // Package obliv provides the data-oblivious building blocks the join
-// algorithms compose: bitonic sorting networks, an external oblivious sort
-// that exploits trusted client memory (as in Opaque and ObliDB), oblivious
-// dummy filtering, and server-resident record vectors whose access patterns
-// depend only on public sizes.
+// algorithms compose: bitonic sorting networks (Network, SortSlice), an
+// external oblivious sort that exploits trusted client memory as in Opaque
+// and ObliDB (SortVector, ChunkShape, SortTransfers), oblivious dummy
+// filtering (CompactReal), and server-resident record vectors whose access
+// patterns depend only on public sizes (Vector, BlockVector, MemVector).
+//
+// All sorts come in two forms: the serial package-level functions, and the
+// Sorter engine, which executes the identical fixed compare-exchange
+// schedule with each stage's independent exchanges fanned out over a
+// configurable worker pool. Because the schedule is data-independent,
+// parallel execution permutes server accesses only within a stage and the
+// trace stays a function of public sizes — see DESIGN.md §2.7 for the
+// security argument and the cost model.
 package obliv
 
 import (
 	"fmt"
+	"sync"
 
 	"oblivjoin/internal/storage"
 	"oblivjoin/internal/xcrypto"
@@ -16,6 +26,12 @@ import (
 // provided implementations expose access patterns that depend only on the
 // requested indices — the oblivious algorithms in this package take care to
 // request index sequences that depend only on public sizes.
+//
+// Concurrency contract: implementations must support concurrent LoadRange
+// and StoreRange calls whose record ranges are pairwise disjoint — the
+// access pattern of the parallel sort engine (Sorter). Operations that
+// change Len (appends, truncation) and overlapping-range access require
+// external synchronization.
 type Vector interface {
 	// Len is the number of records currently in the vector.
 	Len() int
@@ -28,6 +44,11 @@ type Vector interface {
 }
 
 // MemVector is a client-memory Vector used by tests and as scratch space.
+//
+// MemVector satisfies the Vector concurrency contract structurally: records
+// are independent byte slices and LoadRange copies them, so concurrent
+// LoadRange/StoreRange over disjoint ranges touch disjoint memory. Append
+// mutates the backing slice and requires exclusive access.
 type MemVector struct {
 	recSize int
 	recs    [][]byte
@@ -85,6 +106,16 @@ func (v *MemVector) StoreRange(lo int, recs [][]byte) error {
 // blocks on the untrusted server — the layout of every table (including join
 // outputs) in the engine. Appends buffer one block client-side and flush
 // sealed blocks; loads fetch, decrypt, and unpack whole blocks.
+//
+// Concurrency: a BlockVector supports concurrent LoadRange/StoreRange calls
+// over pairwise disjoint record ranges — the access pattern of the parallel
+// sort engine (Sorter). Record ranges need not be block-aligned: a mutex
+// makes the read-modify-write of a partially covered edge block atomic, so
+// two neighbouring ranges sharing an edge block cannot lose each other's
+// slots, and the same mutex guards the client-side append buffer. Length-
+// changing operations (Append, PadTo, Truncate) and overlapping ranges
+// still require exclusive access: they are individually data-race-free but
+// their interleavings have no useful semantics.
 type BlockVector struct {
 	store    *storage.MemStore
 	sealer   *xcrypto.Sealer
@@ -94,6 +125,11 @@ type BlockVector struct {
 	capacity int
 	length   int
 
+	// mu guards the pending append buffer, the length/capacity fields, and
+	// every partial-block read-modify-write (Flush tails and StoreRange edge
+	// blocks). Fully covered block writes and block reads go to the store
+	// without holding mu — the store serializes individual block ops.
+	mu           sync.Mutex
 	pending      [][]byte // buffered records not yet flushed
 	pendingBlock int      // block index the buffer belongs to
 	pendingStart int      // slot within pendingBlock of pending[0]
@@ -129,7 +165,11 @@ func NewBlockVector(name string, capacity, recSize, blockSize int, meter *storag
 }
 
 // Len implements Vector.
-func (v *BlockVector) Len() int { return v.length }
+func (v *BlockVector) Len() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.length
+}
 
 // RecordSize implements Vector.
 func (v *BlockVector) RecordSize() int { return v.recSize }
@@ -148,6 +188,12 @@ func (v *BlockVector) ServerBytes() int64 { return v.store.SizeBytes() }
 // only on the public record count). The server sees one uniform encrypted
 // block write per perBlock appends regardless of record contents.
 func (v *BlockVector) Append(rec []byte) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.appendLocked(rec)
+}
+
+func (v *BlockVector) appendLocked(rec []byte) error {
 	if v.length >= v.capacity {
 		extra := v.capacity
 		if extra < v.perBlock {
@@ -163,7 +209,7 @@ func (v *BlockVector) Append(rec []byte) error {
 	}
 	blk := v.length / v.perBlock
 	if v.pendingBlock != blk {
-		if err := v.Flush(); err != nil {
+		if err := v.flushLocked(); err != nil {
 			return err
 		}
 		v.pendingBlock = blk
@@ -174,7 +220,7 @@ func (v *BlockVector) Append(rec []byte) error {
 	v.pending = append(v.pending, buf)
 	v.length++
 	if v.pendingStart+len(v.pending) == v.perBlock {
-		return v.Flush()
+		return v.flushLocked()
 	}
 	return nil
 }
@@ -182,6 +228,12 @@ func (v *BlockVector) Append(rec []byte) error {
 // Flush writes any buffered partial block to the server, preserving records
 // already stored in the same block when the buffer started mid-block.
 func (v *BlockVector) Flush() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.flushLocked()
+}
+
+func (v *BlockVector) flushLocked() error {
 	if v.pendingBlock < 0 || len(v.pending) == 0 {
 		v.pending = nil
 		v.pendingBlock = -1
@@ -228,14 +280,20 @@ func (v *BlockVector) readBlock(blk int) ([]byte, error) {
 	return v.sealer.Open(sealed)
 }
 
-// LoadRange implements Vector. It fetches each covered block once.
+// LoadRange implements Vector. It fetches each covered block once. Blocks
+// are read without holding the vector mutex, so disjoint-range loads from
+// concurrent sort workers decrypt in parallel.
 func (v *BlockVector) LoadRange(lo, n int) ([][]byte, error) {
+	v.mu.Lock()
 	if lo < 0 || lo+n > v.length {
+		v.mu.Unlock()
 		return nil, fmt.Errorf("obliv: load [%d,%d) of %d", lo, lo+n, v.length)
 	}
-	if err := v.Flush(); err != nil {
+	if err := v.flushLocked(); err != nil {
+		v.mu.Unlock()
 		return nil, err
 	}
+	v.mu.Unlock()
 	out := make([][]byte, 0, n)
 	for b := lo / v.perBlock; len(out) < n; b++ {
 		payload, err := v.readBlock(b)
@@ -256,48 +314,30 @@ func (v *BlockVector) LoadRange(lo, n int) ([][]byte, error) {
 }
 
 // StoreRange implements Vector. Partially covered edge blocks are
-// read-modify-written.
+// read-modify-written; that read-modify-write holds the vector mutex so a
+// concurrent neighbouring StoreRange sharing the edge block cannot lose
+// this range's slots (both only modify their own slots and preserve the
+// rest as last committed). Fully covered blocks are sealed and written
+// without the mutex, so the bulk of concurrent disjoint-range stores
+// encrypts in parallel.
 func (v *BlockVector) StoreRange(lo int, recs [][]byte) error {
 	n := len(recs)
+	v.mu.Lock()
 	if lo < 0 || lo+n > v.length {
+		v.mu.Unlock()
 		return fmt.Errorf("obliv: store [%d,%d) of %d", lo, lo+n, v.length)
 	}
-	if err := v.Flush(); err != nil {
+	if err := v.flushLocked(); err != nil {
+		v.mu.Unlock()
 		return err
 	}
+	v.mu.Unlock()
 	i := 0
 	for b := lo / v.perBlock; i < n; b++ {
 		start := b * v.perBlock
-		var payload []byte
-		var err error
 		// A block fully covered by the store needs no read-back.
 		fully := lo <= start && start+v.perBlock <= lo+n
-		if fully {
-			payload = make([]byte, v.store.BlockSize()-xcrypto.Overhead)
-		} else {
-			payload, err = v.readBlock(b)
-			if err != nil {
-				return err
-			}
-		}
-		for s := 0; s < v.perBlock; s++ {
-			idx := start + s
-			if idx >= lo && idx < lo+n {
-				r := recs[idx-lo]
-				if len(r) != v.recSize {
-					return fmt.Errorf("obliv: record %d has %d bytes, want %d", idx-lo, len(r), v.recSize)
-				}
-				copy(payload[s*v.recSize:], r)
-			}
-		}
-		sealed, err := v.sealer.Seal(payload)
-		if err != nil {
-			return err
-		}
-		if v.meter != nil {
-			v.meter.CountRound()
-		}
-		if err := v.store.Write(int64(b), sealed); err != nil {
+		if err := v.storeBlock(b, lo, recs, !fully); err != nil {
 			return err
 		}
 		i = start + v.perBlock - lo
@@ -305,13 +345,54 @@ func (v *BlockVector) StoreRange(lo int, recs [][]byte) error {
 	return nil
 }
 
+// storeBlock writes the records of recs (starting at vector index lo) that
+// fall into block b. When rmw is set the block is partially covered: the
+// read-modify-write runs under the vector mutex to stay atomic with respect
+// to a neighbouring range's edge write.
+func (v *BlockVector) storeBlock(b, lo int, recs [][]byte, rmw bool) error {
+	var payload []byte
+	var err error
+	if rmw {
+		v.mu.Lock()
+		defer v.mu.Unlock()
+		payload, err = v.readBlock(b)
+		if err != nil {
+			return err
+		}
+	} else {
+		payload = make([]byte, v.store.BlockSize()-xcrypto.Overhead)
+	}
+	start := b * v.perBlock
+	n := len(recs)
+	for s := 0; s < v.perBlock; s++ {
+		idx := start + s
+		if idx >= lo && idx < lo+n {
+			r := recs[idx-lo]
+			if len(r) != v.recSize {
+				return fmt.Errorf("obliv: record %d has %d bytes, want %d", idx-lo, len(r), v.recSize)
+			}
+			copy(payload[s*v.recSize:], r)
+		}
+	}
+	sealed, err := v.sealer.Seal(payload)
+	if err != nil {
+		return err
+	}
+	if v.meter != nil {
+		v.meter.CountRound()
+	}
+	return v.store.Write(int64(b), sealed)
+}
+
 // Truncate shortens the vector to n records (n <= Len). Used after
 // oblivious filtering once dummies have been sorted past position n.
 func (v *BlockVector) Truncate(n int) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	if n < 0 || n > v.length {
 		return fmt.Errorf("obliv: truncate to %d of %d", n, v.length)
 	}
-	if err := v.Flush(); err != nil {
+	if err := v.flushLocked(); err != nil {
 		return err
 	}
 	v.length = n
@@ -320,10 +401,12 @@ func (v *BlockVector) Truncate(n int) error {
 
 // PadTo appends copies of rec until the vector holds n records.
 func (v *BlockVector) PadTo(n int, rec []byte) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	for v.length < n {
-		if err := v.Append(rec); err != nil {
+		if err := v.appendLocked(rec); err != nil {
 			return err
 		}
 	}
-	return v.Flush()
+	return v.flushLocked()
 }

@@ -1,7 +1,9 @@
 // Package operators provides the oblivious relational operators a complete
-// encrypted query engine needs around joins: selection (the "oblivious
-// filter" the paper configures as ObliDB's Hash Select in Section 9.1),
-// projection, and sort-based grouping aggregation.
+// encrypted query engine needs around joins: selection (Select — the
+// "oblivious filter" the paper configures as ObliDB's Hash Select in
+// Section 9.1), projection (Project), and sort-based grouping aggregation
+// (GroupAggregate, the standard Opaque-style fold over an obliviously
+// sorted vector).
 //
 // Every operator follows the same discipline as the joins: it scans or
 // sorts server-resident encrypted vectors with an access pattern that
@@ -9,6 +11,12 @@
 // per input record, and removes dummies with the oblivious compaction of
 // internal/obliv. The output size is the only new information revealed,
 // matching the leakage profile of Definition 1.
+//
+// Operators that sort (Select's compaction, GroupAggregate's sort and
+// compaction) run on the oblivious sort engine; Options.SortWorkers sizes
+// its worker pool. Parallel execution preserves the operators' traces up to
+// reordering within one bitonic stage (see DESIGN.md §2.7), so the leakage
+// profile is unchanged.
 package operators
 
 import (
@@ -34,6 +42,13 @@ type Options struct {
 	Meter *storage.Meter
 	// Sealer encrypts intermediates; required.
 	Sealer *xcrypto.Sealer
+	// SortWorkers sizes the oblivious sort engine's worker pool (0 or 1 =
+	// serial).
+	SortWorkers int
+}
+
+func (o Options) sorter() obliv.Sorter {
+	return obliv.Sorter{Workers: o.SortWorkers}
 }
 
 func (o Options) blockSize() int {
@@ -181,7 +196,7 @@ func Select(rel *relation.Relation, preds []Pred, opts Options) (*Result, error)
 		return nil, err
 	}
 	dummy := make([]byte, recSize)
-	if err := obliv.CompactReal(vec, opts.mem(recSize), relation.IsDummy, real, dummy); err != nil {
+	if err := opts.sorter().CompactReal(vec, opts.mem(recSize), relation.IsDummy, real, dummy); err != nil {
 		return nil, err
 	}
 	out := &Result{Schema: rel.Schema, RealCount: real}
@@ -352,7 +367,7 @@ func GroupAggregate(rel *relation.Relation, groupCol, valueCol string, fn AggFun
 		}
 		return ka < kb
 	}
-	if err := obliv.SortVector(vec, mem, less); err != nil {
+	if err := opts.sorter().SortVector(vec, mem, less); err != nil {
 		return nil, err
 	}
 
@@ -431,7 +446,7 @@ func GroupAggregate(rel *relation.Relation, groupCol, valueCol string, fn AggFun
 		return nil, err
 	}
 	isDummy := func(rec []byte) bool { r, _, _ := decodeAgg(rec); return !r }
-	if err := obliv.CompactReal(outVec, mem, isDummy, groups, pad); err != nil {
+	if err := opts.sorter().CompactReal(outVec, mem, isDummy, groups, pad); err != nil {
 		return nil, err
 	}
 	if groups > 0 {

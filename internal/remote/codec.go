@@ -14,6 +14,16 @@
 // The server is untrusted by construction: it only ever sees sealed bucket
 // ciphertexts and physical indices, exactly the view the obliviousness
 // definition grants the adversary.
+//
+// Typical use: start a Server (or cmd/ojoinserver) over any set of named
+// stores, then Dial a client and pass Client.Opener as the table/ORAM
+// store factory. All write RPCs address fixed physical slots and are
+// therefore idempotent, so the client transparently retries transport
+// errors and StatusTransient responses with exponential backoff
+// (ClientOptions.MaxRetries); a retried batch is metered as one network
+// round, on success. The server's deterministic FaultModel (Shaper) injects
+// latency and transient faults for tests and WAN experiments. See DESIGN.md
+// §2.6 for the batching semantics and failure model in full.
 package remote
 
 import (

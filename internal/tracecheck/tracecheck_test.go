@@ -106,6 +106,26 @@ func TestDiffReportsDivergence(t *testing.T) {
 	}
 }
 
+func TestDiffUnordered(t *testing.T) {
+	a := []storage.Access{
+		{Store: "x", Kind: storage.KindRead, Index: 1, Bytes: 8},
+		{Store: "x", Kind: storage.KindWrite, Index: 2, Bytes: 8},
+		{Store: "y", Kind: storage.KindRead, Index: 0, Bytes: 16},
+	}
+	perm := []storage.Access{a[2], a[0], a[1]}
+	if d := DiffUnordered(a, perm); d != "" {
+		t.Fatalf("permutation reported different: %s", d)
+	}
+	if DiffUnordered(a, a[:2]) == "" {
+		t.Fatal("length mismatch reported equal")
+	}
+	other := append([]storage.Access(nil), a...)
+	other[1].Index = 7 // same structure, different physical slot
+	if DiffUnordered(a, other) == "" {
+		t.Fatal("index change reported as a permutation")
+	}
+}
+
 func TestStructureDropsIndices(t *testing.T) {
 	a := []storage.Access{{Store: "x", Kind: storage.KindWrite, Index: 3, Bytes: 8}}
 	b := []storage.Access{{Store: "x", Kind: storage.KindWrite, Index: 9, Bytes: 8}}

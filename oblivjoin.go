@@ -108,6 +108,12 @@ type Config struct {
 	EnableMultiway bool
 	// Padding selects the Section 8 output padding strategy.
 	Padding PaddingMode
+	// SortWorkers sizes the worker pool of the oblivious sort engine that
+	// runs every join's final output filter (0 or 1 = serial). Parallelism
+	// does not change the server-visible leakage: the sort's access schedule
+	// is fixed, workers only reorder accesses within one bitonic stage. See
+	// DESIGN.md §2.7.
+	SortWorkers int
 	// Cost converts traffic into simulated time; zero value uses the
 	// paper's 1 Gbps model.
 	Cost CostModel
@@ -256,6 +262,7 @@ func (db *Database) joinOpts() core.Options {
 		Meter:        db.meter,
 		Sealer:       db.sealer,
 		OutBlockSize: db.blockPayload() + xcrypto.Overhead,
+		SortWorkers:  db.cfg.SortWorkers,
 		OneORAM:      db.shared,
 	}
 }
