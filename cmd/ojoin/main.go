@@ -14,7 +14,9 @@
 //	      -join 'a.x=b.x' -join 'b.y=c.y'          # multiway
 //
 // The tool prints the join result, the padded step count, and the
-// simulated query cost.
+// simulated query cost. With -trace-out it also writes a phase-attributed
+// span-tree trace (JSON) of the query; with -remote the sealed tables live
+// on a networked ojoinserver instead of in-process stores.
 package main
 
 import (
@@ -43,6 +45,8 @@ func main() {
 	one := flag.Bool("oneoram", false, "store all tables in a single shared ORAM (Section 7)")
 	workers := flag.Int("workers", 1, "oblivious sort worker pool size (1 = serial)")
 	maxPrint := flag.Int("n", 10, "print at most this many result rows")
+	traceOut := flag.String("trace-out", "", "write a phase-attributed span-tree JSON trace to this file")
+	remoteAddr := flag.String("remote", "", "store sealed tables on a networked ojoinserver at this address")
 	flag.Parse()
 
 	if len(tables) == 0 || (len(joins) == 0 && *band == "") {
@@ -127,11 +131,21 @@ func main() {
 			fatal("%v", err)
 		}
 	}
+	if *remoteAddr != "" {
+		if err := db.ConnectRemote(*remoteAddr); err != nil {
+			fatal("connecting to %s: %v", *remoteAddr, err)
+		}
+		defer db.Close()
+	}
 	if err := db.Seal(); err != nil {
 		fatal("sealing: %v", err)
 	}
 	fmt.Printf("sealed %d tables: %.2f MB on server, %.1f KB client state\n",
 		len(order), float64(db.CloudBytes())/1e6, float64(db.ClientBytes())/1e3)
+
+	if *traceOut != "" {
+		db.StartTrace("ojoin")
+	}
 
 	var res *oblivjoin.Result
 	var err error
@@ -168,6 +182,17 @@ func main() {
 	}
 	fmt.Printf("join steps (padded): %d; traffic %.2f MB; simulated cost %.3fs\n",
 		res.PaddedSteps, float64(res.Stats.BytesMoved())/1e6, db.QueryCost(res))
+
+	if *traceOut != "" {
+		data, err := oblivjoin.MarshalTrace(db.EndTrace())
+		if err != nil {
+			fatal("encoding trace: %v", err)
+		}
+		if err := os.WriteFile(*traceOut, data, 0o644); err != nil {
+			fatal("writing trace: %v", err)
+		}
+		fmt.Printf("trace written to %s\n", *traceOut)
+	}
 }
 
 func parsePred(s, op string) (lt, la, rt, ra, opStr string, err error) {

@@ -11,6 +11,10 @@
 // measured communication via the cost model, and (b) the raw communication.
 // Points marked "~" were extrapolated from a capped sample (only the
 // Cartesian-product ObliDB baseline ever needs this).
+//
+// -exp phases prints a telemetry-driven per-phase breakdown (load, merge,
+// pad, filter, sort runs/merge, decode) of the oblivious joins; with
+// -trace-out every traced join's span tree is also written as JSON.
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 
 	"oblivjoin/internal/bench"
 	"oblivjoin/internal/storage"
+	"oblivjoin/internal/telemetry"
 )
 
 func main() {
@@ -33,6 +38,7 @@ func main() {
 		csv      = flag.Bool("csv", false, "emit plot-ready CSV instead of tables (figures only)")
 		workers  = flag.Int("workers", 1, "oblivious sort worker pool size for the join experiments (1 = serial)")
 		jsonOut  = flag.String("json", "", "with -exp sort: also write the machine-readable report to this path (e.g. BENCH_sort.json)")
+		traceOut = flag.String("trace-out", "", "write a span-tree JSON trace of every traced join to this path")
 	)
 	flag.Parse()
 
@@ -43,6 +49,11 @@ func main() {
 	env.Cost = storage.CostModel{
 		BandwidthBps: *bwMbps * 1e6,
 		RTT:          time.Duration(*rttMicro) * time.Microsecond,
+	}
+	var trace *telemetry.Span
+	if *traceOut != "" {
+		trace = telemetry.Start("ojoinbench", nil)
+		env.Trace = trace
 	}
 
 	ids := []string{*exp}
@@ -81,5 +92,18 @@ func main() {
 		if !*csv {
 			fmt.Printf("   [%s regenerated in %.1fs]\n\n", id, time.Since(start).Seconds())
 		}
+	}
+
+	if trace != nil {
+		trace.End()
+		data, err := telemetry.Marshal(trace)
+		if err == nil {
+			err = os.WriteFile(*traceOut, data, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ojoinbench: writing trace %s: %v\n", *traceOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s\n", *traceOut)
 	}
 }

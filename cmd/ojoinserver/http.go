@@ -1,0 +1,86 @@
+package main
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"oblivjoin/internal/remote"
+)
+
+// startHTTP serves the observability endpoints next to the block protocol:
+//
+//	/healthz      liveness probe ("ok")
+//	/metrics      Prometheus text exposition of the live per-store counters
+//	/debug/vars   the same counters as expvar JSON
+//	/debug/pprof  the standard pprof profiles
+//
+// Counter snapshots are atomic reads, so scraping mid-join never contends
+// with request serving. The endpoints expose only aggregate request and
+// block counts — quantities the untrusted server observes anyway, so
+// nothing beyond Definition 1's leakage is published.
+func startHTTP(addr string, srv *remote.Server) (net.Addr, error) {
+	expvar.Publish("ojoinserver_stores", expvar.Func(func() any {
+		_, counts := srv.CountsAll()
+		return counts
+	}))
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		writeMetrics(w, srv)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go http.Serve(ln, mux) //nolint:errcheck // exits when ln closes at shutdown
+	return ln.Addr(), nil
+}
+
+// writeMetrics renders the per-store counters in the Prometheus text
+// exposition format, one labeled sample per store plus a server total.
+func writeMetrics(w http.ResponseWriter, srv *remote.Server) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	names, counts := srv.CountsAll()
+	type metric struct {
+		name, help string
+		value      func(remote.Counters) int64
+	}
+	metrics := []metric{
+		{"ojoin_store_requests_total", "RPCs served against the store (one request = one round trip).",
+			func(c remote.Counters) int64 { return c.Requests }},
+		{"ojoin_store_reads_total", "Single-block read requests.",
+			func(c remote.Counters) int64 { return c.Reads }},
+		{"ojoin_store_writes_total", "Single-block write requests.",
+			func(c remote.Counters) int64 { return c.Writes }},
+		{"ojoin_store_batch_reads_total", "Batched read requests (e.g. ORAM path downloads).",
+			func(c remote.Counters) int64 { return c.BatchReads }},
+		{"ojoin_store_batch_writes_total", "Batched write requests (e.g. ORAM path write-backs).",
+			func(c remote.Counters) int64 { return c.BatchWrites }},
+		{"ojoin_store_blocks_read_total", "Individual blocks sent to clients.",
+			func(c remote.Counters) int64 { return c.BlocksRead }},
+		{"ojoin_store_blocks_written_total", "Individual blocks received from clients.",
+			func(c remote.Counters) int64 { return c.BlocksWritten }},
+	}
+	for _, m := range metrics {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", m.name, m.help, m.name)
+		for _, n := range names {
+			fmt.Fprintf(w, "%s{store=%q} %d\n", m.name, n, m.value(counts[n]))
+		}
+	}
+	fmt.Fprintf(w, "# HELP ojoin_server_requests_total RPCs served across all stores.\n")
+	fmt.Fprintf(w, "# TYPE ojoin_server_requests_total counter\n")
+	fmt.Fprintf(w, "ojoin_server_requests_total %d\n", srv.TotalRequests())
+}

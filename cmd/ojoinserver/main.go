@@ -8,9 +8,14 @@
 // transport so benchmark curves reproduce the paper's WAN round-trip cost
 // argument and clients' retry paths can be exercised deterministically.
 //
+// With -http the server additionally serves live observability endpoints:
+// /metrics (Prometheus text of the per-store request counters, updated
+// atomically while requests are in flight), /healthz, /debug/vars (expvar),
+// and /debug/pprof. The per-store counters are still printed at shutdown.
+//
 // Example:
 //
-//	ojoinserver -addr 127.0.0.1:9042 -store t1.data:1024:4144 -latency 10ms
+//	ojoinserver -addr 127.0.0.1:9042 -store t1.data:1024:4144 -latency 10ms -http 127.0.0.1:9080
 package main
 
 import (
@@ -34,6 +39,7 @@ func main() {
 		failEvery = flag.Int64("fail-every", 0, "inject a transient failure every Nth request (0 disables)")
 		maxFrame  = flag.Int("max-frame", remote.DefaultMaxFrame, "maximum accepted frame size in bytes")
 		maxBytes  = flag.Int64("max-store-bytes", 1<<30, "cap on dynamically created store footprint")
+		httpAddr  = flag.String("http", "", "optional HTTP address serving /metrics, /healthz, and /debug/pprof")
 	)
 	var stores []string
 	flag.Func("store", "pre-register a store as name:slots:blocksize (repeatable)", func(v string) error {
@@ -63,6 +69,13 @@ func main() {
 		log.Fatalf("ojoinserver: listen: %v", err)
 	}
 	log.Printf("listening on %s", bound)
+	if *httpAddr != "" {
+		hb, err := startHTTP(*httpAddr, srv)
+		if err != nil {
+			log.Fatalf("ojoinserver: http listen: %v", err)
+		}
+		log.Printf("observability on http://%s (/metrics, /healthz, /debug/pprof/)", hb)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -20,6 +20,7 @@ import (
 	"oblivjoin/internal/relation"
 	"oblivjoin/internal/storage"
 	"oblivjoin/internal/table"
+	"oblivjoin/internal/telemetry"
 	"oblivjoin/internal/xcrypto"
 )
 
@@ -74,6 +75,10 @@ type Env struct {
 	// core joins (0 or 1 = serial). Traffic counts are identical either
 	// way; only client-side wall-clock changes.
 	SortWorkers int
+	// Trace, when non-nil, attaches one child span per oblivious execution
+	// (named "method query") under it, so every measured join carries a
+	// phase-attributed breakdown (see RunPhases).
+	Trace *telemetry.Span
 	// Scales sizes the workloads per figure.
 	Scales Scales
 }
@@ -326,6 +331,9 @@ func (e *Env) RunBinary(method string, name string, r1, r2 *relation.Relation, a
 			if err != nil {
 				return meas, err
 			}
+			sp := e.Trace.ChildMeter(method+" "+name, m)
+			copts.Span = sp
+			defer sp.End()
 			res, err := core.SortMergeJoin(s1, s2, a1, a2, copts)
 			if err != nil {
 				return meas, err
@@ -336,6 +344,9 @@ func (e *Env) RunBinary(method string, name string, r1, r2 *relation.Relation, a
 			if err != nil {
 				return meas, err
 			}
+			sp := e.Trace.ChildMeter(method+" "+name, m)
+			copts.Span = sp
+			defer sp.End()
 			res, err := core.IndexNestedLoopJoin(s1, s2, a1, a2, copts)
 			if err != nil {
 				return meas, err
@@ -363,6 +374,9 @@ func (e *Env) RunBinary(method string, name string, r1, r2 *relation.Relation, a
 			return meas, err
 		}
 		copts.OneORAM = shared
+		sp := e.Trace.ChildMeter(method+" "+name, m)
+		copts.Span = sp
+		defer sp.End()
 		var res *core.Result
 		if method == MOneSMJ {
 			res, err = core.SortMergeJoin(tables[r1.Schema.Table], tables[r2.Schema.Table], a1, a2, copts)
@@ -545,6 +559,9 @@ func (e *Env) RunBand(method string, name string, r1, r2 *relation.Relation, a1,
 		return meas, err
 	}
 	copts.OneORAM = shared
+	sp := e.Trace.ChildMeter(method+" "+name, m)
+	copts.Span = sp
+	defer sp.End()
 	res, err := core.BandJoin(s1, s2, a1, a2, op, copts)
 	if err != nil {
 		return meas, err
@@ -634,6 +651,9 @@ func (e *Env) RunMultiway(method string, name string, rels map[string]*relation.
 		return meas, err
 	}
 	copts.OneORAM = shared
+	sp := e.Trace.ChildMeter(method+" "+name, m)
+	copts.Span = sp
+	defer sp.End()
 	res, err := core.MultiwayJoin(in, copts)
 	if err != nil {
 		return meas, err

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"oblivjoin/internal/storage"
+	"oblivjoin/internal/telemetry"
+	"oblivjoin/internal/tpch"
+)
+
+// RunPhases executes the per-phase breakdown experiment: the oblivious
+// equi-join methods on Query TE2, each run under a telemetry span so the
+// report can attribute wall time and traffic to the pipeline's phases
+// (load → merge/scan → pad → filter → sort runs/merge → decode). The span
+// tree is returned so callers (cmd/ojoinbench -trace-out) can persist it.
+func RunPhases(w io.Writer, e *Env) (*telemetry.Node, error) {
+	// Nest under an already-active trace (cmd/ojoinbench -trace-out) so the
+	// persisted file contains this experiment's spans too.
+	root := e.Trace.Child("bench.phases")
+	if root == nil {
+		root = telemetry.Start("bench.phases", nil)
+	}
+	prev := e.Trace
+	e.Trace = root
+	defer func() { e.Trace = prev }()
+
+	db := tpch.Generate(tpch.Config{Suppliers: e.Scales.BinarySuppliers, Seed: e.Seed})
+	q := db.TE2()
+	for _, method := range []string{MSepSMJ, MSepINLJ, MSepINLJCache} {
+		if _, err := e.RunBinary(method, q.Name, q.R1, q.R2, q.A1, q.A2); err != nil {
+			return nil, fmt.Errorf("phases %s: %w", method, err)
+		}
+	}
+	root.End()
+	node := root.Export()
+	fmt.Fprintf(w, "== PHASES: per-phase breakdown of %s (suppliers=%d payload=%dB)\n",
+		q.Name, e.Scales.BinarySuppliers, e.payload())
+	WritePhases(w, node, e.Cost)
+	return node, nil
+}
+
+// WritePhases renders a span tree as a breakdown table: one row per phase,
+// indented by depth, with wall time, block traffic, communication volume,
+// network rounds, simulated cost, and each phase's share of the root's
+// communication.
+func WritePhases(w io.Writer, n *telemetry.Node, c storage.CostModel) {
+	fmt.Fprintf(w, "%-36s %11s %8s %8s %10s %7s %9s %6s\n",
+		"phase", "wall", "reads", "writes", "comm", "rounds", "cost", "share")
+	total := float64(n.Stats.BytesMoved())
+	n.Walk(func(_ string, depth int, node *telemetry.Node) {
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(node.Stats.BytesMoved()) / total
+		}
+		label := strings.Repeat("  ", depth) + node.Name
+		if node.Workers > 1 {
+			label += fmt.Sprintf(" [w=%d]", node.Workers)
+		}
+		fmt.Fprintf(w, "%-36s %11s %8d %8d %9.3fMB %7d %8.3fs %5.1f%%\n",
+			label, node.Duration().Round(time.Microsecond),
+			node.Stats.BlockReads, node.Stats.BlockWrites,
+			float64(node.Stats.BytesMoved())/1e6,
+			node.Stats.NetworkRounds, c.CostSeconds(node.Stats), share)
+	})
+	fmt.Fprintln(w)
+}

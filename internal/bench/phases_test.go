@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"oblivjoin/internal/telemetry"
+)
+
+// TestRunPhases runs the per-phase breakdown experiment at quick scale and
+// checks the span tree: one child per traced method, each carrying the
+// expected pipeline phases, with the meterless root aggregating their
+// traffic.
+func TestRunPhases(t *testing.T) {
+	var buf bytes.Buffer
+	e := Quick()
+	node, err := RunPhases(&buf, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Trace != nil {
+		t.Fatal("RunPhases left Env.Trace set")
+	}
+	if len(node.Children) != 3 {
+		t.Fatalf("children = %d, want 3 (SMJ, INLJ, INLJ+Cache)", len(node.Children))
+	}
+	smj := node.Children[0]
+	for _, phase := range []string{"join.smj", "load", "merge", "pad", "filter", "decode"} {
+		if smj.Find(phase) == nil {
+			t.Fatalf("SMJ trace missing phase %q", phase)
+		}
+	}
+	if node.Children[1].Find("join.inlj") == nil {
+		t.Fatal("INLJ trace missing join.inlj")
+	}
+	var sum int64
+	for _, c := range node.Children {
+		sum += c.Stats.BytesMoved()
+	}
+	if node.Stats.BytesMoved() != sum || sum == 0 {
+		t.Fatalf("root bytes %d != child sum %d (or zero)", node.Stats.BytesMoved(), sum)
+	}
+	out := buf.String()
+	for _, want := range []string{"PHASES", "phase", "share", "join.smj"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunPhasesNestsUnderActiveTrace checks that with Env.Trace already set
+// (the -trace-out path), the experiment's spans land under that root
+// instead of a detached one.
+func TestRunPhasesNestsUnderActiveTrace(t *testing.T) {
+	e := Quick()
+	outer := telemetry.Start("ojoinbench", nil)
+	e.Trace = outer
+	if _, err := RunPhases(io.Discard, e); err != nil {
+		t.Fatal(err)
+	}
+	outer.End()
+	node := outer.Export()
+	if e.Trace != outer {
+		t.Fatal("RunPhases did not restore Env.Trace")
+	}
+	group := node.Find("bench.phases")
+	if group == nil || len(group.Children) != 3 {
+		t.Fatalf("bench.phases group missing or wrong size: %+v", group)
+	}
+	if node.Stats.BytesMoved() == 0 || node.Stats != group.Stats {
+		t.Fatalf("outer root did not aggregate the nested group: %+v vs %+v", node.Stats, group.Stats)
+	}
+}

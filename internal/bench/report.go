@@ -152,8 +152,9 @@ func WriteTable1(w io.Writer, rows []Table1Row) {
 }
 
 // Experiments lists every runnable experiment by ID: the paper's Table 1
-// and Figures 7–21, plus this repo's ablations and the parallel-sort
-// engine comparison ("sort").
+// and Figures 7–21, plus this repo's ablations, the parallel-sort engine
+// comparison ("sort"), and the telemetry-driven per-phase breakdown
+// ("phases").
 func Experiments() []string {
 	ids := []string{"table1"}
 	for i := 7; i <= 21; i++ {
@@ -162,13 +163,17 @@ func Experiments() []string {
 	return append(ids,
 		"ablation-blocksize", "ablation-z", "ablation-posmap",
 		"ablation-writeback", "ablation-scheme", "ablation-chained", "ablation-dppad",
-		"sort")
+		"sort", "phases")
 }
 
 // Run executes one experiment by ID and writes its report.
 func Run(w io.Writer, e *Env, id string) error {
 	if id == "sort" {
 		_, err := RunSort(w, e)
+		return err
+	}
+	if id == "phases" {
+		_, err := RunPhases(w, e)
 		return err
 	}
 	if id == "table1" {

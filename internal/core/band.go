@@ -15,6 +15,11 @@ import (
 // record per join step, padded to Theorem 3's bound |T1| + |R|.
 func BandJoin(t1, t2 *table.StoredTable, a1, a2 string, op BandOp, opts Options) (*Result, error) {
 	start := snapshot(opts.Meter)
+	sp := opts.span("join.band")
+	sp.SetAttr("n1", int64(t1.NumTuples()))
+	sp.SetAttr("n2", int64(t2.NumTuples()))
+	defer sp.End()
+	load := sp.Child("load")
 	col1 := t1.Schema().MustCol(a1)
 	scan := table.NewScanCursor(t1)
 	ic, err := table.NewIndexCursor(t2, a2)
@@ -26,6 +31,7 @@ func BandJoin(t1, t2 *table.StoredTable, a1, a2 string, op BandOp, opts Options)
 	if err != nil {
 		return nil, err
 	}
+	load.End()
 	var padder *onePadder
 	scanCost := 1
 	seekCost := ic.Tree().AccessesPerRetrieval() + 1
@@ -36,6 +42,7 @@ func BandJoin(t1, t2 *table.StoredTable, a1, a2 string, op BandOp, opts Options)
 	ascending := op == BandGreater || op == BandGreaterEq
 	lastOrd := ic.Tree().NumEntries() - 1
 
+	scanSpan := sp.Child("scan")
 	var steps, retrievals int64
 	for i := 0; i < t1.NumTuples(); i++ {
 		steps++
@@ -90,6 +97,8 @@ func BandJoin(t1, t2 *table.StoredTable, a1, a2 string, op BandOp, opts Options)
 			return nil, err
 		}
 	}
+	scanSpan.SetAttr("steps", steps)
+	scanSpan.End()
 
 	n1, n2 := int64(t1.NumTuples()), int64(t2.NumTuples())
 	cart := Cartesian(n1, n2)
@@ -98,6 +107,9 @@ func BandJoin(t1, t2 *table.StoredTable, a1, a2 string, op BandOp, opts Options)
 	if steps > target {
 		return nil, fmt.Errorf("core: band join executed %d steps, exceeding the Theorem 3 bound %d", steps, target)
 	}
+	pad := sp.Child("pad")
+	pad.SetAttr("steps", steps)
+	pad.SetAttr("target", target)
 	padded := steps
 	for ; padded < target; padded++ {
 		retrievals++
@@ -117,8 +129,9 @@ func BandJoin(t1, t2 *table.StoredTable, a1, a2 string, op BandOp, opts Options)
 			return nil, err
 		}
 	}
+	pad.End()
 
-	tuples, real, paddedOut, err := w.finish(opts, cart)
+	tuples, real, paddedOut, err := w.finish(opts, cart, sp)
 	if err != nil {
 		return nil, err
 	}

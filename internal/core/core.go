@@ -32,6 +32,7 @@ import (
 	"oblivjoin/internal/relation"
 	"oblivjoin/internal/storage"
 	"oblivjoin/internal/table"
+	"oblivjoin/internal/telemetry"
 	"oblivjoin/internal/xcrypto"
 )
 
@@ -115,6 +116,12 @@ type Options struct {
 	// in: the join runs in the Section 7 OneORAM setting, padding every
 	// retrieval to the maximum per-table access count.
 	OneORAM *oram.PathORAM
+	// Span, when non-nil, is the parent telemetry span: the join attaches a
+	// phase-attributed sub-tree (load → scan/merge → pad → filter → decode)
+	// under it, each phase carrying wall time, Meter deltas, and public
+	// sizes only. Telemetry performs no server accesses, so the trace is
+	// identical with or without it (DESIGN.md §2.8).
+	Span *telemetry.Span
 	// IncludeReset charges post-query index-tag resets (multiway only) to
 	// the query cost. Defaults to true via MultiwayJoin.
 	SkipReset bool
@@ -200,6 +207,13 @@ func (o Options) dpNoise() int64 {
 		n = cap
 	}
 	return n
+}
+
+// span opens a child phase span under Options.Span bound to the query
+// meter. Nil-safe: with telemetry disabled (Options.Span == nil) the result
+// is nil and every operation on it no-ops.
+func (o Options) span(name string) *telemetry.Span {
+	return o.Span.ChildMeter(name, o.Meter)
 }
 
 func snapshot(m *storage.Meter) storage.Stats {

@@ -39,6 +39,11 @@ func (p *onePadder) dummyRetrieval() error { return p.pad(0) }
 // retrieval count is padded to Theorem 2's bound |T1| + |R|.
 func IndexNestedLoopJoin(t1, t2 *table.StoredTable, a1, a2 string, opts Options) (*Result, error) {
 	start := snapshot(opts.Meter)
+	sp := opts.span("join.inlj")
+	sp.SetAttr("n1", int64(t1.NumTuples()))
+	sp.SetAttr("n2", int64(t2.NumTuples()))
+	defer sp.End()
+	load := sp.Child("load")
 	col1 := t1.Schema().MustCol(a1)
 	scan := table.NewScanCursor(t1)
 	ic, err := table.NewIndexCursor(t2, a2)
@@ -50,6 +55,7 @@ func IndexNestedLoopJoin(t1, t2 *table.StoredTable, a1, a2 string, opts Options)
 	if err != nil {
 		return nil, err
 	}
+	load.End()
 	var padder *onePadder
 	scanCost := 1
 	seekCost := ic.Tree().AccessesPerRetrieval() + 1
@@ -58,6 +64,7 @@ func IndexNestedLoopJoin(t1, t2 *table.StoredTable, a1, a2 string, opts Options)
 	}
 	one := padder != nil
 
+	scanSpan := sp.Child("scan")
 	var steps, retrievals int64
 	for i := 0; i < t1.NumTuples(); i++ {
 		// Lines 4-5: one join step retrieves the next T1 tuple and the first
@@ -107,6 +114,8 @@ func IndexNestedLoopJoin(t1, t2 *table.StoredTable, a1, a2 string, opts Options)
 			return nil, err
 		}
 	}
+	scanSpan.SetAttr("steps", steps)
+	scanSpan.End()
 
 	n1, n2 := int64(t1.NumTuples()), int64(t2.NumTuples())
 	cart := Cartesian(n1, n2)
@@ -115,6 +124,9 @@ func IndexNestedLoopJoin(t1, t2 *table.StoredTable, a1, a2 string, opts Options)
 	if steps > target {
 		return nil, fmt.Errorf("core: INLJ executed %d steps, exceeding the Theorem 2 bound %d", steps, target)
 	}
+	pad := sp.Child("pad")
+	pad.SetAttr("steps", steps)
+	pad.SetAttr("target", target)
 	padded := steps
 	for ; padded < target; padded++ {
 		retrievals++
@@ -134,8 +146,9 @@ func IndexNestedLoopJoin(t1, t2 *table.StoredTable, a1, a2 string, opts Options)
 			return nil, err
 		}
 	}
+	pad.End()
 
-	tuples, real, paddedOut, err := w.finish(opts, cart)
+	tuples, real, paddedOut, err := w.finish(opts, cart, sp)
 	if err != nil {
 		return nil, err
 	}

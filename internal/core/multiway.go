@@ -36,14 +36,22 @@ func MultiwayJoin(in MultiwayInput, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("core: multiway join needs at least 2 tables")
 	}
 	start := snapshot(opts.Meter)
+	sp := opts.span("join.multiway")
+	sp.SetAttr("tables", int64(l))
+	defer sp.End()
 
+	load := sp.Child("load")
 	m, err := newMultiwayState(in, opts)
 	if err != nil {
 		return nil, err
 	}
+	load.End()
+	scan := sp.Child("scan")
 	if err := m.run(); err != nil {
 		return nil, err
 	}
+	scan.SetAttr("steps", m.steps)
+	scan.End()
 
 	// Pad steps to the Theorem 4 bound for the padded output size.
 	sizes := make([]int64, l)
@@ -55,6 +63,9 @@ func MultiwayJoin(in MultiwayInput, opts Options) (*Result, error) {
 	target := NumtrMultiway(sizes, paddedR)
 	rawSteps := m.steps
 	exceeded := rawSteps > target
+	pad := sp.Child("pad")
+	pad.SetAttr("steps", rawSteps)
+	pad.SetAttr("target", target)
 	padded := rawSteps
 	for ; padded < target; padded++ {
 		if err := m.dummyStep(); err != nil {
@@ -64,8 +75,9 @@ func MultiwayJoin(in MultiwayInput, opts Options) (*Result, error) {
 			return nil, err
 		}
 	}
+	pad.End()
 
-	tuples, real, paddedOut, err := m.w.finish(opts, cart)
+	tuples, real, paddedOut, err := m.w.finish(opts, cart, sp)
 	if err != nil {
 		return nil, err
 	}
@@ -73,11 +85,13 @@ func MultiwayJoin(in MultiwayInput, opts Options) (*Result, error) {
 	// The paper's post-query cleanup: "go over all index blocks and reset
 	// boolean tags in each entry."
 	if !opts.SkipReset {
+		reset := sp.Child("reset")
 		for _, t := range in.Tables[1:] {
 			if err := t.ResetIndexes(); err != nil {
 				return nil, err
 			}
 		}
+		reset.End()
 	}
 
 	res := &Result{

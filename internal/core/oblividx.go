@@ -21,6 +21,11 @@ import (
 // oblivious-tree descent, padded to |T1| + |R| steps.
 func IndexNestedLoopJoinObliviousIndex(t1 *table.StoredTable, a1 string, t2 *obtree.Tree, t2Schema relation.Schema, opts Options) (*Result, error) {
 	start := snapshot(opts.Meter)
+	sp := opts.span("join.inlj.obtree")
+	sp.SetAttr("n1", int64(t1.NumTuples()))
+	sp.SetAttr("n2", t2.NumEntries())
+	defer sp.End()
+	load := sp.Child("load")
 	col1 := t1.Schema().MustCol(a1)
 	scan := table.NewScanCursor(t1)
 	w, err := newOutWriter(fmt.Sprintf("%s⋈%s", t1.Schema().Table, t2Schema.Table),
@@ -28,6 +33,7 @@ func IndexNestedLoopJoinObliviousIndex(t1 *table.StoredTable, a1 string, t2 *obt
 	if err != nil {
 		return nil, err
 	}
+	load.End()
 	decode := func(e obtree.Entry) (relation.Tuple, error) {
 		tu, ok, derr := relation.Decode(t2Schema, e.Value)
 		if derr != nil || !ok {
@@ -36,6 +42,7 @@ func IndexNestedLoopJoinObliviousIndex(t1 *table.StoredTable, a1 string, t2 *obt
 		return tu, nil
 	}
 
+	scanSpan := sp.Child("scan")
 	var steps int64
 	for i := 0; i < t1.NumTuples(); i++ {
 		steps++
@@ -72,6 +79,9 @@ func IndexNestedLoopJoinObliviousIndex(t1 *table.StoredTable, a1 string, t2 *obt
 		}
 	}
 
+	scanSpan.SetAttr("steps", steps)
+	scanSpan.End()
+
 	n1 := int64(t1.NumTuples())
 	cart := Cartesian(n1, t2.NumEntries())
 	paddedR := opts.PadSize(int64(w.real), cart)
@@ -79,6 +89,9 @@ func IndexNestedLoopJoinObliviousIndex(t1 *table.StoredTable, a1 string, t2 *obt
 	if steps > target {
 		return nil, fmt.Errorf("core: oblivious-index INLJ executed %d steps, exceeding the Theorem 2 bound %d", steps, target)
 	}
+	pad := sp.Child("pad")
+	pad.SetAttr("steps", steps)
+	pad.SetAttr("target", target)
 	padded := steps
 	for ; padded < target; padded++ {
 		if err := scan.Dummy(); err != nil {
@@ -91,8 +104,9 @@ func IndexNestedLoopJoinObliviousIndex(t1 *table.StoredTable, a1 string, t2 *obt
 			return nil, err
 		}
 	}
+	pad.End()
 
-	tuples, real, paddedOut, err := w.finish(opts, cart)
+	tuples, real, paddedOut, err := w.finish(opts, cart, sp)
 	if err != nil {
 		return nil, err
 	}

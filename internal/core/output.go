@@ -5,6 +5,7 @@ import (
 
 	"oblivjoin/internal/obliv"
 	"oblivjoin/internal/relation"
+	"oblivjoin/internal/telemetry"
 )
 
 // outWriter accumulates the join's output table: one fixed-size encrypted
@@ -55,12 +56,18 @@ func (w *outWriter) putDummy() error {
 // finish applies the Section 8 padding strategy and the paper's final
 // oblivious filter: the output vector is sorted so real records precede
 // dummies (bitonic external sort with mem trusted records) and truncated to
-// the padded size. It returns the decoded real join tuples.
-func (w *outWriter) finish(opts Options, cartesian int64) (tuples []relation.Tuple, realCount, paddedCount int, err error) {
+// the padded size. It returns the decoded real join tuples. join is the
+// algorithm's telemetry span (may be nil); the filter and decode phases
+// attach under it, with the compaction sort's sub-phases nesting under the
+// filter via the Sorter's own span.
+func (w *outWriter) finish(opts Options, cartesian int64, join *telemetry.Span) (tuples []relation.Tuple, realCount, paddedCount int, err error) {
+	filter := join.Child("filter")
 	if err := w.vec.Flush(); err != nil {
 		return nil, 0, 0, err
 	}
 	padded := opts.PadSize(int64(w.real), cartesian)
+	filter.SetAttr("out", int64(w.total))
+	filter.SetAttr("padded", padded)
 	// A heavily padded target can exceed the records the join steps emitted.
 	dummy := make([]byte, w.recSize)
 	if int(padded) > w.vec.Len() {
@@ -69,11 +76,14 @@ func (w *outWriter) finish(opts Options, cartesian int64) (tuples []relation.Tup
 		}
 	}
 	mem := opts.mem(w.recSize, opts.outBlockSize())
-	sorter := obliv.Sorter{Workers: opts.SortWorkers}
+	sorter := obliv.Sorter{Workers: opts.SortWorkers, Span: filter}
 	if err := sorter.CompactReal(w.vec, mem, relation.IsDummy, int(padded), dummy); err != nil {
 		return nil, 0, 0, err
 	}
+	filter.End()
 	// Decode the real prefix client-side for the caller.
+	decode := join.Child("decode")
+	defer decode.End()
 	if w.real > 0 {
 		recs, err := w.vec.LoadRange(0, w.real)
 		if err != nil {

@@ -5,6 +5,7 @@ import (
 
 	"oblivjoin/internal/storage"
 	"oblivjoin/internal/table"
+	"oblivjoin/internal/telemetry"
 )
 
 // cmpRows compares two retrieval results by join key, ranking a dummy (⊥)
@@ -138,15 +139,20 @@ func runSortMerge(c1, c2 mergeCursor, w *outWriter, one bool) (steps, retrievals
 }
 
 // finishSortMerge pads the step count to Theorem 1's bound and runs the
-// final oblivious filter.
+// final oblivious filter. join is the algorithm's telemetry span (may be
+// nil); the pad and filter phases attach under it.
 func finishSortMerge(w *outWriter, c1, c2 mergeCursor, one bool,
-	n1, n2, steps, retrievals int64, opts Options, start storage.Stats) (*Result, error) {
+	n1, n2, steps, retrievals int64, opts Options, start storage.Stats,
+	join *telemetry.Span) (*Result, error) {
 	cart := Cartesian(n1, n2)
 	paddedR := opts.PadSize(int64(w.real), cart)
 	target := NumtrSortMerge(n1, n2, paddedR)
 	if steps > target {
 		return nil, fmt.Errorf("core: sort-merge executed %d steps, exceeding the Theorem 1 bound %d", steps, target)
 	}
+	pad := join.Child("pad")
+	pad.SetAttr("steps", steps)
+	pad.SetAttr("target", target)
 	padded := steps
 	for ; padded < target; padded++ {
 		retrievals++
@@ -162,7 +168,8 @@ func finishSortMerge(w *outWriter, c1, c2 mergeCursor, one bool,
 			return nil, err
 		}
 	}
-	tuples, real, paddedOut, err := w.finish(opts, cart)
+	pad.End()
+	tuples, real, paddedOut, err := w.finish(opts, cart, join)
 	if err != nil {
 		return nil, err
 	}
@@ -190,6 +197,11 @@ func finishSortMerge(w *outWriter, c1, c2 mergeCursor, one bool,
 // retrieval count is padded to Theorem 1's bound |T1| + |T2| + |R| + 1.
 func SortMergeJoin(t1, t2 *table.StoredTable, a1, a2 string, opts Options) (*Result, error) {
 	start := snapshot(opts.Meter)
+	sp := opts.span("join.smj")
+	sp.SetAttr("n1", int64(t1.NumTuples()))
+	sp.SetAttr("n2", int64(t2.NumTuples()))
+	defer sp.End()
+	load := sp.Child("load")
 	c1, err := table.NewLeafCursor(t1, a1)
 	if err != nil {
 		return nil, err
@@ -203,14 +215,18 @@ func SortMergeJoin(t1, t2 *table.StoredTable, a1, a2 string, opts Options) (*Res
 	if err != nil {
 		return nil, err
 	}
+	load.End()
 	one := opts.OneORAM != nil
 	m1, m2 := leafMerge{c1}, leafMerge{c2}
+	merge := sp.Child("merge")
 	steps, retrievals, err := runSortMerge(m1, m2, w, one)
+	merge.SetAttr("steps", steps)
+	merge.End()
 	if err != nil {
 		return nil, err
 	}
 	return finishSortMerge(w, m1, m2, one,
-		int64(t1.NumTuples()), int64(t2.NumTuples()), steps, retrievals, opts, start)
+		int64(t1.NumTuples()), int64(t2.NumTuples()), steps, retrievals, opts, start, sp)
 }
 
 // SortMergeJoinChained is Algorithm 1 over the index-free pointer-chain
@@ -222,18 +238,27 @@ func SortMergeJoin(t1, t2 *table.StoredTable, a1, a2 string, opts Options) (*Res
 // unchanged.
 func SortMergeJoinChained(t1, t2 *table.ChainedTable, opts Options) (*Result, error) {
 	start := snapshot(opts.Meter)
+	sp := opts.span("join.smj.chain")
+	sp.SetAttr("n1", int64(t1.NumTuples()))
+	sp.SetAttr("n2", int64(t2.NumTuples()))
+	defer sp.End()
+	load := sp.Child("load")
 	w, err := newOutWriter(fmt.Sprintf("%s⋈%s", t1.Schema().Table, t2.Schema().Table),
 		opts, t1.Schema(), t2.Schema())
 	if err != nil {
 		return nil, err
 	}
+	load.End()
 	one := opts.OneORAM != nil
 	m1 := chainMerge{table.NewChainCursor(t1)}
 	m2 := chainMerge{table.NewChainCursor(t2)}
+	merge := sp.Child("merge")
 	steps, retrievals, err := runSortMerge(m1, m2, w, one)
+	merge.SetAttr("steps", steps)
+	merge.End()
 	if err != nil {
 		return nil, err
 	}
 	return finishSortMerge(w, m1, m2, one,
-		int64(t1.NumTuples()), int64(t2.NumTuples()), steps, retrievals, opts, start)
+		int64(t1.NumTuples()), int64(t2.NumTuples()), steps, retrievals, opts, start, sp)
 }

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+
+	"oblivjoin/internal/storage"
+	"oblivjoin/internal/telemetry"
+	"oblivjoin/internal/tracecheck"
+)
+
+// tracedSMJ runs a fixed sort-merge join with tracing enabled, optionally
+// instrumented with a telemetry span tree, and returns the server-visible
+// trace, the root span (nil when uninstrumented), and the final meter
+// snapshot. All randomness is seeded, so two calls perform identical work.
+func tracedSMJ(t *testing.T, instrument bool) ([]storage.Access, *telemetry.Span, storage.Stats) {
+	t.Helper()
+	m := storage.NewMeter()
+	s1, s2, _, _ := storePair(t, []int64{1, 2, 2, 3, 5, 8, 8, 9}, []int64{1, 2, 2, 2, 8, 9}, m)
+	m.Reset()
+	m.SetTracing(true)
+	opts := testJoinOpts(t, m)
+	var root *telemetry.Span
+	if instrument {
+		root = telemetry.Start("query", m)
+		opts.Span = root
+	}
+	if _, err := SortMergeJoin(s1, s2, "k", "k", opts); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	return m.Trace(), root, m.Snapshot()
+}
+
+// TestInstrumentedTraceIdentical is the telemetry guard: spans only
+// snapshot meter counters and never touch the server, so the instrumented
+// join's access trace must be byte-identical to the uninstrumented one.
+func TestInstrumentedTraceIdentical(t *testing.T) {
+	plain, _, _ := tracedSMJ(t, false)
+	instr, _, _ := tracedSMJ(t, true)
+	if d := tracecheck.Diff(plain, instr); d != "" {
+		t.Fatalf("instrumented trace differs from uninstrumented:\n%s", d)
+	}
+	if d := tracecheck.DiffUnordered(plain, instr); d != "" {
+		t.Fatalf("instrumented trace multiset differs:\n%s", d)
+	}
+}
+
+// TestSpanAttribution verifies the phase tree fully accounts the query's
+// traffic: the root span's delta equals the meter snapshot, and the join
+// phases (load, merge, pad, filter, decode) partition the join's stats.
+func TestSpanAttribution(t *testing.T) {
+	_, root, snap := tracedSMJ(t, true)
+	n := root.Export()
+	if n.Stats != snap {
+		t.Fatalf("root span stats %+v != meter snapshot %+v", n.Stats, snap)
+	}
+	join := n.Find("join.smj")
+	if join == nil {
+		t.Fatal("join.smj span missing")
+	}
+	if sum := join.ChildSum(); sum != join.Stats {
+		t.Fatalf("phase sum %+v != join stats %+v", sum, join.Stats)
+	}
+	for _, phase := range []string{"load", "merge", "pad", "filter", "decode", "compact"} {
+		if n.Find(phase) == nil {
+			t.Fatalf("phase %q missing from span tree", phase)
+		}
+	}
+	if v, ok := join.Attrs["n1"]; !ok || v != 8 {
+		t.Fatalf("join n1 attr = %d (ok=%v), want 8", v, ok)
+	}
+	// JSON round trip through the -trace-out format preserves the tree.
+	data, err := telemetry.Marshal(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := telemetry.Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Find("join.smj") == nil || parsed.Find("join.smj").Stats != join.Stats {
+		t.Fatal("span tree did not survive the -trace-out round trip")
+	}
+}
+
+// TestSpanAttributionINLJ covers the index nested-loop pipeline's tree.
+func TestSpanAttributionINLJ(t *testing.T) {
+	m := storage.NewMeter()
+	s1, s2, _, _ := storePair(t, []int64{1, 2, 3, 4}, []int64{2, 2, 4}, m)
+	m.Reset()
+	opts := testJoinOpts(t, m)
+	root := telemetry.Start("query", m)
+	opts.Span = root
+	if _, err := IndexNestedLoopJoin(s1, s2, "k", "k", opts); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	n := root.Export()
+	join := n.Find("join.inlj")
+	if join == nil {
+		t.Fatal("join.inlj span missing")
+	}
+	if sum := join.ChildSum(); sum != join.Stats {
+		t.Fatalf("phase sum %+v != join stats %+v", sum, join.Stats)
+	}
+	if n.Stats != m.Snapshot() {
+		t.Fatalf("root stats %+v != meter snapshot %+v", n.Stats, m.Snapshot())
+	}
+	if join.Find("scan") == nil || join.Find("pad") == nil {
+		t.Fatal("scan/pad phases missing")
+	}
+}

@@ -24,6 +24,11 @@ func compactReal(s Sorter, v *BlockVector, mem int, isDummy func([]byte) bool, r
 	if realCount > v.Len() {
 		return fmt.Errorf("obliv: realCount %d exceeds length %d", realCount, v.Len())
 	}
+	sp := s.Span.Child("compact")
+	sp.SetAttr("n", int64(v.Len()))
+	sp.SetAttr("real", int64(realCount))
+	defer sp.End()
+	s.Span = sp // nest the sort phases under the compaction span
 	if err := v.Flush(); err != nil {
 		return err
 	}

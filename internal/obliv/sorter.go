@@ -4,6 +4,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"oblivjoin/internal/telemetry"
 )
 
 // Sorter executes the oblivious sorts of this package with a configurable
@@ -27,6 +29,11 @@ type Sorter struct {
 	// Workers is the worker-pool size. Values <= 1 select the serial
 	// engine, whose trace is byte-for-byte the historical one.
 	Workers int
+	// Span, when non-nil, receives one telemetry sub-span per sort phase
+	// (sort.runs, sort.merge, compact, …) with wall time, Meter deltas,
+	// and public sizes. Telemetry never touches the server, so the access
+	// trace is identical with or without it.
+	Span *telemetry.Span
 }
 
 // workers clamps the pool size to at least one worker and at most units
@@ -230,6 +237,9 @@ func (s Sorter) SortVector(v Vector, mem int, less func(a, b []byte) bool) error
 	}
 	if n <= mem {
 		// One fixed-pattern pass; the local sort needs no fan-out.
+		sp := s.Span.Child("sort.local")
+		sp.SetAttr("n", int64(n))
+		defer sp.End()
 		recs, err := v.LoadRange(0, n)
 		if err != nil {
 			return err
@@ -244,6 +254,10 @@ func (s Sorter) SortVector(v Vector, mem int, less func(a, b []byte) bool) error
 	chunks := n / chunk
 
 	// Phase 1: sort each chunk locally; chunks are independent.
+	runs := s.Span.Child("sort.runs")
+	runs.SetAttr("n", int64(n))
+	runs.SetAttr("chunk", int64(chunk))
+	runs.SetWorkers(s.workers(chunks))
 	err := s.each(chunks, func(c int) error {
 		recs, err := v.LoadRange(c*chunk, chunk)
 		if err != nil {
@@ -252,12 +266,18 @@ func (s Sorter) SortVector(v Vector, mem int, less func(a, b []byte) bool) error
 		sort.SliceStable(recs, func(i, j int) bool { return less(recs[i], recs[j]) })
 		return v.StoreRange(c*chunk, recs)
 	})
+	runs.End()
 	if err != nil {
 		return err
 	}
 
 	// Phase 2: bitonic network over chunks with merge-split exchanges; each
 	// stage's pairs touch disjoint chunks and run concurrently.
+	merge := s.Span.Child("sort.merge")
+	merge.SetAttr("n", int64(n))
+	merge.SetAttr("chunks", int64(chunks))
+	merge.SetWorkers(s.workers(max(chunks/2, 1)))
+	defer merge.End()
 	return s.Network(chunks, func(i, j int, asc bool) error {
 		a, err := v.LoadRange(i*chunk, chunk)
 		if err != nil {

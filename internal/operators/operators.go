@@ -28,6 +28,7 @@ import (
 	"oblivjoin/internal/relation"
 	"oblivjoin/internal/storage"
 	"oblivjoin/internal/table"
+	"oblivjoin/internal/telemetry"
 	"oblivjoin/internal/xcrypto"
 )
 
@@ -45,10 +46,20 @@ type Options struct {
 	// SortWorkers sizes the oblivious sort engine's worker pool (0 or 1 =
 	// serial).
 	SortWorkers int
+	// Span, when non-nil, is the parent telemetry span; each operator
+	// attaches a phase sub-tree under it (DESIGN.md §2.8).
+	Span *telemetry.Span
 }
 
-func (o Options) sorter() obliv.Sorter {
-	return obliv.Sorter{Workers: o.SortWorkers}
+// sorter returns the sort engine with its phases nesting under sp.
+func (o Options) sorter(sp *telemetry.Span) obliv.Sorter {
+	return obliv.Sorter{Workers: o.SortWorkers, Span: sp}
+}
+
+// span opens a child phase span under Options.Span bound to the operator
+// meter. Nil-safe: no-op when telemetry is disabled.
+func (o Options) span(name string) *telemetry.Span {
+	return o.Span.ChildMeter(name, o.Meter)
 }
 
 func (o Options) blockSize() int {
@@ -160,6 +171,9 @@ func Select(rel *relation.Relation, preds []Pred, opts Options) (*Result, error)
 		return nil, fmt.Errorf("operators: sealer required")
 	}
 	st := start(opts)
+	sp := opts.span("op.select")
+	sp.SetAttr("n", int64(len(rel.Tuples)))
+	defer sp.End()
 	cols := make([]int, len(preds))
 	for i, p := range preds {
 		cols[i] = rel.Schema.MustCol(p.Column)
@@ -169,6 +183,7 @@ func Select(rel *relation.Relation, preds []Pred, opts Options) (*Result, error)
 	if err != nil {
 		return nil, err
 	}
+	scan := sp.Child("scan")
 	real := 0
 	buf := make([]byte, recSize)
 	for _, tu := range rel.Tuples {
@@ -195,8 +210,9 @@ func Select(rel *relation.Relation, preds []Pred, opts Options) (*Result, error)
 	if err := vec.Flush(); err != nil {
 		return nil, err
 	}
+	scan.End()
 	dummy := make([]byte, recSize)
-	if err := opts.sorter().CompactReal(vec, opts.mem(recSize), relation.IsDummy, real, dummy); err != nil {
+	if err := opts.sorter(sp).CompactReal(vec, opts.mem(recSize), relation.IsDummy, real, dummy); err != nil {
 		return nil, err
 	}
 	out := &Result{Schema: rel.Schema, RealCount: real}
@@ -225,6 +241,9 @@ func Project(rel *relation.Relation, columns []string, opts Options) (*Result, e
 		return nil, fmt.Errorf("operators: sealer required")
 	}
 	st := start(opts)
+	sp := opts.span("op.project")
+	sp.SetAttr("n", int64(len(rel.Tuples)))
+	defer sp.End()
 	cols := make([]int, len(columns))
 	for i, c := range columns {
 		cols[i] = rel.Schema.MustCol(c)
@@ -317,6 +336,9 @@ func GroupAggregate(rel *relation.Relation, groupCol, valueCol string, fn AggFun
 		return nil, fmt.Errorf("operators: sealer required")
 	}
 	st := start(opts)
+	sp := opts.span("op.groupagg")
+	sp.SetAttr("n", int64(len(rel.Tuples)))
+	defer sp.End()
 	gc := rel.Schema.MustCol(groupCol)
 	vc := 0
 	if fn != Count {
@@ -326,6 +348,7 @@ func GroupAggregate(rel *relation.Relation, groupCol, valueCol string, fn AggFun
 	if err != nil {
 		return nil, err
 	}
+	scan := sp.Child("scan")
 	buf := make([]byte, aggRecSize)
 	for _, tu := range rel.Tuples {
 		v := int64(1)
@@ -340,6 +363,7 @@ func GroupAggregate(rel *relation.Relation, groupCol, valueCol string, fn AggFun
 	if err := vec.Flush(); err != nil {
 		return nil, err
 	}
+	scan.End()
 	n := vec.Len()
 	outSchema := relation.Schema{
 		Table:   rel.Schema.Table,
@@ -367,7 +391,7 @@ func GroupAggregate(rel *relation.Relation, groupCol, valueCol string, fn AggFun
 		}
 		return ka < kb
 	}
-	if err := opts.sorter().SortVector(vec, mem, less); err != nil {
+	if err := opts.sorter(sp).SortVector(vec, mem, less); err != nil {
 		return nil, err
 	}
 
@@ -380,6 +404,7 @@ func GroupAggregate(rel *relation.Relation, groupCol, valueCol string, fn AggFun
 	if err != nil {
 		return nil, err
 	}
+	foldSpan := sp.Child("fold")
 	groups := 0
 	var curKey, curVal int64
 	var curSet bool
@@ -445,8 +470,9 @@ func GroupAggregate(rel *relation.Relation, groupCol, valueCol string, fn AggFun
 	if err := outVec.Flush(); err != nil {
 		return nil, err
 	}
+	foldSpan.End()
 	isDummy := func(rec []byte) bool { r, _, _ := decodeAgg(rec); return !r }
-	if err := opts.sorter().CompactReal(outVec, mem, isDummy, groups, pad); err != nil {
+	if err := opts.sorter(sp).CompactReal(outVec, mem, isDummy, groups, pad); err != nil {
 		return nil, err
 	}
 	if groups > 0 {

@@ -74,6 +74,13 @@ type PathORAM struct {
 	stash    map[uint64]stashEntry
 	maxStash int
 	rand     LeafSource
+
+	// Client-side telemetry counters (see Telemetry); never server-visible.
+	accesses       int64
+	dummyAccesses  int64
+	bucketsRead    int64
+	bucketsWritten int64
+	levelPlaced    []int64
 }
 
 // NewPathORAM builds the server tree (all buckets initialized to sealed
@@ -119,6 +126,7 @@ func NewPathORAM(cfg PathConfig) (*PathORAM, error) {
 		stash:      make(map[uint64]stashEntry),
 		rand:       rnd,
 	}
+	o.levelPlaced = make([]int64, levels)
 	open := cfg.OpenStore
 	if open == nil {
 		open = func(name string, slots int64, blockSize int) (storage.Store, error) {
@@ -296,9 +304,11 @@ func (o *PathORAM) randomLeaf() uint32 {
 // a write; if update is non-nil it mutates the fetched payload in place; if
 // dummy, no logical block is touched.
 func (o *PathORAM) access(key uint64, newData []byte, dummy bool, update func([]byte) error) ([]byte, error) {
+	o.accesses++
 	var leaf, newLeaf uint32
 	notFound := false
 	if dummy {
+		o.dummyAccesses++
 		leaf = o.randomLeaf()
 		// Keep position-map access counts uniform across real and dummy
 		// operations so they remain indistinguishable even when the position
@@ -368,6 +378,7 @@ func (o *PathORAM) access(key uint64, newData []byte, dummy bool, update func([]
 // Path-ORAM access; otherwise it degrades to per-bucket reads accounted as
 // one simulated round.
 func (o *PathORAM) readPath(path []int64) error {
+	o.bucketsRead += int64(len(path))
 	var sealedBuckets [][]byte
 	if o.batch != nil {
 		var err error
@@ -440,6 +451,7 @@ func (o *PathORAM) parseBucketInto(plain []byte) {
 func (o *PathORAM) writePath(leaf uint32, path []int64) error {
 	// Fill bottom-up (deepest bucket first) so blocks sink as far as
 	// allowed, then upload the whole path in one write-back round.
+	o.bucketsWritten += int64(o.levels)
 	sealedBuckets := make([][]byte, o.levels)
 	for lvl := o.levels - 1; lvl >= 0; lvl-- {
 		bucket := make([]byte, o.bucketSize)
@@ -459,6 +471,7 @@ func (o *PathORAM) writePath(leaf uint32, path []int64) error {
 			delete(o.stash, key)
 			filled++
 		}
+		o.levelPlaced[lvl] += int64(filled)
 		sealed, err := o.cfg.Sealer.Seal(bucket)
 		if err != nil {
 			return err

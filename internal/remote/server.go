@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"oblivjoin/internal/storage"
@@ -21,6 +23,51 @@ type Counters struct {
 	Reads, Writes, BatchReads, BatchWrites, Stats int64
 	// BlocksRead / BlocksWritten count individual block transfers.
 	BlocksRead, BlocksWritten int64
+}
+
+// counterSet is the live, lock-free form of Counters. Request handlers
+// increment it atomically outside the server mutex, so a metrics endpoint
+// polling snapshots mid-join never contends with request serving.
+type counterSet struct {
+	requests, reads, writes, batchReads, batchWrites, stats atomic.Int64
+	blocksRead, blocksWritten                               atomic.Int64
+}
+
+// snapshot reads the set atomically field-by-field. Values observed
+// together may straddle an in-flight increment, which is fine for
+// monitoring: each individual counter is always exact.
+func (c *counterSet) snapshot() Counters {
+	return Counters{
+		Requests:      c.requests.Load(),
+		Reads:         c.reads.Load(),
+		Writes:        c.writes.Load(),
+		BatchReads:    c.batchReads.Load(),
+		BatchWrites:   c.batchWrites.Load(),
+		Stats:         c.stats.Load(),
+		BlocksRead:    c.blocksRead.Load(),
+		BlocksWritten: c.blocksWritten.Load(),
+	}
+}
+
+// count records one request of the given op against the set.
+func (c *counterSet) count(op Op, blocks int64) {
+	c.requests.Add(1)
+	switch op {
+	case OpRead:
+		c.reads.Add(1)
+		c.blocksRead.Add(blocks)
+	case OpWrite:
+		c.writes.Add(1)
+		c.blocksWritten.Add(blocks)
+	case OpReadMany:
+		c.batchReads.Add(1)
+		c.blocksRead.Add(blocks)
+	case OpWriteMany:
+		c.batchWrites.Add(1)
+		c.blocksWritten.Add(blocks)
+	case OpStat:
+		c.stats.Add(1)
+	}
 }
 
 // ServerOptions configures a Server.
@@ -67,7 +114,7 @@ type Server struct {
 
 	mu        sync.Mutex
 	stores    map[string]storage.Store
-	counts    map[string]*Counters
+	counts    map[string]*counterSet
 	conns     map[*connState]struct{}
 	ln        net.Listener
 	closing   bool
@@ -81,7 +128,7 @@ func NewServer(opts ServerOptions) *Server {
 	return &Server{
 		opts:   opts,
 		stores: make(map[string]storage.Store),
-		counts: make(map[string]*Counters),
+		counts: make(map[string]*counterSet),
 		conns:  make(map[*connState]struct{}),
 	}
 }
@@ -94,7 +141,7 @@ func (s *Server) Register(name string, st storage.Store) error {
 		return fmt.Errorf("remote: store %q already registered", name)
 	}
 	s.stores[name] = st
-	s.counts[name] = &Counters{}
+	s.counts[name] = &counterSet{}
 	return nil
 }
 
@@ -109,23 +156,49 @@ func (s *Server) StoreNames() []string {
 	return names
 }
 
-// Counts returns a snapshot of the access counters for a store.
+// Counts returns a snapshot of the access counters for a store. Counter
+// reads are atomic, so snapshots taken while requests are in flight are
+// exact per field — live monitoring never waits on the request path.
 func (s *Server) Counts(name string) Counters {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if c, ok := s.counts[name]; ok {
-		return *c
+	c, ok := s.counts[name]
+	s.mu.Unlock()
+	if ok {
+		return c.snapshot()
 	}
 	return Counters{}
+}
+
+// CountsAll snapshots every store's counters, keyed by store name in
+// sorted order — the metrics endpoint's one-call view of the server.
+func (s *Server) CountsAll() ([]string, map[string]Counters) {
+	s.mu.Lock()
+	sets := make(map[string]*counterSet, len(s.counts))
+	for n, c := range s.counts {
+		sets[n] = c
+	}
+	s.mu.Unlock()
+	names := make([]string, 0, len(sets))
+	out := make(map[string]Counters, len(sets))
+	for n, c := range sets {
+		names = append(names, n)
+		out[n] = c.snapshot()
+	}
+	sort.Strings(names)
+	return names, out
 }
 
 // TotalRequests sums Requests across all stores.
 func (s *Server) TotalRequests() int64 {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	var total int64
+	sets := make([]*counterSet, 0, len(s.counts))
 	for _, c := range s.counts {
-		total += c.Requests
+		sets = append(sets, c)
+	}
+	s.mu.Unlock()
+	var total int64
+	for _, c := range sets {
+		total += c.requests.Load()
 	}
 	return total
 }
@@ -225,29 +298,11 @@ func (s *Server) handle(req *Request) *Response {
 	s.mu.Lock()
 	st, ok := s.stores[req.Store]
 	c := s.counts[req.Store]
-	if ok {
-		c.Requests++
-		switch req.Op {
-		case OpRead:
-			c.Reads++
-			c.BlocksRead++
-		case OpWrite:
-			c.Writes++
-			c.BlocksWritten++
-		case OpReadMany:
-			c.BatchReads++
-			c.BlocksRead += int64(len(req.Indices))
-		case OpWriteMany:
-			c.BatchWrites++
-			c.BlocksWritten += int64(len(req.Indices))
-		case OpStat:
-			c.Stats++
-		}
-	}
 	s.mu.Unlock()
 	if !ok {
 		return &Response{Status: StatusError, Msg: fmt.Sprintf("remote: unknown store %q", req.Store)}
 	}
+	c.count(req.Op, int64(len(req.Indices)))
 
 	fail := func(err error) *Response { return &Response{Status: StatusError, Msg: err.Error()} }
 	switch req.Op {
@@ -336,7 +391,9 @@ func (s *Server) handleCreate(req *Request) *Response {
 	// The server-side store carries no meter: accounting is the client's
 	// concern, the server only counts requests.
 	s.stores[req.Store] = storage.NewMemStore(req.Store, req.Slots, int(req.BlockSize), nil)
-	s.counts[req.Store] = &Counters{Requests: 1}
+	c := &counterSet{}
+	c.requests.Add(1)
+	s.counts[req.Store] = c
 	return &Response{Slots: req.Slots, BlockSize: req.BlockSize}
 }
 

@@ -31,9 +31,17 @@ type Access struct {
 	Bytes int
 }
 
+// DefaultTraceLimit bounds the recorded access sequence when tracing is
+// enabled and no explicit limit was set: 4Mi accesses (~192 MB of Access
+// values). Long joins traced for obliviousness checks stop appending at
+// the cap and count the overflow in Dropped instead of growing without
+// bound.
+const DefaultTraceLimit = 1 << 22
+
 // Meter accumulates traffic statistics across one or more stores. It is safe
 // for concurrent use. When tracing is enabled it also records the full
-// access sequence for obliviousness testing.
+// access sequence for obliviousness testing, capped at SetTraceLimit
+// (DefaultTraceLimit unless configured) with overflow counted in Dropped.
 type Meter struct {
 	mu         sync.Mutex
 	reads      int64
@@ -43,6 +51,8 @@ type Meter struct {
 	rounds     int64
 	tracing    bool
 	trace      []Access
+	traceLimit int // 0 = DefaultTraceLimit, < 0 = unlimited
+	dropped    int64
 }
 
 // NewMeter returns an empty meter.
@@ -90,12 +100,25 @@ func (s Stats) String() string {
 		s.BlockReads, s.BlockWrites, s.BytesMoved(), s.NetworkRounds)
 }
 
+// appendTrace records one access, honoring the trace cap. Caller holds mu.
+func (m *Meter) appendTrace(a Access) {
+	limit := m.traceLimit
+	if limit == 0 {
+		limit = DefaultTraceLimit
+	}
+	if limit > 0 && len(m.trace) >= limit {
+		m.dropped++
+		return
+	}
+	m.trace = append(m.trace, a)
+}
+
 func (m *Meter) countRead(store string, idx int64, n int) {
 	m.mu.Lock()
 	m.reads++
 	m.bytesRead += int64(n)
 	if m.tracing {
-		m.trace = append(m.trace, Access{Store: store, Kind: KindRead, Index: idx, Bytes: n})
+		m.appendTrace(Access{Store: store, Kind: KindRead, Index: idx, Bytes: n})
 	}
 	m.mu.Unlock()
 }
@@ -105,7 +128,7 @@ func (m *Meter) countWrite(store string, idx int64, n int) {
 	m.writes++
 	m.bytesWrite += int64(n)
 	if m.tracing {
-		m.trace = append(m.trace, Access{Store: store, Kind: KindWrite, Index: idx, Bytes: n})
+		m.appendTrace(Access{Store: store, Kind: KindWrite, Index: idx, Bytes: n})
 	}
 	m.mu.Unlock()
 }
@@ -141,7 +164,7 @@ func (m *Meter) CountBatch(store string, kind AccessKind, idxs []int64, blockByt
 	}
 	if m.tracing {
 		for _, i := range idxs {
-			m.trace = append(m.trace, Access{Store: store, Kind: kind, Index: i, Bytes: blockBytes})
+			m.appendTrace(Access{Store: store, Kind: kind, Index: i, Bytes: blockBytes})
 		}
 	}
 	m.mu.Unlock()
@@ -165,17 +188,49 @@ func (m *Meter) Reset() {
 	m.mu.Lock()
 	m.reads, m.writes, m.bytesRead, m.bytesWrite, m.rounds = 0, 0, 0, 0, 0
 	m.trace = nil
+	m.dropped = 0
 	m.mu.Unlock()
 }
 
-// SetTracing enables or disables full access-sequence recording.
+// SetTracing enables or disables full access-sequence recording. Enabling
+// starts a fresh trace with a zeroed Dropped counter.
 func (m *Meter) SetTracing(on bool) {
 	m.mu.Lock()
 	m.tracing = on
-	if !on {
-		m.trace = nil
+	m.trace = nil
+	m.dropped = 0
+	m.mu.Unlock()
+}
+
+// SetTraceLimit bounds the recorded trace to at most n accesses; further
+// accesses are counted in Dropped instead of appended. n == 0 restores
+// DefaultTraceLimit; n < 0 removes the cap entirely (the caller accepts
+// the memory risk). The limit applies from the next recorded access — an
+// existing over-limit trace is not truncated.
+func (m *Meter) SetTraceLimit(n int) {
+	m.mu.Lock()
+	if n < 0 {
+		m.traceLimit = -1
+	} else {
+		m.traceLimit = n
 	}
 	m.mu.Unlock()
+}
+
+// Dropped reports how many accesses the trace cap discarded since tracing
+// was last enabled or the meter reset. A non-zero value means Trace is a
+// prefix of the real access sequence; counters are always complete.
+func (m *Meter) Dropped() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dropped
+}
+
+// TraceLen reports the recorded trace length without copying it.
+func (m *Meter) TraceLen() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.trace)
 }
 
 // Trace returns a copy of the recorded access sequence.

@@ -1,0 +1,80 @@
+package storage
+
+import "testing"
+
+// TestTraceCap verifies the configurable trace cap: accesses beyond the
+// limit are counted in Dropped instead of appended, counters stay
+// complete, and Reset/SetTracing clear the overflow count.
+func TestTraceCap(t *testing.T) {
+	m := NewMeter()
+	m.SetTracing(true)
+	m.SetTraceLimit(4)
+	st := NewMemStore("cap", 16, 32, m)
+	buf := make([]byte, 32)
+	for i := int64(0); i < 10; i++ {
+		if err := st.Write(i, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.TraceLen(); got != 4 {
+		t.Fatalf("trace length = %d, want 4", got)
+	}
+	if got := m.Dropped(); got != 6 {
+		t.Fatalf("Dropped = %d, want 6", got)
+	}
+	// Counters are unaffected by the cap.
+	if s := m.Snapshot(); s.BlockWrites != 10 || s.BytesWritten != 10*32 {
+		t.Fatalf("counters wrong under cap: %+v", s)
+	}
+	// The kept prefix is the first 4 accesses.
+	tr := m.Trace()
+	for i, a := range tr {
+		if a.Index != int64(i) {
+			t.Fatalf("trace[%d].Index = %d, want %d", i, a.Index, i)
+		}
+	}
+
+	// Batched accesses drop per block past the cap.
+	if _, err := st.ReadMany([]int64{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Dropped(); got != 9 {
+		t.Fatalf("Dropped after batch = %d, want 9", got)
+	}
+
+	m.Reset()
+	if m.Dropped() != 0 || m.TraceLen() != 0 {
+		t.Fatalf("Reset did not clear trace state: dropped=%d len=%d", m.Dropped(), m.TraceLen())
+	}
+
+	// Re-enabling tracing starts a fresh trace and overflow count.
+	for i := int64(0); i < 6; i++ {
+		if err := st.Write(i, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.SetTracing(true)
+	if m.TraceLen() != 0 || m.Dropped() != 0 {
+		t.Fatalf("SetTracing(true) did not start fresh: len=%d dropped=%d", m.TraceLen(), m.Dropped())
+	}
+}
+
+// TestTraceLimitUnlimited verifies a negative limit removes the cap.
+func TestTraceLimitUnlimited(t *testing.T) {
+	m := NewMeter()
+	m.SetTracing(true)
+	m.SetTraceLimit(2)
+	m.SetTraceLimit(-1)
+	st := NewMemStore("nolimit", 8, 16, m)
+	for i := int64(0); i < 8; i++ {
+		if _, err := st.Read(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.TraceLen(); got != 8 {
+		t.Fatalf("trace length = %d, want 8 (unlimited)", got)
+	}
+	if m.Dropped() != 0 {
+		t.Fatalf("Dropped = %d, want 0", m.Dropped())
+	}
+}

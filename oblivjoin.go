@@ -31,8 +31,10 @@ import (
 	"oblivjoin/internal/jointree"
 	"oblivjoin/internal/oram"
 	"oblivjoin/internal/relation"
+	"oblivjoin/internal/remote"
 	"oblivjoin/internal/storage"
 	"oblivjoin/internal/table"
+	"oblivjoin/internal/telemetry"
 	"oblivjoin/internal/xcrypto"
 )
 
@@ -58,6 +60,11 @@ type (
 	Query = jointree.Query
 	// Pred is one equality predicate of a Query.
 	Pred = jointree.Pred
+	// Span is one timed, traffic-attributed phase of a query (see
+	// StartTrace and DESIGN.md §2.8).
+	Span = telemetry.Span
+	// TraceNode is the exported JSON form of a span tree.
+	TraceNode = telemetry.Node
 )
 
 // Band-join operators.
@@ -131,6 +138,8 @@ type Database struct {
 	shared     *oram.PathORAM
 	sealed     bool
 	setupStats storage.Stats
+	span       *telemetry.Span
+	remote     *remote.Client
 }
 
 type pendingTable struct {
@@ -212,6 +221,9 @@ func (db *Database) Seal() error {
 		WriteBackDescents: db.cfg.EnableMultiway,
 		Raw:               db.cfg.Setting == Insecure,
 	}
+	if db.remote != nil {
+		opts.OpenStore = db.remote.Opener()
+	}
 	switch db.cfg.Setting {
 	case OneORAM:
 		rels := make([]*Relation, len(db.pending))
@@ -264,8 +276,63 @@ func (db *Database) joinOpts() core.Options {
 		OutBlockSize: db.blockPayload() + xcrypto.Overhead,
 		SortWorkers:  db.cfg.SortWorkers,
 		OneORAM:      db.shared,
+		Span:         db.span,
 	}
 }
+
+// ConnectRemote points the database's server-side storage at a networked
+// block server (cmd/ojoinserver): every store Seal provisions is created
+// over the wire and all ORAM traffic flows through batched path RPCs. Must
+// be called before Seal; traffic accounting still lands in Stats.
+func (db *Database) ConnectRemote(addr string) error {
+	if db.sealed {
+		return fmt.Errorf("oblivjoin: connect before sealing")
+	}
+	if db.remote != nil {
+		return fmt.Errorf("oblivjoin: already connected")
+	}
+	c, err := remote.Dial(remote.ClientOptions{Addr: addr, Meter: db.meter})
+	if err != nil {
+		return err
+	}
+	db.remote = c
+	return nil
+}
+
+// Close releases the remote connection pool, if any.
+func (db *Database) Close() error {
+	if db.remote != nil {
+		return db.remote.Close()
+	}
+	return nil
+}
+
+// StartTrace opens a telemetry root span: until EndTrace, every query run
+// on the database attaches a phase-attributed sub-tree (join → load → merge
+// → pad → filter → decode, with the oblivious sort's runs/merge phases
+// below) recording wall time, traffic deltas, worker counts, and public
+// sizes only. Telemetry performs no server accesses, so the server-visible
+// trace is identical with or without it (DESIGN.md §2.8).
+func (db *Database) StartTrace(name string) *Span {
+	db.span = telemetry.Start(name, db.meter)
+	return db.span
+}
+
+// EndTrace closes and detaches the active span tree, returning it (nil when
+// StartTrace was never called). Export the result with oblivjoin.MarshalTrace.
+func (db *Database) EndTrace() *Span {
+	sp := db.span
+	sp.End()
+	db.span = nil
+	return sp
+}
+
+// MarshalTrace renders a span tree as indented JSON — the -trace-out file
+// format of cmd/ojoin and cmd/ojoinbench.
+func MarshalTrace(s *Span) ([]byte, error) { return telemetry.Marshal(s) }
+
+// ParseTrace decodes a trace file written by MarshalTrace.
+func ParseTrace(data []byte) (*TraceNode, error) { return telemetry.Parse(data) }
 
 // SortMergeJoin runs the oblivious sort-merge equi-join (Algorithm 1) of
 // t1.a1 = t2.a2. Both attributes must be indexed.
