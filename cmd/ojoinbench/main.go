@@ -30,22 +30,29 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (table1, fig7..fig21, sort, or all)")
-		seed     = flag.Int64("seed", 42, "workload and ORAM seed")
-		payload  = flag.Int("payload", 512, "block payload bytes (the paper uses 4096)")
-		bwMbps   = flag.Float64("bandwidth", 1000, "simulated link bandwidth in Mbit/s")
-		rttMicro = flag.Int("rtt", 500, "simulated round-trip latency in microseconds")
-		csv      = flag.Bool("csv", false, "emit plot-ready CSV instead of tables (figures only)")
-		workers  = flag.Int("workers", 1, "oblivious sort worker pool size for the join experiments (1 = serial)")
-		jsonOut  = flag.String("json", "", "with -exp sort: also write the machine-readable report to this path (e.g. BENCH_sort.json)")
-		traceOut = flag.String("trace-out", "", "write a span-tree JSON trace of every traced join to this path")
+		exp        = flag.String("exp", "all", "experiment id (table1, fig7..fig21, sort, or all)")
+		seed       = flag.Int64("seed", 42, "workload and ORAM seed")
+		payload    = flag.Int("payload", 512, "block payload bytes (the paper uses 4096)")
+		bwMbps     = flag.Float64("bandwidth", 1000, "simulated link bandwidth in Mbit/s")
+		rttMicro   = flag.Int("rtt", 500, "simulated round-trip latency in microseconds")
+		csv        = flag.Bool("csv", false, "emit plot-ready CSV instead of tables (figures only)")
+		workers    = flag.Int("workers", 1, "oblivious sort worker pool size for the join experiments (1 = serial)")
+		evictBatch = flag.Int("evict-batch", 1, "defer ORAM evictions and flush k paths per write round (1 = classic)")
+		prefetch   = flag.Int("prefetch", 0, "coalesce up to this many pad-loop dummy downloads per round (0 = off; defaults to -evict-batch)")
+		jsonOut    = flag.String("json", "", "with -exp sort or rounds: also write the machine-readable report to this path (e.g. BENCH_sort.json)")
+		traceOut   = flag.String("trace-out", "", "write a span-tree JSON trace of every traced join to this path")
 	)
 	flag.Parse()
 
+	if *prefetch == 0 {
+		*prefetch = *evictBatch
+	}
 	env := bench.Default()
 	env.Seed = *seed
 	env.BlockPayload = *payload
 	env.SortWorkers = *workers
+	env.EvictionBatch = *evictBatch
+	env.PrefetchDepth = *prefetch
 	env.Cost = storage.CostModel{
 		BandwidthBps: *bwMbps * 1e6,
 		RTT:          time.Duration(*rttMicro) * time.Microsecond,
@@ -79,6 +86,25 @@ func main() {
 				}
 			}
 			fmt.Printf("   [sort regenerated in %.1fs]\n\n", time.Since(start).Seconds())
+			continue
+		}
+		if id == "rounds" {
+			rep, err := bench.RunRounds(os.Stdout, env)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ojoinbench: rounds: %v\n", err)
+				os.Exit(1)
+			}
+			if *jsonOut != "" {
+				out, err := bench.MarshalRoundsReport(rep)
+				if err == nil {
+					err = os.WriteFile(*jsonOut, out, 0o644)
+				}
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "ojoinbench: writing %s: %v\n", *jsonOut, err)
+					os.Exit(1)
+				}
+			}
+			fmt.Printf("   [rounds regenerated in %.1fs]\n\n", time.Since(start).Seconds())
 			continue
 		}
 		run := bench.Run

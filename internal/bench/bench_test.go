@@ -33,8 +33,8 @@ func TestRunUnknownExperiment(t *testing.T) {
 
 func TestExperimentsList(t *testing.T) {
 	ids := Experiments()
-	if len(ids) != 25 {
-		t.Fatalf("%d experiments, want 25 (table1 + fig7..fig21 + 7 ablations + sort + phases)", len(ids))
+	if len(ids) != 26 {
+		t.Fatalf("%d experiments, want 26 (table1 + fig7..fig21 + 7 ablations + sort + phases + rounds)", len(ids))
 	}
 }
 

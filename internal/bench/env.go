@@ -79,6 +79,12 @@ type Env struct {
 	// (named "method query") under it, so every measured join carries a
 	// phase-attributed breakdown (see RunPhases).
 	Trace *telemetry.Span
+	// EvictionBatch defers and batches Path-ORAM evictions, k paths per
+	// write round (DESIGN.md §2.9). 0 or 1 = classic per-access write-back.
+	EvictionBatch int
+	// PrefetchDepth coalesces the pad loops' dummy path downloads, up to
+	// this many per round. 0 or 1 = off.
+	PrefetchDepth int
 	// Scales sizes the workloads per figure.
 	Scales Scales
 }
@@ -219,6 +225,8 @@ func (e *Env) tableOpts(m *storage.Meter, raw, cache, writeBack bool) (table.Opt
 		CacheIndex:        cache,
 		WriteBackDescents: writeBack,
 		Raw:               raw,
+		EvictionBatch:     e.EvictionBatch,
+		PrefetchDepth:     e.PrefetchDepth,
 	}
 	if !raw {
 		s, err := e.sealer()
@@ -236,11 +244,12 @@ func (e *Env) coreOpts(m *storage.Meter) (core.Options, error) {
 		return core.Options{}, err
 	}
 	return core.Options{
-		Meter:        m,
-		Sealer:       s,
-		OutBlockSize: e.payload() + xcrypto.Overhead,
-		Padding:      e.Padding,
-		SortWorkers:  e.SortWorkers,
+		Meter:         m,
+		Sealer:        s,
+		OutBlockSize:  e.payload() + xcrypto.Overhead,
+		Padding:       e.Padding,
+		SortWorkers:   e.SortWorkers,
+		PrefetchDepth: e.PrefetchDepth,
 	}, nil
 }
 

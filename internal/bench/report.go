@@ -153,8 +153,8 @@ func WriteTable1(w io.Writer, rows []Table1Row) {
 
 // Experiments lists every runnable experiment by ID: the paper's Table 1
 // and Figures 7–21, plus this repo's ablations, the parallel-sort engine
-// comparison ("sort"), and the telemetry-driven per-phase breakdown
-// ("phases").
+// comparison ("sort"), the telemetry-driven per-phase breakdown ("phases"),
+// and the deferred-eviction round-trip comparison ("rounds").
 func Experiments() []string {
 	ids := []string{"table1"}
 	for i := 7; i <= 21; i++ {
@@ -163,7 +163,7 @@ func Experiments() []string {
 	return append(ids,
 		"ablation-blocksize", "ablation-z", "ablation-posmap",
 		"ablation-writeback", "ablation-scheme", "ablation-chained", "ablation-dppad",
-		"sort", "phases")
+		"sort", "phases", "rounds")
 }
 
 // Run executes one experiment by ID and writes its report.
@@ -174,6 +174,10 @@ func Run(w io.Writer, e *Env, id string) error {
 	}
 	if id == "phases" {
 		_, err := RunPhases(w, e)
+		return err
+	}
+	if id == "rounds" {
+		_, err := RunRounds(w, e)
 		return err
 	}
 	if id == "table1" {

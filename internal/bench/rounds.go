@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"oblivjoin/internal/core"
+	"oblivjoin/internal/storage"
+	"oblivjoin/internal/table"
+)
+
+// RoundsPoint is one measured configuration of the staged-ORAM rounds
+// experiment: one join driven at one EvictionBatch/PrefetchDepth setting.
+// The input tables' ORAM traffic is metered separately from the output
+// filter, so RoundsPerAccess is exactly the network rounds each Path-ORAM
+// access cost — the metric the deferred-eviction scheduler (DESIGN.md §2.9)
+// exists to lower from the classic 2.0 (read round + evict round).
+type RoundsPoint struct {
+	Join          string `json:"join"`
+	EvictionBatch int    `json:"eviction_batch"`
+	PrefetchDepth int    `json:"prefetch_depth"`
+	// Accesses counts ORAM accesses (real + dummy) across both tables'
+	// data and index ORAMs; Rounds the network round trips they cost.
+	Accesses        int64   `json:"oram_accesses"`
+	Rounds          int64   `json:"network_rounds"`
+	RoundsPerAccess float64 `json:"rounds_per_access"`
+	// Reduction is classic (k=1) rounds-per-access divided by this row's.
+	Reduction float64 `json:"reduction_vs_classic"`
+	// Scheduler counters: eviction flush rounds, bucket writes saved by
+	// upper-tree dedup within a flush, and flushes that rode a path
+	// download in one combined exchange round.
+	Flushes        int64 `json:"evict_flushes"`
+	DedupedBuckets int64 `json:"deduped_buckets"`
+	Exchanges      int64 `json:"exchanges"`
+}
+
+// RoundsReport is the deferred-eviction round-trip comparison the `rounds`
+// experiment produces; BENCH_rounds.json in the repo root is one checked-in
+// snapshot. Every number is a deterministic traffic count (seeded ORAM
+// randomness), unlike the wall-clock sort report.
+type RoundsReport struct {
+	Seed   int64         `json:"seed"`
+	Sweep  []int         `json:"eviction_batches"`
+	Points []RoundsPoint `json:"points"`
+}
+
+// RoundsBatchSweep is the EvictionBatch lineup the rounds experiment
+// measures (k = 1 is the classic write-back-per-access data path).
+var RoundsBatchSweep = []int{1, 4, 16}
+
+// roundsRun executes one join with EvictionBatch = PrefetchDepth = k over
+// MemStore-backed tables and returns its measured point (Reduction is
+// filled by the caller, which knows the classic baseline).
+func roundsRun(e *Env, join string, k int) (RoundsPoint, error) {
+	pt := RoundsPoint{Join: join, EvictionBatch: k, PrefetchDepth: k}
+	env := *e
+	env.EvictionBatch = k
+	env.PrefetchDepth = k
+	mTab := storage.NewMeter()
+	topts, err := env.tableOpts(mTab, false, false, false)
+	if err != nil {
+		return pt, err
+	}
+	const n = 48
+	r1 := sortBenchRelation("rb1", n, e.Seed)
+	r2 := sortBenchRelation("rb2", n, e.Seed+1)
+	s1, err := table.Store(r1, []string{"k"}, topts)
+	if err != nil {
+		return pt, err
+	}
+	s2, err := table.Store(r2, []string{"k"}, topts)
+	if err != nil {
+		return pt, err
+	}
+	mTab.Reset()                                   // setup traffic is not query cost
+	copts, err := env.coreOpts(storage.NewMeter()) // filter metered apart
+	if err != nil {
+		return pt, err
+	}
+	switch join {
+	case "smj":
+		_, err = core.SortMergeJoin(s1, s2, "k", "k", copts)
+	case "inlj":
+		_, err = core.IndexNestedLoopJoin(s1, s2, "k", "k", copts)
+	default:
+		err = fmt.Errorf("bench: unknown rounds join %q", join)
+	}
+	if err != nil {
+		return pt, err
+	}
+	for _, st := range []*table.StoredTable{s1, s2} {
+		for _, ps := range st.PathTelemetry() {
+			pt.Accesses += ps.Accesses
+			pt.Flushes += ps.Flushes
+			pt.DedupedBuckets += ps.DedupedBuckets
+			pt.Exchanges += ps.Exchanges
+		}
+	}
+	pt.Rounds = mTab.Snapshot().NetworkRounds
+	if pt.Accesses > 0 {
+		pt.RoundsPerAccess = float64(pt.Rounds) / float64(pt.Accesses)
+	}
+	return pt, nil
+}
+
+// RoundsBench measures the sort-merge and index nested-loop joins across
+// RoundsBatchSweep.
+func RoundsBench(e *Env) (*RoundsReport, error) {
+	rep := &RoundsReport{Seed: e.Seed, Sweep: RoundsBatchSweep}
+	for _, join := range []string{"smj", "inlj"} {
+		var classic float64
+		for _, k := range RoundsBatchSweep {
+			pt, err := roundsRun(e, join, k)
+			if err != nil {
+				return nil, err
+			}
+			if k == RoundsBatchSweep[0] {
+				classic = pt.RoundsPerAccess
+			}
+			if pt.RoundsPerAccess > 0 {
+				pt.Reduction = classic / pt.RoundsPerAccess
+			}
+			rep.Points = append(rep.Points, pt)
+		}
+	}
+	return rep, nil
+}
+
+// WriteRoundsReport renders the rounds-per-access table.
+func WriteRoundsReport(w io.Writer, rep *RoundsReport) {
+	fmt.Fprintln(w, "== ROUNDS: network rounds per ORAM access vs EvictionBatch (DESIGN.md §2.9)")
+	fmt.Fprintf(w, "%-6s %8s %10s %10s %12s %10s %9s %8s %10s\n",
+		"join", "k", "accesses", "rounds", "rounds/acc", "reduction", "flushes", "dedup", "exchanges")
+	for _, p := range rep.Points {
+		fmt.Fprintf(w, "%-6s %8d %10d %10d %12.3f %9.2fx %9d %8d %10d\n",
+			p.Join, p.EvictionBatch, p.Accesses, p.Rounds, p.RoundsPerAccess,
+			p.Reduction, p.Flushes, p.DedupedBuckets, p.Exchanges)
+	}
+	fmt.Fprintln(w)
+}
+
+// RunRounds executes the rounds experiment and writes the table; the report
+// is returned for snapshotting (BENCH_rounds.json).
+func RunRounds(w io.Writer, e *Env) (*RoundsReport, error) {
+	rep, err := RoundsBench(e)
+	if err != nil {
+		return nil, err
+	}
+	WriteRoundsReport(w, rep)
+	return rep, nil
+}
+
+// MarshalRoundsReport renders a RoundsReport as the BENCH_rounds.json
+// snapshot format (indented, trailing newline).
+func MarshalRoundsReport(rep *RoundsReport) ([]byte, error) {
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

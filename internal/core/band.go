@@ -111,26 +111,57 @@ func BandJoin(t1, t2 *table.StoredTable, a1, a2 string, op BandOp, opts Options)
 	pad.SetAttr("steps", steps)
 	pad.SetAttr("target", target)
 	padded := steps
-	for ; padded < target; padded++ {
-		retrievals++
-		if one {
-			if err := padder.dummyRetrieval(); err != nil {
-				return nil, err
+	if depth := opts.prefetch(); depth <= 1 {
+		for ; padded < target; padded++ {
+			retrievals++
+			if one {
+				if err := padder.dummyRetrieval(); err != nil {
+					return nil, err
+				}
+			} else {
+				if err := scan.Dummy(); err != nil {
+					return nil, err
+				}
+				if err := ic.Dummy(); err != nil {
+					return nil, err
+				}
 			}
-		} else {
-			if err := scan.Dummy(); err != nil {
-				return nil, err
-			}
-			if err := ic.Dummy(); err != nil {
+			if err := w.putDummy(); err != nil {
 				return nil, err
 			}
 		}
-		if err := w.putDummy(); err != nil {
-			return nil, err
+	} else {
+		var chunks int64
+		for padded < target {
+			chunk := padChunk(depth, target-padded)
+			chunks++
+			retrievals += int64(chunk)
+			if one {
+				if err := padder.dummyRetrievalBatch(chunk); err != nil {
+					return nil, err
+				}
+			} else {
+				if err := scan.DummyBatch(chunk); err != nil {
+					return nil, err
+				}
+				if err := ic.DummyBatch(chunk); err != nil {
+					return nil, err
+				}
+			}
+			for i := 0; i < chunk; i++ {
+				if err := w.putDummy(); err != nil {
+					return nil, err
+				}
+			}
+			padded += int64(chunk)
 		}
+		pad.SetAttr("chunks", chunks)
 	}
 	pad.End()
 
+	if err := settle(sp, opts, t1, t2); err != nil {
+		return nil, err
+	}
 	tuples, real, paddedOut, err := w.finish(opts, cart, sp)
 	if err != nil {
 		return nil, err

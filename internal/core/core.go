@@ -125,6 +125,14 @@ type Options struct {
 	// IncludeReset charges post-query index-tag resets (multiway only) to
 	// the query cost. Defaults to true via MultiwayJoin.
 	SkipReset bool
+	// PrefetchDepth coalesces the path downloads of the all-dummy padding
+	// loops: chunks of up to PrefetchDepth dummy retrievals are issued
+	// through the batch ORAM entry points so their read paths travel in one
+	// round. Chunk boundaries are a function of public quantities only (the
+	// theorem pad targets), so the trace stays a function of public sizes;
+	// the per-store access counts are identical to the sequential loops.
+	// 0 or 1 disables coalescing.
+	PrefetchDepth int
 }
 
 func (o Options) mem(recSize, blockSize int) int {
@@ -207,6 +215,82 @@ func (o Options) dpNoise() int64 {
 		n = cap
 	}
 	return n
+}
+
+func (o Options) prefetch() int {
+	if o.PrefetchDepth > 1 {
+		return o.PrefetchDepth
+	}
+	return 1
+}
+
+// padChunk clips the prefetch depth to the remaining pad budget. Both
+// inputs are public (the theorem target and the executed step count), so
+// the resulting chunk schedule is too.
+func padChunk(depth int, remaining int64) int {
+	if int64(depth) > remaining {
+		return int(remaining)
+	}
+	return depth
+}
+
+// flusher settles deferred ORAM eviction state: tables built with
+// table.Options.EvictionBatch > 1 queue eviction paths between accesses
+// and must be flushed before the query is considered complete.
+type flusher interface{ Flush() error }
+
+// pathTelemeter exposes per-ORAM path statistics for phase attribution.
+type pathTelemeter interface{ PathTelemetry() []oram.PathStats }
+
+// settle flushes every input table's deferred eviction queue (and the
+// shared OneORAM, when set) under a "flush" child span, so the deferred
+// write rounds are charged to the query and the stash returns to its
+// steady-state bound. It then attaches the cumulative eviction-scheduler
+// counters (flushes, paths per flush, upper-tree buckets deduped, piggyback
+// exchanges) to the span — the telemetry that attributes rounds saved to
+// the deferral machinery.
+func settle(sp *telemetry.Span, opts Options, tables ...flusher) error {
+	fl := sp.Child("flush")
+	defer fl.End()
+	for _, t := range tables {
+		if err := t.Flush(); err != nil {
+			return err
+		}
+	}
+	if opts.OneORAM != nil {
+		if err := opts.OneORAM.Flush(); err != nil {
+			return err
+		}
+	}
+	var stats []oram.PathStats
+	for _, t := range tables {
+		if pt, ok := t.(pathTelemeter); ok {
+			stats = append(stats, pt.PathTelemetry()...)
+		}
+	}
+	if opts.OneORAM != nil {
+		stats = append(stats, opts.OneORAM.Telemetry())
+	}
+	var flushes, paths, deduped, exchanges, batched int64
+	for _, s := range stats {
+		flushes += s.Flushes
+		paths += s.FlushedPaths
+		deduped += s.DedupedBuckets
+		exchanges += s.Exchanges
+		batched += s.BatchedAccesses
+	}
+	if flushes > 0 {
+		fl.SetAttr("evict.flushes", flushes)
+		fl.SetAttr("evict.paths", paths)
+		fl.SetAttr("evict.dedupedBuckets", deduped)
+	}
+	if exchanges > 0 {
+		fl.SetAttr("evict.exchanges", exchanges)
+	}
+	if batched > 0 {
+		fl.SetAttr("fetch.batchedAccesses", batched)
+	}
+	return nil
 }
 
 // span opens a child phase span under Options.Span bound to the query

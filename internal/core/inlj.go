@@ -31,6 +31,16 @@ func (p *onePadder) pad(cost int) error {
 // dummyRetrieval performs one full-width dummy retrieval.
 func (p *onePadder) dummyRetrieval() error { return p.pad(0) }
 
+// dummyRetrievalBatch performs n full-width dummy retrievals with the path
+// downloads coalesced through the shared ORAM's batch entry point. n·max is
+// a function of public quantities only (pad target × maximum index height).
+func (p *onePadder) dummyRetrievalBatch(n int) error {
+	if p == nil || n <= 0 {
+		return nil
+	}
+	return p.opts.OneORAM.DummyBatch(n * p.max)
+}
+
 // IndexNestedLoopJoin computes T1 ⋈ T2 on a1 = a2 with the paper's
 // oblivious index nested-loop equi-join (Algorithm 2): T1 is scanned
 // sequentially by block ID, matching T2 tuples are fetched through a whole
@@ -128,26 +138,57 @@ func IndexNestedLoopJoin(t1, t2 *table.StoredTable, a1, a2 string, opts Options)
 	pad.SetAttr("steps", steps)
 	pad.SetAttr("target", target)
 	padded := steps
-	for ; padded < target; padded++ {
-		retrievals++
-		if one {
-			if err := padder.dummyRetrieval(); err != nil {
-				return nil, err
+	if depth := opts.prefetch(); depth <= 1 {
+		for ; padded < target; padded++ {
+			retrievals++
+			if one {
+				if err := padder.dummyRetrieval(); err != nil {
+					return nil, err
+				}
+			} else {
+				if err := scan.Dummy(); err != nil {
+					return nil, err
+				}
+				if err := ic.Dummy(); err != nil {
+					return nil, err
+				}
 			}
-		} else {
-			if err := scan.Dummy(); err != nil {
-				return nil, err
-			}
-			if err := ic.Dummy(); err != nil {
+			if err := w.putDummy(); err != nil {
 				return nil, err
 			}
 		}
-		if err := w.putDummy(); err != nil {
-			return nil, err
+	} else {
+		var chunks int64
+		for padded < target {
+			chunk := padChunk(depth, target-padded)
+			chunks++
+			retrievals += int64(chunk)
+			if one {
+				if err := padder.dummyRetrievalBatch(chunk); err != nil {
+					return nil, err
+				}
+			} else {
+				if err := scan.DummyBatch(chunk); err != nil {
+					return nil, err
+				}
+				if err := ic.DummyBatch(chunk); err != nil {
+					return nil, err
+				}
+			}
+			for i := 0; i < chunk; i++ {
+				if err := w.putDummy(); err != nil {
+					return nil, err
+				}
+			}
+			padded += int64(chunk)
 		}
+		pad.SetAttr("chunks", chunks)
 	}
 	pad.End()
 
+	if err := settle(sp, opts, t1, t2); err != nil {
+		return nil, err
+	}
 	tuples, real, paddedOut, err := w.finish(opts, cart, sp)
 	if err != nil {
 		return nil, err

@@ -67,13 +67,31 @@ func MultiwayJoin(in MultiwayInput, opts Options) (*Result, error) {
 	pad.SetAttr("steps", rawSteps)
 	pad.SetAttr("target", target)
 	padded := rawSteps
-	for ; padded < target; padded++ {
-		if err := m.dummyStep(); err != nil {
-			return nil, err
+	if depth := opts.prefetch(); depth <= 1 {
+		for ; padded < target; padded++ {
+			if err := m.dummyStep(); err != nil {
+				return nil, err
+			}
+			if err := m.w.putDummy(); err != nil {
+				return nil, err
+			}
 		}
-		if err := m.w.putDummy(); err != nil {
-			return nil, err
+	} else {
+		var chunks int64
+		for padded < target {
+			chunk := padChunk(depth, target-padded)
+			chunks++
+			if err := m.dummyStepBatch(chunk); err != nil {
+				return nil, err
+			}
+			for i := 0; i < chunk; i++ {
+				if err := m.w.putDummy(); err != nil {
+					return nil, err
+				}
+			}
+			padded += int64(chunk)
 		}
+		pad.SetAttr("chunks", chunks)
 	}
 	pad.End()
 
@@ -92,6 +110,15 @@ func MultiwayJoin(in MultiwayInput, opts Options) (*Result, error) {
 			}
 		}
 		reset.End()
+	}
+
+	// Settle after the reset pass so its index writes are flushed too.
+	fs := make([]flusher, len(in.Tables))
+	for i, t := range in.Tables {
+		fs[i] = t
+	}
+	if err := settle(sp, opts, fs...); err != nil {
+		return nil, err
 	}
 
 	res := &Result{
@@ -222,6 +249,31 @@ func (m *multiwayState) execStep(ops []stepOp) error {
 
 // dummyStep is an all-dummy padding step.
 func (m *multiwayState) dummyStep() error { return m.execStep(nil) }
+
+// dummyStepBatch performs n all-dummy padding steps with each store's path
+// downloads coalesced. The per-store access counts match n sequential
+// dummyStep calls exactly; only the round grouping — a function of the
+// public chunk size — changes.
+func (m *multiwayState) dummyStepBatch(n int) error {
+	if n <= 0 {
+		return nil
+	}
+	m.steps += int64(n)
+	if m.padder != nil {
+		// OneORAM: every table's padded dummy retrieval is max accesses on
+		// the shared ORAM, so n steps are n·l·max indistinguishable dummies.
+		return m.opts.OneORAM.DummyBatch(n * m.l * m.padder.max)
+	}
+	if err := m.scan.DummyBatch(n); err != nil {
+		return err
+	}
+	for j := 1; j < m.l; j++ {
+		if err := m.cursors[j].DummyBatch(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // targetKey returns the join key position j must match: the parent's
 // current attribute value.

@@ -35,6 +35,7 @@ func cmpRows(a, b table.Row) int {
 type mergeCursor interface {
 	Next() (table.Row, error)
 	Dummy() error
+	DummyBatch(n int) error
 	Mark() any
 	Restore(mark any)
 }
@@ -44,6 +45,7 @@ type leafMerge struct{ c *table.LeafCursor }
 
 func (l leafMerge) Next() (table.Row, error) { return l.c.Next() }
 func (l leafMerge) Dummy() error             { return l.c.Dummy() }
+func (l leafMerge) DummyBatch(n int) error   { return l.c.DummyBatch(n) }
 func (l leafMerge) Mark() any                { return l.c.Pos() }
 func (l leafMerge) Restore(m any)            { l.c.SeekOrd(m.(int64)) }
 
@@ -52,6 +54,7 @@ type chainMerge struct{ c *table.ChainCursor }
 
 func (l chainMerge) Next() (table.Row, error) { return l.c.Next() }
 func (l chainMerge) Dummy() error             { return l.c.Dummy() }
+func (l chainMerge) DummyBatch(n int) error   { return l.c.DummyBatch(n) }
 func (l chainMerge) Mark() any                { return l.c.Mark() }
 func (l chainMerge) Restore(m any)            { l.c.Restore(m.(table.ChainMark)) }
 
@@ -143,7 +146,7 @@ func runSortMerge(c1, c2 mergeCursor, w *outWriter, one bool) (steps, retrievals
 // nil); the pad and filter phases attach under it.
 func finishSortMerge(w *outWriter, c1, c2 mergeCursor, one bool,
 	n1, n2, steps, retrievals int64, opts Options, start storage.Stats,
-	join *telemetry.Span) (*Result, error) {
+	join *telemetry.Span, tables ...flusher) (*Result, error) {
 	cart := Cartesian(n1, n2)
 	paddedR := opts.PadSize(int64(w.real), cart)
 	target := NumtrSortMerge(n1, n2, paddedR)
@@ -154,21 +157,51 @@ func finishSortMerge(w *outWriter, c1, c2 mergeCursor, one bool,
 	pad.SetAttr("steps", steps)
 	pad.SetAttr("target", target)
 	padded := steps
-	for ; padded < target; padded++ {
-		retrievals++
-		if err := c1.Dummy(); err != nil {
-			return nil, err
-		}
-		if !one {
-			if err := c2.Dummy(); err != nil {
+	if depth := opts.prefetch(); depth <= 1 {
+		for ; padded < target; padded++ {
+			retrievals++
+			if err := c1.Dummy(); err != nil {
+				return nil, err
+			}
+			if !one {
+				if err := c2.Dummy(); err != nil {
+					return nil, err
+				}
+			}
+			if err := w.putDummy(); err != nil {
 				return nil, err
 			}
 		}
-		if err := w.putDummy(); err != nil {
-			return nil, err
+	} else {
+		// The pad tail is all dummies, so chunks of PrefetchDepth retrievals
+		// can share one download round per store; the chunk schedule depends
+		// only on the public target.
+		var chunks int64
+		for padded < target {
+			chunk := padChunk(depth, target-padded)
+			chunks++
+			retrievals += int64(chunk)
+			if err := c1.DummyBatch(chunk); err != nil {
+				return nil, err
+			}
+			if !one {
+				if err := c2.DummyBatch(chunk); err != nil {
+					return nil, err
+				}
+			}
+			for i := 0; i < chunk; i++ {
+				if err := w.putDummy(); err != nil {
+					return nil, err
+				}
+			}
+			padded += int64(chunk)
 		}
+		pad.SetAttr("chunks", chunks)
 	}
 	pad.End()
+	if err := settle(join, opts, tables...); err != nil {
+		return nil, err
+	}
 	tuples, real, paddedOut, err := w.finish(opts, cart, join)
 	if err != nil {
 		return nil, err
@@ -226,7 +259,7 @@ func SortMergeJoin(t1, t2 *table.StoredTable, a1, a2 string, opts Options) (*Res
 		return nil, err
 	}
 	return finishSortMerge(w, m1, m2, one,
-		int64(t1.NumTuples()), int64(t2.NumTuples()), steps, retrievals, opts, start, sp)
+		int64(t1.NumTuples()), int64(t2.NumTuples()), steps, retrievals, opts, start, sp, t1, t2)
 }
 
 // SortMergeJoinChained is Algorithm 1 over the index-free pointer-chain
@@ -260,5 +293,5 @@ func SortMergeJoinChained(t1, t2 *table.ChainedTable, opts Options) (*Result, er
 		return nil, err
 	}
 	return finishSortMerge(w, m1, m2, one,
-		int64(t1.NumTuples()), int64(t2.NumTuples()), steps, retrievals, opts, start, sp)
+		int64(t1.NumTuples()), int64(t2.NumTuples()), steps, retrievals, opts, start, sp, t1, t2)
 }

@@ -49,6 +49,12 @@ type PathConfig struct {
 	// opener (e.g. remote.Client.Opener) so the tree lives on a networked
 	// block server.
 	OpenStore storage.Opener
+	// EvictionBatch defers eviction write-backs and flushes that many
+	// pending paths in one round trip, deduplicating the shared upper-tree
+	// buckets within a flush (DESIGN.md §2.9). Values <= 1 keep the classic
+	// protocol: every access writes its path back immediately. The setting
+	// propagates to recursive position-map ORAMs.
+	EvictionBatch int
 }
 
 type stashEntry struct {
@@ -63,7 +69,8 @@ type stashEntry struct {
 type PathORAM struct {
 	cfg        PathConfig
 	store      storage.Store
-	batch      storage.BatchStore // non-nil when store supports batched paths
+	batch      storage.BatchStore    // non-nil when store supports batched paths
+	exch       storage.ExchangeStore // non-nil when store supports write+read exchanges
 	leaves     int64
 	levels     int // path length in buckets (root..leaf inclusive)
 	z          int
@@ -74,6 +81,7 @@ type PathORAM struct {
 	stash    map[uint64]stashEntry
 	maxStash int
 	rand     LeafSource
+	sched    *scheduler
 
 	// Client-side telemetry counters (see Telemetry); never server-visible.
 	accesses       int64
@@ -139,6 +147,8 @@ func NewPathORAM(cfg PathConfig) (*PathORAM, error) {
 	}
 	o.store = st
 	o.batch, _ = st.(storage.BatchStore)
+	o.exch, _ = st.(storage.ExchangeStore)
+	o.sched = newScheduler(o, cfg.EvictionBatch)
 	// Initialize every bucket to a sealed empty bucket so the adversary sees
 	// a fully populated, uniformly encrypted tree from the start. Each bucket
 	// gets its own fresh ciphertext; the upload itself is batched.
@@ -252,11 +262,13 @@ func (o *PathORAM) ServerBytes() int64 {
 	return o.store.Len()*int64(o.store.BlockSize()) + o.pos.serverBytes()
 }
 
-// RoundsPerOp is the number of network round trips one access costs over a
-// batching transport: the path download plus the path write-back, plus
-// whatever the (possibly outsourced) position map adds. Like AccessesPerOp
-// it is constant for a given instance — dummy and real operations cost the
-// same number of rounds.
+// RoundsPerOp is the worst-case number of network round trips one access
+// costs over a batching transport: the path download plus the path
+// write-back, plus whatever the (possibly outsourced) position map adds.
+// Like AccessesPerOp it is constant for a given instance — dummy and real
+// operations cost the same number of rounds. With EvictionBatch k > 1 the
+// amortized cost drops to 1 + 1/k (or ~1 when the store supports
+// exchanges), but the reported constant stays the per-access ceiling.
 func (o *PathORAM) RoundsPerOp() int { return 2 + o.pos.roundsPerOp() }
 
 // MaxStash reports the high-water stash occupancy, a standard Path-ORAM
@@ -300,71 +312,98 @@ func (o *PathORAM) randomLeaf() uint32 {
 	return uint32(o.rand.Uint64() % uint64(o.leaves))
 }
 
-// access is the Path-ORAM protocol core. If newData is non-nil the access is
-// a write; if update is non-nil it mutates the fetched payload in place; if
-// dummy, no logical block is touched.
-func (o *PathORAM) access(key uint64, newData []byte, dummy bool, update func([]byte) error) ([]byte, error) {
+// accessPlan is the position-remap stage's output: everything the later
+// fetch/apply/evict stages need to execute one access. Plans carry only the
+// leaf choices (uniform random, data-independent) and the client-side
+// operation, so building several plans before fetching leaks nothing beyond
+// the (public) number of coalesced accesses.
+type accessPlan struct {
+	key      uint64
+	newData  []byte
+	update   func([]byte) error
+	dummy    bool
+	notFound bool
+	leaf     uint32 // path to fetch (old position, or fresh random)
+	newLeaf  uint32 // position installed in the map (real accesses)
+}
+
+// plan runs the position-remap stage: pick the new leaf, read-and-replace
+// the position-map entry (or a dummy position-map operation), and record
+// which path the access must fetch.
+func (o *PathORAM) plan(key uint64, newData []byte, dummy bool, update func([]byte) error) (*accessPlan, error) {
 	o.accesses++
-	var leaf, newLeaf uint32
-	notFound := false
+	p := &accessPlan{key: key, newData: newData, update: update, dummy: dummy}
 	if dummy {
 		o.dummyAccesses++
-		leaf = o.randomLeaf()
+		p.leaf = o.randomLeaf()
 		// Keep position-map access counts uniform across real and dummy
 		// operations so they remain indistinguishable even when the position
 		// map itself lives in a recursive ORAM.
 		if err := o.pos.dummyOp(); err != nil {
 			return nil, err
 		}
-	} else {
-		if key >= uint64(o.cfg.Capacity) {
-			return nil, fmt.Errorf("oram: key %d out of capacity %d", key, o.cfg.Capacity)
-		}
-		newLeaf = o.randomLeaf()
-		old, ok, err := o.pos.getAndSet(key, newLeaf)
-		if err != nil {
-			return nil, err
-		}
-		if ok {
-			leaf = old
-		} else {
-			leaf = o.randomLeaf()
-			notFound = true
-		}
+		return p, nil
 	}
-
-	// Read the whole path into the stash: one round trip when the store
-	// batches, the root-to-leaf sequence of single reads otherwise.
-	path := o.pathNodes(leaf)
-	if err := o.readPath(path); err != nil {
+	if key >= uint64(o.cfg.Capacity) {
+		return nil, fmt.Errorf("oram: key %d out of capacity %d", key, o.cfg.Capacity)
+	}
+	p.newLeaf = o.randomLeaf()
+	old, ok, err := o.pos.getAndSet(key, p.newLeaf)
+	if err != nil {
 		return nil, err
 	}
-
-	var result []byte
-	var err error
-	if !dummy {
-		entry, ok := o.stash[key]
-		switch {
-		case newData != nil:
-			o.stash[key] = stashEntry{leaf: newLeaf, payload: newData}
-		case !ok || notFound:
-			err = fmt.Errorf("%w: key %d", ErrNotFound, key)
-		default:
-			entry.leaf = newLeaf
-			if update != nil {
-				if uerr := update(entry.payload); uerr != nil {
-					err = uerr
-				}
-			}
-			o.stash[key] = entry
-			result = make([]byte, len(entry.payload))
-			copy(result, entry.payload)
-		}
+	if ok {
+		p.leaf = old
+	} else {
+		p.leaf = o.randomLeaf()
+		p.notFound = true
 	}
+	return p, nil
+}
 
-	// Evict: refill the path bottom-up with stash blocks that may live there,
-	// then write it back in a second round trip.
-	if werr := o.writePath(leaf, path); werr != nil && err == nil {
+// apply runs the stash-apply stage: with the plan's path already fetched
+// into the stash, perform the client-side read/write/update against the
+// stash copy and remap the block to its new leaf.
+func (o *PathORAM) apply(p *accessPlan) ([]byte, error) {
+	if p.dummy {
+		return nil, nil
+	}
+	entry, ok := o.stash[p.key]
+	switch {
+	case p.newData != nil:
+		o.stash[p.key] = stashEntry{leaf: p.newLeaf, payload: p.newData}
+		return nil, nil
+	case !ok || p.notFound:
+		return nil, fmt.Errorf("%w: key %d", ErrNotFound, p.key)
+	default:
+		entry.leaf = p.newLeaf
+		var err error
+		if p.update != nil {
+			err = p.update(entry.payload)
+		}
+		o.stash[p.key] = entry
+		result := make([]byte, len(entry.payload))
+		copy(result, entry.payload)
+		return result, err
+	}
+}
+
+// access is the Path-ORAM protocol core, staged as plan → fetch → apply →
+// evict. If newData is non-nil the access is a write; if update is non-nil
+// it mutates the fetched payload in place; if dummy, no logical block is
+// touched. With EvictionBatch <= 1 the eviction stage writes the path back
+// immediately (the classic two-round protocol); otherwise the scheduler
+// defers it.
+func (o *PathORAM) access(key uint64, newData []byte, dummy bool, update func([]byte) error) ([]byte, error) {
+	p, err := o.plan(key, newData, dummy, update)
+	if err != nil {
+		return nil, err
+	}
+	if err := o.sched.fetch([]uint32{p.leaf}); err != nil {
+		return nil, err
+	}
+	result, err := o.apply(p)
+	if werr := o.sched.evict(p.leaf); werr != nil && err == nil {
 		err = werr
 	}
 	if len(o.stash) > o.maxStash {
@@ -429,6 +468,18 @@ func (o *PathORAM) sharesBucket(a, b uint32, lvl int) bool {
 	return (int64(a) >> shift) == (int64(b) >> shift)
 }
 
+// nodeAtLevel returns the store index of the bucket at level lvl (root = 0)
+// on the path to leaf.
+func (o *PathORAM) nodeAtLevel(leaf uint32, lvl int) int64 {
+	return ((o.leaves + int64(leaf)) >> uint(o.levels-1-lvl)) - 1
+}
+
+// putSlotHeader writes the key and leaf fields of an occupied slot.
+func putSlotHeader(slot []byte, key uint64, leaf uint32) {
+	binary.LittleEndian.PutUint64(slot[1:9], key)
+	binary.LittleEndian.PutUint32(slot[9:13], leaf)
+}
+
 func (o *PathORAM) parseBucketInto(plain []byte) {
 	for s := 0; s < o.z; s++ {
 		slot := plain[s*o.slotSize : (s+1)*o.slotSize]
@@ -465,8 +516,7 @@ func (o *PathORAM) writePath(leaf uint32, path []int64) error {
 			}
 			slot := bucket[filled*o.slotSize:]
 			slot[0] = 1
-			binary.LittleEndian.PutUint64(slot[1:9], key)
-			binary.LittleEndian.PutUint32(slot[9:13], entry.leaf)
+			putSlotHeader(slot, key, entry.leaf)
 			copy(slot[slotHeader:], entry.payload)
 			delete(o.stash, key)
 			filled++

@@ -25,6 +25,9 @@ type posMap interface {
 	// roundsPerOp is the number of network round trips one getAndSet (or
 	// dummyOp) costs over a batching transport.
 	roundsPerOp() int
+	// flush settles any deferred eviction state held by an outsourced map;
+	// a no-op for the client-side map.
+	flush() error
 	clientBytes() int64
 	serverBytes() int64
 }
@@ -56,6 +59,7 @@ func (m *flatPosMap) set(key uint64, leaf uint32) error {
 func (m *flatPosMap) dummyOp() error     { return nil }
 func (m *flatPosMap) accessesPerOp() int { return 0 }
 func (m *flatPosMap) roundsPerOp() int   { return 0 }
+func (m *flatPosMap) flush() error       { return nil }
 func (m *flatPosMap) clientBytes() int64 { return int64(len(m.leaves)) * 4 }
 func (m *flatPosMap) serverBytes() int64 { return 0 }
 
@@ -86,6 +90,7 @@ func newORAMPosMap(parent PathConfig, capacity, cutoff int64, rnd LeafSource) (*
 		RecursePosMap: numBlocks > cutoff,
 		RecurseCutoff: cutoff,
 		OpenStore:     parent.OpenStore,
+		EvictionBatch: parent.EvictionBatch,
 	}
 	child, err := NewPathORAM(childCfg)
 	if err != nil {
@@ -135,5 +140,6 @@ func (m *oramPosMap) dummyOp() error {
 
 func (m *oramPosMap) accessesPerOp() int { return 2 * m.child.AccessesPerOp() }
 func (m *oramPosMap) roundsPerOp() int   { return 2 * m.child.RoundsPerOp() }
+func (m *oramPosMap) flush() error       { return m.child.Flush() }
 func (m *oramPosMap) clientBytes() int64 { return m.child.ClientBytes() }
 func (m *oramPosMap) serverBytes() int64 { return m.child.ServerBytes() }

@@ -1,0 +1,350 @@
+package oram
+
+import (
+	"fmt"
+	"sort"
+)
+
+// scheduler is the staged data path in front of a PathORAM's fetch and
+// eviction stages (DESIGN.md §2.9). It owns two round-trip optimizations:
+//
+//   - Deferred eviction: with batch k > 1, evicted paths are queued and
+//     flushed k at a time in one WriteMany round, deduplicating the buckets
+//     the paths share near the root so each bucket is written once per
+//     flush. When the store supports exchanges the flush instead rides
+//     along the next access's path download, making the write round free.
+//
+//   - Coalesced fetch: independent accesses planned together download the
+//     union of their read paths in one ReadMany round.
+//
+// Security: every queued eviction path is the path of a completed fetch,
+// and Path-ORAM fetch paths are uniform random and independent of the data
+// (real accesses follow the fresh uniform leaf installed by the previous
+// remap; dummies and misses draw a fresh uniform leaf directly). Deferring
+// and deduplicating the write-backs therefore changes only *when* those
+// public bucket indices are written, never *which* buckets a retrieval
+// sequence touches as a function of non-public state — the flushed multiset
+// per window is exactly the union of the k fetched paths. The trace stays
+// reproducible from public sizes plus the recorded leaf randomness
+// (tracecheck.PathORAMSim).
+//
+// Correctness invariant: a server bucket may hold a stale copy of a block
+// whose authoritative copy sits in the stash only while the path through
+// that bucket is still queued. Each flush rewrites every bucket of every
+// pending path from the stash, destroying all such copies; an exchange
+// applies its writes before serving reads, so a ride-along fetch can only
+// re-read freshly written buckets (whose blocks then safely re-enter the
+// stash on a path that is itself queued again).
+type scheduler struct {
+	o     *PathORAM
+	batch int // flush threshold k; <= 1 means evict immediately
+
+	pending []uint32 // leaves of fetched paths awaiting write-back
+	due     bool     // flush has reached the threshold and should ride the next fetch
+
+	// Telemetry (client-side only).
+	flushes         int64
+	flushedPaths    int64
+	dedupSaved      int64 // bucket writes avoided by intra-flush dedup
+	exchanges       int64 // flushes that rode a fetch in one exchange round
+	batchFetches    int64 // coalesced multi-access fetch rounds
+	batchedAccesses int64 // accesses served by those rounds
+}
+
+func newScheduler(o *PathORAM, batch int) *scheduler {
+	if batch < 1 {
+		batch = 1
+	}
+	return &scheduler{o: o, batch: batch}
+}
+
+// unionNodes returns the sorted union of the root-to-leaf paths of the
+// given leaves. For a single leaf it is exactly pathNodes (root first).
+func (s *scheduler) unionNodes(leaves []uint32) []int64 {
+	if len(leaves) == 1 {
+		return s.o.pathNodes(leaves[0])
+	}
+	seen := make(map[int64]bool, len(leaves)*s.o.levels)
+	var nodes []int64
+	for _, leaf := range leaves {
+		for _, n := range s.o.pathNodes(leaf) {
+			if !seen[n] {
+				seen[n] = true
+				nodes = append(nodes, n)
+			}
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	return nodes
+}
+
+// fetch downloads the union of the given leaves' paths into the stash in
+// one round. If a deferred flush is due it rides along as one exchange:
+// the server applies the pending eviction writes, then serves the reads,
+// all in the same round trip.
+func (s *scheduler) fetch(leaves []uint32) error {
+	if s.due {
+		if s.o.exch != nil && len(s.pending) > 0 {
+			return s.exchangeFetch(leaves)
+		}
+		if err := s.flushNow(); err != nil {
+			return err
+		}
+	}
+	if len(leaves) > 1 {
+		s.batchFetches++
+		s.batchedAccesses += int64(len(leaves))
+	}
+	return s.o.readPath(s.unionNodes(leaves))
+}
+
+// evict queues the fetched path for write-back. With batch <= 1 it writes
+// the path back immediately (the classic protocol); otherwise the queue is
+// flushed once it holds batch paths — via the next fetch's exchange when
+// the store supports it, in its own WriteMany round otherwise.
+func (s *scheduler) evict(leaf uint32) error {
+	if s.batch <= 1 {
+		return s.o.writePath(leaf, s.o.pathNodes(leaf))
+	}
+	return s.evictBatch([]uint32{leaf})
+}
+
+// evictBatch queues a coalesced batch's fetched paths for write-back as one
+// unit and triggers at most one flush. The unit matters for correctness, not
+// just rounds: the batch's paths were downloaded in a single union read, so
+// writing them back as separate overlapping path writes would let a later
+// write rewrite a shared bucket (the root, at minimum) that an earlier write
+// in the same batch had just filled — erasing the placed blocks, which are
+// no longer in the stash. A flush seals the union instead: every bucket is
+// written exactly once, filled from the authoritative stash.
+func (s *scheduler) evictBatch(leaves []uint32) error {
+	s.pending = append(s.pending, leaves...)
+	if s.batch <= 1 || len(s.pending) >= 2*s.batch {
+		// batch <= 1 flushes the coalesced unit immediately (the classic
+		// protocol plus fetch coalescing); past 2k the safety valve flushes
+		// rather than let the stash bound drift when coalesced batches keep
+		// queueing faster than fetches come in.
+		return s.flushNow()
+	}
+	if len(s.pending) >= s.batch {
+		if s.o.exch != nil {
+			s.due = true
+			return nil
+		}
+		return s.flushNow()
+	}
+	return nil
+}
+
+// flushNow writes every pending path back in one round.
+func (s *scheduler) flushNow() error {
+	s.due = false
+	if len(s.pending) == 0 {
+		return nil
+	}
+	idxs, data, err := s.sealEvictionSet()
+	if err != nil {
+		return err
+	}
+	if s.o.batch != nil {
+		return s.o.batch.WriteMany(idxs, data)
+	}
+	for k, i := range idxs {
+		if err := s.o.store.Write(i, data[k]); err != nil {
+			return err
+		}
+	}
+	if s.o.cfg.Meter != nil {
+		s.o.cfg.Meter.CountRound()
+	}
+	return nil
+}
+
+// exchangeFetch performs a due flush and the next fetch in one round trip:
+// the store applies the pending eviction writes first, then serves the
+// read union.
+func (s *scheduler) exchangeFetch(leaves []uint32) error {
+	widxs, wdata, err := s.sealEvictionSet()
+	if err != nil {
+		return err
+	}
+	s.due = false
+	s.exchanges++
+	if len(leaves) > 1 {
+		s.batchFetches++
+		s.batchedAccesses += int64(len(leaves))
+	}
+	ridxs := s.unionNodes(leaves)
+	s.o.bucketsRead += int64(len(ridxs))
+	sealed, err := s.o.exch.Exchange(widxs, wdata, ridxs)
+	if err != nil {
+		return err
+	}
+	for k, sb := range sealed {
+		plain, err := s.o.cfg.Sealer.Open(sb)
+		if err != nil {
+			return fmt.Errorf("oram: bucket %d: %w", ridxs[k], err)
+		}
+		s.o.parseBucketInto(plain)
+	}
+	return nil
+}
+
+// sealEvictionSet drains the pending queue into sealed buckets for the
+// union of the pending paths: shared upper-tree buckets appear once, the
+// stash is drained deepest-level-first so blocks sink as far as any pending
+// path allows, and the result is ordered by ascending store index. It
+// updates the eviction telemetry counters.
+func (s *scheduler) sealEvictionSet() (idxs []int64, data [][]byte, err error) {
+	o := s.o
+	type node struct {
+		idx int64
+		lvl int
+	}
+	seen := make(map[int64]bool, len(s.pending)*o.levels)
+	var nodes []node
+	for _, leaf := range s.pending {
+		for lvl := 0; lvl < o.levels; lvl++ {
+			idx := o.nodeAtLevel(leaf, lvl)
+			if !seen[idx] {
+				seen[idx] = true
+				nodes = append(nodes, node{idx: idx, lvl: lvl})
+			}
+		}
+	}
+	s.flushes++
+	s.flushedPaths += int64(len(s.pending))
+	s.dedupSaved += int64(len(s.pending)*o.levels - len(nodes))
+	o.bucketsWritten += int64(len(nodes))
+	// Fill deepest buckets first so blocks sink as far as allowed.
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i].lvl != nodes[j].lvl {
+			return nodes[i].lvl > nodes[j].lvl
+		}
+		return nodes[i].idx < nodes[j].idx
+	})
+	sealedByIdx := make(map[int64][]byte, len(nodes))
+	for _, n := range nodes {
+		bucket := make([]byte, o.bucketSize)
+		filled := 0
+		for key, entry := range o.stash {
+			if filled == o.z {
+				break
+			}
+			if o.nodeAtLevel(entry.leaf, n.lvl) != n.idx {
+				continue
+			}
+			slot := bucket[filled*o.slotSize:]
+			slot[0] = 1
+			putSlotHeader(slot, key, entry.leaf)
+			copy(slot[slotHeader:], entry.payload)
+			delete(o.stash, key)
+			filled++
+		}
+		o.levelPlaced[n.lvl] += int64(filled)
+		sealed, serr := o.cfg.Sealer.Seal(bucket)
+		if serr != nil {
+			return nil, nil, serr
+		}
+		sealedByIdx[n.idx] = sealed
+	}
+	s.pending = s.pending[:0]
+	// Write in ascending store-index order: for a single path this is the
+	// same root-to-leaf order writePath uses.
+	idxs = make([]int64, 0, len(nodes))
+	for idx := range sealedByIdx {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	data = make([][]byte, len(idxs))
+	for k, idx := range idxs {
+		data[k] = sealedByIdx[idx]
+	}
+	return idxs, data, nil
+}
+
+// ReadBatch reads several keys with their path downloads coalesced into a
+// single round: all accesses are planned first, the union of their paths is
+// fetched in one ReadMany (or exchange), every access is applied against
+// the stash, and only then are the paths queued for eviction. Each access
+// still remaps its block to a fresh uniform leaf, so the server-visible
+// read set is the union of len(keys) independent uniform paths — the batch
+// leaks only its (public) size. Results align with keys; the first error is
+// returned after all accesses completed their server-visible work.
+func (o *PathORAM) ReadBatch(keys []uint64) ([][]byte, error) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	plans := make([]*accessPlan, len(keys))
+	leaves := make([]uint32, len(keys))
+	for i, k := range keys {
+		p, err := o.plan(k, nil, false, nil)
+		if err != nil {
+			return nil, err
+		}
+		plans[i] = p
+		leaves[i] = p.leaf
+	}
+	return o.finishBatch(plans, leaves)
+}
+
+// DummyBatch performs n dummy accesses with their path downloads coalesced
+// into a single round, indistinguishable from ReadBatch of n keys.
+func (o *PathORAM) DummyBatch(n int) error {
+	if n <= 0 {
+		return nil
+	}
+	plans := make([]*accessPlan, n)
+	leaves := make([]uint32, n)
+	for i := range plans {
+		p, err := o.plan(0, nil, true, nil)
+		if err != nil {
+			return err
+		}
+		plans[i] = p
+		leaves[i] = p.leaf
+	}
+	_, err := o.finishBatch(plans, leaves)
+	return err
+}
+
+// finishBatch runs the fetch, apply, and evict stages for a planned batch.
+// All plans are applied before any path is queued for eviction, so an
+// eviction cannot sink a block that a later plan in the same batch still
+// needs out of the stash.
+func (o *PathORAM) finishBatch(plans []*accessPlan, leaves []uint32) ([][]byte, error) {
+	if err := o.sched.fetch(leaves); err != nil {
+		return nil, err
+	}
+	results := make([][]byte, len(plans))
+	var firstErr error
+	for i, p := range plans {
+		res, err := o.apply(p)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		results[i] = res
+	}
+	if err := o.sched.evictBatch(leaves); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if len(o.stash) > o.maxStash {
+		o.maxStash = len(o.stash)
+	}
+	return results, firstErr
+}
+
+// Flush writes every deferred eviction path back to the server, including
+// the recursive position map's. Callers settle the instance at the end of
+// a query (or before reading ServerBytes-style footprints) so no stash
+// state is pinned by pending paths.
+func (o *PathORAM) Flush() error {
+	if err := o.sched.flushNow(); err != nil {
+		return err
+	}
+	return o.pos.flush()
+}
+
+// PendingEvictions reports the number of fetched paths whose write-back is
+// currently deferred.
+func (o *PathORAM) PendingEvictions() int { return len(o.sched.pending) }

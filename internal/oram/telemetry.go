@@ -25,18 +25,40 @@ type PathStats struct {
 	// StashPeak is the high-water stash occupancy; StashSize the current.
 	StashPeak int
 	StashSize int
+	// Flushes counts eviction flush rounds performed by the scheduler;
+	// FlushedPaths the paths they wrote back; DedupedBuckets the bucket
+	// writes saved by deduplicating shared upper-tree buckets within a
+	// flush; Exchanges the flushes that rode a path download in a single
+	// combined round. All zero when EvictionBatch <= 1.
+	Flushes        int64
+	FlushedPaths   int64
+	DedupedBuckets int64
+	Exchanges      int64
+	// BatchFetches counts coalesced multi-access download rounds;
+	// BatchedAccesses the accesses they served. PendingEvictions is the
+	// current depth of the deferred-eviction queue.
+	BatchFetches     int64
+	BatchedAccesses  int64
+	PendingEvictions int
 }
 
 // Telemetry returns a snapshot of the instance's access/eviction counters.
 // The LevelPlaced slice is a copy; callers may retain it.
 func (o *PathORAM) Telemetry() PathStats {
 	s := PathStats{
-		Accesses:       o.accesses,
-		DummyAccesses:  o.dummyAccesses,
-		BucketsRead:    o.bucketsRead,
-		BucketsWritten: o.bucketsWritten,
-		StashPeak:      o.maxStash,
-		StashSize:      len(o.stash),
+		Accesses:         o.accesses,
+		DummyAccesses:    o.dummyAccesses,
+		BucketsRead:      o.bucketsRead,
+		BucketsWritten:   o.bucketsWritten,
+		StashPeak:        o.maxStash,
+		StashSize:        len(o.stash),
+		Flushes:          o.sched.flushes,
+		FlushedPaths:     o.sched.flushedPaths,
+		DedupedBuckets:   o.sched.dedupSaved,
+		Exchanges:        o.sched.exchanges,
+		BatchFetches:     o.sched.batchFetches,
+		BatchedAccesses:  o.sched.batchedAccesses,
+		PendingEvictions: len(o.sched.pending),
 	}
 	s.LevelPlaced = make([]int64, len(o.levelPlaced))
 	copy(s.LevelPlaced, o.levelPlaced)

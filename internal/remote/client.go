@@ -253,7 +253,10 @@ type RemoteStore struct {
 	blockSize int
 }
 
-var _ storage.BatchStore = (*RemoteStore)(nil)
+var (
+	_ storage.BatchStore    = (*RemoteStore)(nil)
+	_ storage.ExchangeStore = (*RemoteStore)(nil)
+)
 
 // Name returns the server-side store name.
 func (s *RemoteStore) Name() string { return s.name }
@@ -327,4 +330,41 @@ func (s *RemoteStore) WriteMany(idxs []int64, data [][]byte) error {
 		m.CountBatch(s.name, storage.KindWrite, idxs, s.blockSize)
 	}
 	return nil
+}
+
+// Exchange implements storage.ExchangeStore: the writes and reads travel in
+// one OpExchange request, and the server applies the writes before serving
+// the reads. Degenerate forms collapse to the plain batch ops (which skip
+// the wire entirely when empty), and a retried exchange is idempotent for
+// the same reason batch writes are: absolute indices, absolute contents.
+func (s *RemoteStore) Exchange(writeIdxs []int64, writeData [][]byte, readIdxs []int64) ([][]byte, error) {
+	if len(writeIdxs) != len(writeData) {
+		return nil, fmt.Errorf("remote: exchange of %d write blocks with %d payloads", len(writeIdxs), len(writeData))
+	}
+	if len(writeIdxs) == 0 && len(readIdxs) == 0 {
+		return nil, nil
+	}
+	if len(readIdxs) == 0 {
+		return nil, s.WriteMany(writeIdxs, writeData)
+	}
+	if len(writeIdxs) == 0 {
+		return s.ReadMany(readIdxs)
+	}
+	resp, err := s.c.call(&Request{
+		Op:           OpExchange,
+		Store:        s.name,
+		Indices:      readIdxs,
+		WriteIndices: writeIdxs,
+		Blocks:       writeData,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Blocks) != len(readIdxs) {
+		return nil, fmt.Errorf("%w: exchange returned %d of %d blocks", ErrMalformed, len(resp.Blocks), len(readIdxs))
+	}
+	if m := s.c.opts.Meter; m != nil {
+		m.CountExchange(s.name, writeIdxs, readIdxs, s.blockSize)
+	}
+	return resp.Blocks, nil
 }

@@ -54,6 +54,10 @@ const (
 	OpWriteMany
 	OpStat
 	OpCreate
+	// OpExchange applies a batch of writes, then serves a batch of reads,
+	// in one round trip — the multi-path RPC behind the ORAM scheduler's
+	// deferred-eviction flush riding a path download.
+	OpExchange
 )
 
 func (o Op) String() string {
@@ -70,6 +74,8 @@ func (o Op) String() string {
 		return "stat"
 	case OpCreate:
 		return "create"
+	case OpExchange:
+		return "exchange"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}
@@ -91,14 +97,18 @@ const (
 type Request struct {
 	Op    Op
 	Store string
-	// Indices carries the target block index (single ops) or the batch
-	// index list.
+	// Indices carries the target block index (single ops), the batch
+	// index list, or — for OpExchange — the read index list.
 	Indices []int64
-	// Blocks carries write payloads, aligned with Indices.
+	// Blocks carries write payloads, aligned with Indices (or with
+	// WriteIndices for OpExchange).
 	Blocks [][]byte
 	// Slots and BlockSize carry store geometry for OpCreate.
 	Slots     int64
 	BlockSize int64
+	// WriteIndices carries the write index list for OpExchange, aligned
+	// with Blocks; empty for every other op.
+	WriteIndices []int64
 }
 
 // Response is one server→client reply.
@@ -220,6 +230,10 @@ func EncodeRequest(req *Request) []byte {
 		b = binary.AppendUvarint(b, uint64(len(blk)))
 		b = append(b, blk...)
 	}
+	b = binary.AppendUvarint(b, uint64(len(req.WriteIndices)))
+	for _, i := range req.WriteIndices {
+		b = binary.AppendUvarint(b, uint64(i))
+	}
 	return b
 }
 
@@ -232,7 +246,7 @@ func DecodeRequest(payload []byte) (*Request, error) {
 	}
 	op := Op(r.b[0])
 	r.b = r.b[1:]
-	if op < OpRead || op > OpCreate {
+	if op < OpRead || op > OpExchange {
 		return nil, fmt.Errorf("%w: unknown op %d", ErrMalformed, op)
 	}
 	req := &Request{Op: op}
@@ -270,6 +284,18 @@ func DecodeRequest(payload []byte) (*Request, error) {
 		req.Blocks = make([][]byte, nBlk)
 		for k := range req.Blocks {
 			if req.Blocks[k], err = r.bytes(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	nWIdx, err := r.length(1)
+	if err != nil {
+		return nil, err
+	}
+	if nWIdx > 0 {
+		req.WriteIndices = make([]int64, nWIdx)
+		for k := range req.WriteIndices {
+			if req.WriteIndices[k], err = r.int64(); err != nil {
 				return nil, err
 			}
 		}

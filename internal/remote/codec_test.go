@@ -17,6 +17,12 @@ func TestRequestRoundTrip(t *testing.T) {
 		{Op: OpWriteMany, Store: "x", Indices: []int64{1, 2}, Blocks: [][]byte{[]byte("a"), []byte("bb")}},
 		{Op: OpStat, Store: "idx.k"},
 		{Op: OpCreate, Store: "fresh", Slots: 128, BlockSize: 4096},
+		// Multi-path exchange: Indices carries the read set, WriteIndices
+		// the write set aligned with Blocks.
+		{Op: OpExchange, Store: "t1.data", Indices: []int64{0, 3, 7},
+			WriteIndices: []int64{1, 2}, Blocks: [][]byte{[]byte("wa"), []byte("wb")}},
+		{Op: OpExchange, Store: "t1.data", Indices: []int64{5},
+			WriteIndices: []int64{9}, Blocks: [][]byte{[]byte("solo")}},
 	}
 	for _, req := range cases {
 		got, err := DecodeRequest(EncodeRequest(req))
@@ -126,6 +132,8 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(EncodeRequest(&Request{Op: OpRead, Store: "t", Indices: []int64{1}}))
 	f.Add(EncodeRequest(&Request{Op: OpWriteMany, Store: "t", Indices: []int64{1, 2}, Blocks: [][]byte{[]byte("a"), []byte("b")}}))
 	f.Add(EncodeRequest(&Request{Op: OpCreate, Store: "t", Slots: 8, BlockSize: 64}))
+	f.Add(EncodeRequest(&Request{Op: OpExchange, Store: "t", Indices: []int64{0, 2},
+		WriteIndices: []int64{1, 3}, Blocks: [][]byte{[]byte("x"), []byte("y")}}))
 	f.Add(EncodeResponse(&Response{Status: StatusOK, Blocks: [][]byte{[]byte("blk")}}))
 	f.Add(EncodeResponse(&Response{Status: StatusTransient, Msg: "retry"}))
 	var framed bytes.Buffer

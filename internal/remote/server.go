@@ -20,7 +20,7 @@ type Counters struct {
 	// Requests counts RPCs served against this store (= round trips).
 	Requests int64
 	// Per-op request counts.
-	Reads, Writes, BatchReads, BatchWrites, Stats int64
+	Reads, Writes, BatchReads, BatchWrites, Stats, Exchanges int64
 	// BlocksRead / BlocksWritten count individual block transfers.
 	BlocksRead, BlocksWritten int64
 }
@@ -30,6 +30,7 @@ type Counters struct {
 // polling snapshots mid-join never contends with request serving.
 type counterSet struct {
 	requests, reads, writes, batchReads, batchWrites, stats atomic.Int64
+	exchanges                                               atomic.Int64
 	blocksRead, blocksWritten                               atomic.Int64
 }
 
@@ -44,15 +45,17 @@ func (c *counterSet) snapshot() Counters {
 		BatchReads:    c.batchReads.Load(),
 		BatchWrites:   c.batchWrites.Load(),
 		Stats:         c.stats.Load(),
+		Exchanges:     c.exchanges.Load(),
 		BlocksRead:    c.blocksRead.Load(),
 		BlocksWritten: c.blocksWritten.Load(),
 	}
 }
 
-// count records one request of the given op against the set.
-func (c *counterSet) count(op Op, blocks int64) {
+// count records one request against the set.
+func (c *counterSet) count(req *Request) {
 	c.requests.Add(1)
-	switch op {
+	blocks := int64(len(req.Indices))
+	switch req.Op {
 	case OpRead:
 		c.reads.Add(1)
 		c.blocksRead.Add(blocks)
@@ -67,6 +70,11 @@ func (c *counterSet) count(op Op, blocks int64) {
 		c.blocksWritten.Add(blocks)
 	case OpStat:
 		c.stats.Add(1)
+	case OpExchange:
+		// Indices carries the read set, WriteIndices the write set.
+		c.exchanges.Add(1)
+		c.blocksRead.Add(blocks)
+		c.blocksWritten.Add(int64(len(req.WriteIndices)))
 	}
 }
 
@@ -302,7 +310,7 @@ func (s *Server) handle(req *Request) *Response {
 	if !ok {
 		return &Response{Status: StatusError, Msg: fmt.Sprintf("remote: unknown store %q", req.Store)}
 	}
-	c.count(req.Op, int64(len(req.Indices)))
+	c.count(req)
 
 	fail := func(err error) *Response { return &Response{Status: StatusError, Msg: err.Error()} }
 	switch req.Op {
@@ -337,6 +345,15 @@ func (s *Server) handle(req *Request) *Response {
 			return fail(err)
 		}
 		return &Response{}
+	case OpExchange:
+		if len(req.WriteIndices) != len(req.Blocks) {
+			return fail(fmt.Errorf("remote: exchange of %d write indices with %d blocks", len(req.WriteIndices), len(req.Blocks)))
+		}
+		blocks, err := exchange(st, req.WriteIndices, req.Blocks, req.Indices)
+		if err != nil {
+			return fail(err)
+		}
+		return &Response{Blocks: blocks}
 	case OpStat:
 		return &Response{Slots: st.Len(), BlockSize: int64(st.BlockSize())}
 	default:
@@ -372,6 +389,22 @@ func writeMany(st storage.Store, idxs []int64, blocks [][]byte) error {
 		}
 	}
 	return nil
+}
+
+// exchange applies the writes, then serves the reads — the order the ORAM
+// scheduler's correctness argument depends on. A store with native exchange
+// support runs both under one lock; the fallback composes the batch ops.
+func exchange(st storage.Store, writeIdxs []int64, writeData [][]byte, readIdxs []int64) ([][]byte, error) {
+	if x, ok := st.(storage.ExchangeStore); ok {
+		return x.Exchange(writeIdxs, writeData, readIdxs)
+	}
+	if err := writeMany(st, writeIdxs, writeData); err != nil {
+		return nil, err
+	}
+	if len(readIdxs) == 0 {
+		return nil, nil
+	}
+	return readMany(st, readIdxs)
 }
 
 func (s *Server) handleCreate(req *Request) *Response {

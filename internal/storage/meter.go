@@ -170,6 +170,31 @@ func (m *Meter) CountBatch(store string, kind AccessKind, idxs []int64, blockByt
 	m.mu.Unlock()
 }
 
+// CountExchange records a combined write+read batch (ExchangeStore) as
+// exactly one network round. The trace records the writes before the reads,
+// matching the order the server applies them. A fully empty exchange
+// records nothing.
+func (m *Meter) CountExchange(store string, writeIdxs, readIdxs []int64, blockBytes int) {
+	if len(writeIdxs) == 0 && len(readIdxs) == 0 {
+		return
+	}
+	m.mu.Lock()
+	m.rounds++
+	m.writes += int64(len(writeIdxs))
+	m.bytesWrite += int64(len(writeIdxs)) * int64(blockBytes)
+	m.reads += int64(len(readIdxs))
+	m.bytesRead += int64(len(readIdxs)) * int64(blockBytes)
+	if m.tracing {
+		for _, i := range writeIdxs {
+			m.appendTrace(Access{Store: store, Kind: KindWrite, Index: i, Bytes: blockBytes})
+		}
+		for _, i := range readIdxs {
+			m.appendTrace(Access{Store: store, Kind: KindRead, Index: i, Bytes: blockBytes})
+		}
+	}
+	m.mu.Unlock()
+}
+
 // Snapshot returns the current counters.
 func (m *Meter) Snapshot() Stats {
 	m.mu.Lock()

@@ -49,6 +49,20 @@ type BatchStore interface {
 	WriteMany(idxs []int64, data [][]byte) error
 }
 
+// ExchangeStore is a BatchStore that can apply a batch of writes and serve
+// a batch of reads in the same round trip — the transport primitive behind
+// the ORAM scheduler's deferred-eviction flush riding along the next path
+// download (DESIGN.md §2.9). Implementations MUST apply every write before
+// serving any read: the ORAM layer relies on reads observing the freshly
+// written buckets, never stale pre-write copies. A fully empty exchange
+// performs no round.
+type ExchangeStore interface {
+	BatchStore
+	// Exchange writes writeData[i] to writeIdxs[i] for every i, then
+	// returns copies of the blocks at readIdxs, all in one round trip.
+	Exchange(writeIdxs []int64, writeData [][]byte, readIdxs []int64) ([][]byte, error)
+}
+
 // Opener provisions a named block store with the given geometry. It is how
 // the ORAM layer is parameterized over backends: nil means an in-process
 // MemStore; a remote deployment passes a transport-backed opener so the
@@ -177,6 +191,47 @@ func (s *MemStore) WriteMany(idxs []int64, data [][]byte) error {
 		s.meter.CountBatch(s.name, KindWrite, idxs, s.blockSize)
 	}
 	return nil
+}
+
+// Exchange implements ExchangeStore: the writes are applied, then the reads
+// served, under a single lock acquisition, metered as one round.
+func (s *MemStore) Exchange(writeIdxs []int64, writeData [][]byte, readIdxs []int64) ([][]byte, error) {
+	if len(writeIdxs) != len(writeData) {
+		return nil, fmt.Errorf("storage: exchange of %d write blocks with %d payloads (%s)", len(writeIdxs), len(writeData), s.name)
+	}
+	if len(writeIdxs) == 0 && len(readIdxs) == 0 {
+		return nil, nil
+	}
+	for k, i := range writeIdxs {
+		if i < 0 || i >= s.n {
+			return nil, fmt.Errorf("%w: exchange write %d of %d (%s)", ErrOutOfRange, i, s.n, s.name)
+		}
+		if len(writeData[k]) != s.blockSize {
+			return nil, fmt.Errorf("storage: exchange write of %d bytes to %d-byte block (%s)", len(writeData[k]), s.blockSize, s.name)
+		}
+	}
+	var out [][]byte
+	s.mu.Lock()
+	for k, i := range writeIdxs {
+		copy(s.data[i*int64(s.blockSize):], writeData[k])
+	}
+	if len(readIdxs) > 0 {
+		out = make([][]byte, len(readIdxs))
+		for k, i := range readIdxs {
+			if i < 0 || i >= s.n {
+				s.mu.Unlock()
+				return nil, fmt.Errorf("%w: exchange read %d of %d (%s)", ErrOutOfRange, i, s.n, s.name)
+			}
+			blk := make([]byte, s.blockSize)
+			copy(blk, s.data[i*int64(s.blockSize):])
+			out[k] = blk
+		}
+	}
+	s.mu.Unlock()
+	if s.meter != nil {
+		s.meter.CountExchange(s.name, writeIdxs, readIdxs, s.blockSize)
+	}
+	return out, nil
 }
 
 // SizeBytes returns the total server-side footprint of the store.

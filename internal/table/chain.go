@@ -179,6 +179,22 @@ func (c *ChainCursor) Next() (Row, error) {
 // Dummy performs an access indistinguishable from Next without advancing.
 func (c *ChainCursor) Dummy() error { return c.t.data.DummyAccess() }
 
+// DummyBatch performs n dummy accesses with their path downloads coalesced
+// into one round when the data ORAM supports it.
+func (c *ChainCursor) DummyBatch(n int) error { return oram.DummyBatch(c.t.data, n) }
+
+// Flush settles any deferred eviction state in the chained table's ORAM.
+func (c *ChainedTable) Flush() error { return oram.Flush(c.data) }
+
+// PathTelemetry returns the data ORAM's path statistics when it exposes
+// them (the chained layout has no index ORAMs).
+func (c *ChainedTable) PathTelemetry() []oram.PathStats {
+	if t, ok := c.data.(interface{ Telemetry() oram.PathStats }); ok {
+		return []oram.PathStats{t.Telemetry()}
+	}
+	return nil
+}
+
 // Mark captures the cursor position for Algorithm 1's "begin" rewind.
 func (c *ChainCursor) Mark() ChainMark { return ChainMark{next: c.next, hasNext: c.hasNext} }
 

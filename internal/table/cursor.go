@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"oblivjoin/internal/btree"
+	"oblivjoin/internal/oram"
 	"oblivjoin/internal/relation"
 )
 
@@ -50,6 +51,11 @@ func (c *ScanCursor) Next() (Row, error) {
 
 // Dummy performs an access indistinguishable from Next without advancing.
 func (c *ScanCursor) Dummy() error { return c.t.DummyData() }
+
+// DummyBatch performs n dummy accesses with their path downloads coalesced
+// into one round when the data ORAM supports it. Only safe where n is a
+// function of public quantities (the all-dummy padding loops).
+func (c *ScanCursor) DummyBatch(n int) error { return c.t.DummyDataBatch(n) }
 
 // Pos returns the number of tuples consumed.
 func (c *ScanCursor) Pos() int { return c.pos }
@@ -112,6 +118,17 @@ func (c *LeafCursor) Dummy() error {
 }
 
 func (c *LeafCursor) dummyIndex() error { return c.tree.ORAM().DummyAccess() }
+
+// DummyBatch performs n dummy retrievals (n index accesses, then n data
+// accesses) with each ORAM's downloads coalesced when supported. The
+// per-store access counts match n sequential Dummy calls exactly; only the
+// round grouping — a function of the public batch size — changes.
+func (c *LeafCursor) DummyBatch(n int) error {
+	if err := oram.DummyBatch(c.tree.ORAM(), n); err != nil {
+		return err
+	}
+	return c.t.DummyDataBatch(n)
+}
 
 // Pos returns the ordinal of the next entry.
 func (c *LeafCursor) Pos() int64 { return c.pos }
@@ -207,6 +224,18 @@ func (c *IndexCursor) Dummy() error {
 		return err
 	}
 	return c.t.DummyData()
+}
+
+// DummyBatch performs n dummy operations. The B-tree descents stay
+// sequential (each is a dependent root-to-leaf walk), but the n trailing
+// data accesses are coalesced when the data ORAM supports it.
+func (c *IndexCursor) DummyBatch(n int) error {
+	for i := 0; i < n; i++ {
+		if err := c.tree.DummyOp(); err != nil {
+			return err
+		}
+	}
+	return c.t.DummyDataBatch(n)
 }
 
 // Disable marks the cursor's table entry with the given ordinal disabled and

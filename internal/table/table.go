@@ -58,6 +58,14 @@ type Options struct {
 	// MemStores. A remote deployment passes a transport-backed opener (e.g.
 	// remote.Client.Opener) so every table lives on a networked block server.
 	OpenStore storage.Opener
+	// EvictionBatch defers Path-ORAM eviction write-backs, flushing that
+	// many pending paths per round trip (<= 1 keeps the classic two-round
+	// access). See oram.PathConfig.EvictionBatch.
+	EvictionBatch int
+	// PrefetchDepth coalesces the path downloads of up to that many
+	// independent dummy accesses in the join padding loops into one round
+	// trip (<= 1 keeps one access per round).
+	PrefetchDepth int
 }
 
 // Scheme identifies an ORAM construction.
@@ -182,6 +190,7 @@ func StoreShared(rels []*relation.Relation, indexAttrs map[string][]string, opts
 		Rand:          opts.Rand,
 		RecursePosMap: opts.RecursePosMap,
 		OpenStore:     opts.OpenStore,
+		EvictionBatch: opts.EvictionBatch,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -317,6 +326,7 @@ func newStore(name string, capacity int64, opts Options) (oram.ORAM, error) {
 		Rand:          opts.Rand,
 		RecursePosMap: opts.RecursePosMap,
 		OpenStore:     opts.OpenStore,
+		EvictionBatch: opts.EvictionBatch,
 	})
 }
 
@@ -363,6 +373,41 @@ func (t *StoredTable) ReadTuple(ref btree.Ref) (relation.Tuple, bool, error) {
 
 // DummyData performs one data-ORAM access indistinguishable from ReadTuple.
 func (t *StoredTable) DummyData() error { return t.data.DummyAccess() }
+
+// DummyDataBatch performs n data-ORAM dummy accesses with their path
+// downloads coalesced into one round when the ORAM supports it.
+func (t *StoredTable) DummyDataBatch(n int) error { return oram.DummyBatch(t.data, n) }
+
+// Flush settles any deferred eviction state in the table's data and index
+// ORAMs — called when a query finishes so no stash state is left pinned by
+// pending write-backs.
+func (t *StoredTable) Flush() error {
+	if err := oram.Flush(t.data); err != nil {
+		return err
+	}
+	for attr, tr := range t.indexes {
+		if err := oram.Flush(tr.ORAM()); err != nil {
+			return fmt.Errorf("table: flushing %s.%s: %w", t.rel.Schema.Table, attr, err)
+		}
+	}
+	return nil
+}
+
+// PathTelemetry returns the Path-ORAM scheduler/stash statistics for each
+// of the table's ORAMs that exposes them (data first, then indexes).
+func (t *StoredTable) PathTelemetry() []oram.PathStats {
+	type pathTelemeter interface{ Telemetry() oram.PathStats }
+	var out []oram.PathStats
+	if p, ok := t.data.(pathTelemeter); ok {
+		out = append(out, p.Telemetry())
+	}
+	for _, tr := range t.indexes {
+		if p, ok := tr.ORAM().(pathTelemeter); ok {
+			out = append(out, p.Telemetry())
+		}
+	}
+	return out
+}
 
 // CloudBytes returns the server-side footprint of the table's data and
 // index storage. In the OneORAM setting views report pro-rated shares.

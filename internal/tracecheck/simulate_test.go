@@ -1,0 +1,178 @@
+package tracecheck
+
+import (
+	"bytes"
+	mrand "math/rand"
+	"testing"
+
+	"oblivjoin/internal/oram"
+	"oblivjoin/internal/storage"
+	"oblivjoin/internal/xcrypto"
+)
+
+// simOp is one logical ORAM operation of the shared workload.
+type simOp struct {
+	kind byte // 'w' write, 'r' read, 'd' dummy
+	key  uint64
+}
+
+func simWorkload(capacity int) []simOp {
+	var ops []simOp
+	for i := 0; i < capacity; i++ {
+		ops = append(ops, simOp{kind: 'w', key: uint64(i)})
+	}
+	r := mrand.New(mrand.NewSource(23))
+	for i := 0; i < 200; i++ {
+		if r.Intn(4) == 0 {
+			ops = append(ops, simOp{kind: 'd'})
+		} else {
+			ops = append(ops, simOp{kind: 'r', key: uint64(r.Intn(capacity))})
+		}
+	}
+	return ops
+}
+
+// simRun drives the workload through a fresh Path-ORAM with the given
+// eviction batch and a fixed randomness seed, returning the recorded trace.
+// Identical seeds give identical leaf draws across batch settings, because
+// the scheduler never consumes randomness — that is the point under test.
+func simRun(t *testing.T, capacity int, batch int, ops []simOp) []storage.Access {
+	t.Helper()
+	sealer, err := xcrypto.NewSealer(bytes.Repeat([]byte{9}, xcrypto.KeySize), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := storage.NewMeter()
+	o, err := oram.NewPathORAM(oram.PathConfig{
+		Name:          "sim",
+		Capacity:      int64(capacity),
+		PayloadSize:   16,
+		Meter:         m,
+		Sealer:        sealer,
+		Rand:          oram.NewSeededSource(321),
+		EvictionBatch: batch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetTracing(true)
+	for _, op := range ops {
+		switch op.kind {
+		case 'w':
+			err = o.Write(op.key, []byte{byte(op.key)})
+		case 'r':
+			_, err = o.Read(op.key)
+		default:
+			err = o.DummyAccess()
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := o.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return m.Trace()
+}
+
+// leavesFromClassicTrace recovers the fetched-leaf sequence from a classic
+// (EvictionBatch = 1) trace: each access is Levels reads (root first) then
+// Levels writes, and the deepest read names the leaf — exactly what the
+// untrusted server sees.
+func leavesFromClassicTrace(t *testing.T, trace []storage.Access, levels int) []uint32 {
+	t.Helper()
+	per := 2 * levels
+	if len(trace)%per != 0 {
+		t.Fatalf("classic trace length %d not a multiple of %d", len(trace), per)
+	}
+	leafBase := int64(1)<<uint(levels-1) - 1
+	var leaves []uint32
+	for at := 0; at < len(trace); at += per {
+		for i := 0; i < levels; i++ {
+			if trace[at+i].Kind != storage.KindRead || trace[at+levels+i].Kind != storage.KindWrite {
+				t.Fatalf("access at %d is not %d reads then %d writes", at, levels, levels)
+			}
+		}
+		leaves = append(leaves, uint32(trace[at+levels-1].Index-leafBase))
+	}
+	return leaves
+}
+
+// TestBatchedEvictionTraceSimulable is the §2.9 simulator argument as a
+// test: the deferred-eviction run's entire bucket-index trace — which
+// buckets are read and written, in which order, grouped into which rounds —
+// is computed by PathORAMSim from public information alone (tree geometry,
+// batch setting, and the leaf sequence the classic run already reveals).
+// Batching therefore leaks nothing the classic protocol does not.
+func TestBatchedEvictionTraceSimulable(t *testing.T) {
+	const capacity, batch = 64, 4
+	ops := simWorkload(capacity)
+
+	classic := simRun(t, capacity, 1, ops)
+	batched := simRun(t, capacity, batch, ops)
+
+	levels := 7 // capacity 64 -> 64 leaves, 7 levels
+	leaves := leavesFromClassicTrace(t, classic, levels)
+
+	sim := &PathORAMSim{
+		Store:    classic[0].Store,
+		Bytes:    classic[0].Bytes,
+		Levels:   levels,
+		Batch:    batch,
+		Exchange: true, // MemStore supports combined write+read rounds
+	}
+	for _, leaf := range leaves {
+		sim.Access(leaf)
+	}
+	sim.Flush()
+	if d := DiffExact(sim.Trace(), batched); d != "" {
+		t.Fatalf("batched trace not reproduced from public data: %s", d)
+	}
+
+	// The two runs touch the same buckets overall: deferral changes when and
+	// how often buckets are written, never which buckets the access sequence
+	// reaches. Dedup makes the batched run strictly cheaper in writes.
+	var classicWrites, batchedWrites int
+	classicSet, batchedSet := map[int64]bool{}, map[int64]bool{}
+	for _, a := range classic {
+		if a.Kind == storage.KindWrite {
+			classicWrites++
+			classicSet[a.Index] = true
+		}
+	}
+	for _, a := range batched {
+		if a.Kind == storage.KindWrite {
+			batchedWrites++
+			batchedSet[a.Index] = true
+		}
+	}
+	if len(classicSet) != len(batchedSet) {
+		t.Fatalf("written bucket sets differ: %d vs %d buckets", len(classicSet), len(batchedSet))
+	}
+	for idx := range classicSet {
+		if !batchedSet[idx] {
+			t.Fatalf("bucket %d written classically but never by the batched run", idx)
+		}
+	}
+	if batchedWrites >= classicWrites {
+		t.Fatalf("dedup saved nothing: %d batched writes vs %d classic", batchedWrites, classicWrites)
+	}
+}
+
+// TestClassicTraceSimulable pins the simulator on the classic protocol too:
+// with Batch = 1 it must reproduce the unbatched trace it was derived from.
+func TestClassicTraceSimulable(t *testing.T) {
+	const capacity = 64
+	ops := simWorkload(capacity)
+	classic := simRun(t, capacity, 1, ops)
+	levels := 7
+	leaves := leavesFromClassicTrace(t, classic, levels)
+	sim := &PathORAMSim{Store: classic[0].Store, Bytes: classic[0].Bytes, Levels: levels, Batch: 1}
+	for _, leaf := range leaves {
+		sim.Access(leaf)
+	}
+	sim.Flush()
+	if d := DiffExact(sim.Trace(), classic); d != "" {
+		t.Fatalf("classic trace not reproduced: %s", d)
+	}
+}

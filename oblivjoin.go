@@ -124,6 +124,17 @@ type Config struct {
 	// Cost converts traffic into simulated time; zero value uses the
 	// paper's 1 Gbps model.
 	Cost CostModel
+	// EvictionBatch defers Path-ORAM evictions and flushes them k paths at
+	// a time in one write round, deduplicating shared upper-tree buckets
+	// (DESIGN.md §2.9). Eviction paths are uniform random and independent
+	// of the data, so deferral changes only when the public-path writes
+	// happen, never which buckets they touch. 0 or 1 keeps the classic
+	// write-back-per-access data path.
+	EvictionBatch int
+	// PrefetchDepth coalesces the read paths of the all-dummy padding
+	// loops, up to this many per round. Chunk boundaries are functions of
+	// the public theorem pad targets only. 0 or 1 disables coalescing.
+	PrefetchDepth int
 }
 
 // Database is the client-side handle: it holds the encryption key, ORAM
@@ -220,6 +231,8 @@ func (db *Database) Seal() error {
 		CacheIndex:        db.cfg.CacheIndexes,
 		WriteBackDescents: db.cfg.EnableMultiway,
 		Raw:               db.cfg.Setting == Insecure,
+		EvictionBatch:     db.cfg.EvictionBatch,
+		PrefetchDepth:     db.cfg.PrefetchDepth,
 	}
 	if db.remote != nil {
 		opts.OpenStore = db.remote.Opener()
@@ -269,14 +282,15 @@ func (db *Database) lookup(name string) (*table.StoredTable, error) {
 
 func (db *Database) joinOpts() core.Options {
 	return core.Options{
-		Mem:          0, // paper default M = 2B
-		Padding:      db.cfg.Padding,
-		Meter:        db.meter,
-		Sealer:       db.sealer,
-		OutBlockSize: db.blockPayload() + xcrypto.Overhead,
-		SortWorkers:  db.cfg.SortWorkers,
-		OneORAM:      db.shared,
-		Span:         db.span,
+		Mem:           0, // paper default M = 2B
+		Padding:       db.cfg.Padding,
+		Meter:         db.meter,
+		Sealer:        db.sealer,
+		OutBlockSize:  db.blockPayload() + xcrypto.Overhead,
+		SortWorkers:   db.cfg.SortWorkers,
+		OneORAM:       db.shared,
+		Span:          db.span,
+		PrefetchDepth: db.cfg.PrefetchDepth,
 	}
 }
 
