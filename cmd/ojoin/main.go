@@ -45,7 +45,7 @@ func main() {
 	one := flag.Bool("oneoram", false, "store all tables in a single shared ORAM (Section 7)")
 	workers := flag.Int("workers", 1, "oblivious sort worker pool size (1 = serial)")
 	evictBatch := flag.Int("evict-batch", 1, "defer ORAM evictions and flush k paths per write round (1 = classic)")
-	prefetch := flag.Int("prefetch", 0, "coalesce up to this many pad-loop dummy downloads per round (0 = off; defaults to -evict-batch)")
+	prefetch := flag.Int("prefetch", 0, "coalesce up to this many pad-loop dummy downloads per round; honored only in non-padded mode (0 = off; defaults to -evict-batch)")
 	maxPrint := flag.Int("n", 10, "print at most this many result rows")
 	traceOut := flag.String("trace-out", "", "write a phase-attributed span-tree JSON trace to this file")
 	remoteAddr := flag.String("remote", "", "store sealed tables on a networked ojoinserver at this address")

@@ -38,7 +38,7 @@ func main() {
 		csv        = flag.Bool("csv", false, "emit plot-ready CSV instead of tables (figures only)")
 		workers    = flag.Int("workers", 1, "oblivious sort worker pool size for the join experiments (1 = serial)")
 		evictBatch = flag.Int("evict-batch", 1, "defer ORAM evictions and flush k paths per write round (1 = classic)")
-		prefetch   = flag.Int("prefetch", 0, "coalesce up to this many pad-loop dummy downloads per round (0 = off; defaults to -evict-batch)")
+		prefetch   = flag.Int("prefetch", 0, "coalesce up to this many pad-loop dummy downloads per round; honored only in non-padded mode (0 = off; defaults to -evict-batch)")
 		jsonOut    = flag.String("json", "", "with -exp sort or rounds: also write the machine-readable report to this path (e.g. BENCH_sort.json)")
 		traceOut   = flag.String("trace-out", "", "write a span-tree JSON trace of every traced join to this path")
 	)

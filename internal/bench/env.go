@@ -83,7 +83,8 @@ type Env struct {
 	// write round (DESIGN.md §2.9). 0 or 1 = classic per-access write-back.
 	EvictionBatch int
 	// PrefetchDepth coalesces the pad loops' dummy path downloads, up to
-	// this many per round. 0 or 1 = off.
+	// this many per round; the join layer honors it only in non-padded
+	// mode (see core.Options.PrefetchDepth). 0 or 1 = off.
 	PrefetchDepth int
 	// Scales sizes the workloads per figure.
 	Scales Scales

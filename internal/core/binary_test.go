@@ -320,6 +320,68 @@ func TestPaddedTraceHidesRealSize(t *testing.T) {
 	}
 }
 
+// TestPrefetchGatedByPadding: pad-loop coalescing switches the round shape
+// at the executed step count, which only the non-padded mode declares as
+// leakage, so every padding mode that hides the real result size must force
+// the depth back to 1.
+func TestPrefetchGatedByPadding(t *testing.T) {
+	for _, tc := range []struct {
+		mode PaddingMode
+		want int
+	}{
+		{PadNone, 8},
+		{PadClosestPower, 1},
+		{PadCartesian, 1},
+		{PadDP, 1},
+	} {
+		o := Options{PrefetchDepth: 8, Padding: tc.mode}
+		if got := o.prefetch(); got != tc.want {
+			t.Errorf("%v: prefetch depth %d, want %d", tc.mode, got, tc.want)
+		}
+	}
+	if got := (Options{}).prefetch(); got != 1 {
+		t.Errorf("zero options: prefetch depth %d, want 1", got)
+	}
+}
+
+// TestPaddedPrefetchGated: with a padding mode that hides the real result
+// size, setting PrefetchDepth must not change the server's view at all —
+// otherwise the access index where batched rounds begin would reveal the
+// pre-padding step count (and with it the real result size) that the pad
+// target exists to hide. Two runs in the same power bucket must stay
+// identical op-for-op and round-for-round.
+func TestPaddedPrefetchGated(t *testing.T) {
+	run := func(k1, k2 []int64) ([]storage.Access, storage.Stats) {
+		m := storage.NewMeter()
+		s1, s2, _, _ := storePair(t, k1, k2, m)
+		m.Reset()
+		m.SetTracing(true)
+		opts := testJoinOpts(t, m)
+		opts.Padding = PadClosestPower
+		opts.PrefetchDepth = 8
+		if _, err := IndexNestedLoopJoin(s1, s2, "k", "k", opts); err != nil {
+			t.Fatal(err)
+		}
+		return m.Trace(), m.Snapshot()
+	}
+	// |R| = 3 and |R| = 4 both pad to 4, so the executed step counts differ
+	// while every public size matches.
+	a, sa := run([]int64{1, 2, 3, 4}, []int64{1, 2, 3}) // R=3
+	b, sb := run([]int64{1, 2, 3, 3}, []int64{1, 2, 3}) // R=4
+	if len(a) != len(b) {
+		t.Fatalf("padded traces differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Store != b[i].Store || a[i].Kind != b[i].Kind || a[i].Bytes != b[i].Bytes {
+			t.Fatalf("trace op %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if sa.NetworkRounds != sb.NetworkRounds {
+		t.Fatalf("round counts differ: %d vs %d — the batching boundary leaks the step count",
+			sa.NetworkRounds, sb.NetworkRounds)
+	}
+}
+
 func TestOneORAMBinaryJoins(t *testing.T) {
 	m := storage.NewMeter()
 	r1 := makeRel("t1", []int64{1, 2, 2, 3, 5, 5})

@@ -128,10 +128,15 @@ type Options struct {
 	// PrefetchDepth coalesces the path downloads of the all-dummy padding
 	// loops: chunks of up to PrefetchDepth dummy retrievals are issued
 	// through the batch ORAM entry points so their read paths travel in one
-	// round. Chunk boundaries are a function of public quantities only (the
-	// theorem pad targets), so the trace stays a function of public sizes;
-	// the per-store access counts are identical to the sequential loops.
-	// 0 or 1 disables coalescing.
+	// round. The switch from single-path to multi-path rounds is server
+	// visible and happens at the executed step count, so the depth is
+	// honored only in the non-padded mode (PadNone), where Theorems 1–3
+	// make that count an exact function of the input sizes and the real
+	// result size the mode already leaks. Under every padding mode that
+	// hides the real result size the depth is forced to 1 — batching the
+	// pad tail would mark exactly the boundary the padding exists to hide.
+	// The per-store access counts are identical to the sequential loops
+	// either way. 0 or 1 disables coalescing.
 	PrefetchDepth int
 }
 
@@ -217,16 +222,28 @@ func (o Options) dpNoise() int64 {
 	return n
 }
 
+// prefetch returns the effective pad-loop coalescing depth. The server can
+// distinguish a multi-path union round from a single-path round, so the
+// access index where chunking begins — the executed step count — becomes
+// part of the trace the moment any chunking happens. Coalescing is
+// therefore only honored when that index is public: in PadNone the step
+// count equals the theorem bound evaluated at the (declared-leakage) real
+// result size, so the whole chunk schedule is a function of quantities the
+// server already learns. Every other padding mode exists to hide the real
+// result size, so the depth collapses to 1 and the pad tail stays
+// round-for-round indistinguishable from the real phase.
 func (o Options) prefetch() int {
-	if o.PrefetchDepth > 1 {
+	if o.PrefetchDepth > 1 && o.Padding == PadNone {
 		return o.PrefetchDepth
 	}
 	return 1
 }
 
-// padChunk clips the prefetch depth to the remaining pad budget. Both
-// inputs are public (the theorem target and the executed step count), so
-// the resulting chunk schedule is too.
+// padChunk clips the prefetch depth to the remaining pad budget. When
+// chunking is enabled at all (prefetch gates it to PadNone), both inputs
+// are functions of declared leakage — the theorem target and the executed
+// step count, each determined by the input sizes and the leaked real
+// result size — so the resulting chunk schedule is too.
 func padChunk(depth int, remaining int64) int {
 	if int64(depth) > remaining {
 		return int(remaining)

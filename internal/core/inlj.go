@@ -32,8 +32,10 @@ func (p *onePadder) pad(cost int) error {
 func (p *onePadder) dummyRetrieval() error { return p.pad(0) }
 
 // dummyRetrievalBatch performs n full-width dummy retrievals with the path
-// downloads coalesced through the shared ORAM's batch entry point. n·max is
-// a function of public quantities only (pad target × maximum index height).
+// downloads coalesced through the shared ORAM's batch entry point. Callers
+// reach it only through the PadNone-gated pad loops (Options.prefetch), so
+// n·max is a function of declared leakage (executed step count, pad target,
+// maximum index height).
 func (p *onePadder) dummyRetrievalBatch(n int) error {
 	if p == nil || n <= 0 {
 		return nil

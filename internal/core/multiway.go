@@ -66,32 +66,20 @@ func MultiwayJoin(in MultiwayInput, opts Options) (*Result, error) {
 	pad := sp.Child("pad")
 	pad.SetAttr("steps", rawSteps)
 	pad.SetAttr("target", target)
+	// The multiway pad loop never coalesces, regardless of PrefetchDepth:
+	// unlike Theorems 1–3, the executed step count here is not an exact
+	// function of the input sizes and the result size (the Observation 3
+	// corner can shift it), so there is no padding mode under which the
+	// index where batched rounds would begin is public. Dummy steps stay
+	// sequential and round-for-round identical to real ones.
 	padded := rawSteps
-	if depth := opts.prefetch(); depth <= 1 {
-		for ; padded < target; padded++ {
-			if err := m.dummyStep(); err != nil {
-				return nil, err
-			}
-			if err := m.w.putDummy(); err != nil {
-				return nil, err
-			}
+	for ; padded < target; padded++ {
+		if err := m.dummyStep(); err != nil {
+			return nil, err
 		}
-	} else {
-		var chunks int64
-		for padded < target {
-			chunk := padChunk(depth, target-padded)
-			chunks++
-			if err := m.dummyStepBatch(chunk); err != nil {
-				return nil, err
-			}
-			for i := 0; i < chunk; i++ {
-				if err := m.w.putDummy(); err != nil {
-					return nil, err
-				}
-			}
-			padded += int64(chunk)
+		if err := m.w.putDummy(); err != nil {
+			return nil, err
 		}
-		pad.SetAttr("chunks", chunks)
 	}
 	pad.End()
 
@@ -249,31 +237,6 @@ func (m *multiwayState) execStep(ops []stepOp) error {
 
 // dummyStep is an all-dummy padding step.
 func (m *multiwayState) dummyStep() error { return m.execStep(nil) }
-
-// dummyStepBatch performs n all-dummy padding steps with each store's path
-// downloads coalesced. The per-store access counts match n sequential
-// dummyStep calls exactly; only the round grouping — a function of the
-// public chunk size — changes.
-func (m *multiwayState) dummyStepBatch(n int) error {
-	if n <= 0 {
-		return nil
-	}
-	m.steps += int64(n)
-	if m.padder != nil {
-		// OneORAM: every table's padded dummy retrieval is max accesses on
-		// the shared ORAM, so n steps are n·l·max indistinguishable dummies.
-		return m.opts.OneORAM.DummyBatch(n * m.l * m.padder.max)
-	}
-	if err := m.scan.DummyBatch(n); err != nil {
-		return err
-	}
-	for j := 1; j < m.l; j++ {
-		if err := m.cursors[j].DummyBatch(n); err != nil {
-			return err
-		}
-	}
-	return nil
-}
 
 // targetKey returns the join key position j must match: the parent's
 // current attribute value.

@@ -106,8 +106,10 @@ func IndexNestedLoopJoinObliviousIndex(t1 *table.StoredTable, a1 string, t2 *obt
 			}
 		}
 	} else {
-		// T1's dummy scans coalesce; the oblivious-tree descents stay
-		// sequential (each level's fetch depends on the previous one).
+		// Only reached in PadNone, where `steps` is declared leakage (see
+		// Options.prefetch). T1's dummy scans coalesce; the oblivious-tree
+		// descents stay sequential (each level's fetch depends on the
+		// previous one).
 		var chunks int64
 		for padded < target {
 			chunk := padChunk(depth, target-padded)

@@ -174,8 +174,9 @@ func finishSortMerge(w *outWriter, c1, c2 mergeCursor, one bool,
 		}
 	} else {
 		// The pad tail is all dummies, so chunks of PrefetchDepth retrievals
-		// can share one download round per store; the chunk schedule depends
-		// only on the public target.
+		// can share one download round per store. Only reached in PadNone
+		// (see Options.prefetch), where `steps` — the index at which the
+		// round shape changes — is itself declared leakage.
 		var chunks int64
 		for padded < target {
 			chunk := padChunk(depth, target-padded)

@@ -35,6 +35,15 @@ import (
 // applies its writes before serving reads, so a ride-along fetch can only
 // re-read freshly written buckets (whose blocks then safely re-enter the
 // stash on a path that is itself queued again).
+//
+// Failure atomicity: a flush (or exchange) seals the pending paths into a
+// staging evictionSet and mutates client state — stash, pending queue, due
+// flag, telemetry — only via commit, after the store has accepted the
+// round. A transport error therefore leaves the instance exactly as it
+// was: the blocks stay in the stash, the paths stay pending, and the flush
+// can simply be retried. Buckets a failed attempt may have partially
+// written stay covered by the still-pending paths, so the stash copies
+// remain authoritative until a later flush rewrites them.
 type scheduler struct {
 	o     *PathORAM
 	batch int // flush threshold k; <= 1 means evict immediately
@@ -136,50 +145,64 @@ func (s *scheduler) evictBatch(leaves []uint32) error {
 	return nil
 }
 
-// flushNow writes every pending path back in one round.
+// flushNow writes every pending path back in one round. The stash and the
+// pending queue are mutated only after the store accepts the write, so a
+// transport failure leaves the client state exactly as it was — the flush
+// can simply be retried (the still-pending paths keep every server bucket
+// they cover rewritable, so nothing is lost to the partial write).
 func (s *scheduler) flushNow() error {
-	s.due = false
 	if len(s.pending) == 0 {
+		s.due = false
 		return nil
 	}
-	idxs, data, err := s.sealEvictionSet()
+	es, err := s.sealEvictionSet()
 	if err != nil {
 		return err
 	}
 	if s.o.batch != nil {
-		return s.o.batch.WriteMany(idxs, data)
+		if err := s.o.batch.WriteMany(es.idxs, es.data); err != nil {
+			return err
+		}
+		s.commit(es)
+		return nil
 	}
-	for k, i := range idxs {
-		if err := s.o.store.Write(i, data[k]); err != nil {
+	for k, i := range es.idxs {
+		if err := s.o.store.Write(i, es.data[k]); err != nil {
 			return err
 		}
 	}
 	if s.o.cfg.Meter != nil {
 		s.o.cfg.Meter.CountRound()
 	}
+	s.commit(es)
 	return nil
 }
 
 // exchangeFetch performs a due flush and the next fetch in one round trip:
 // the store applies the pending eviction writes first, then serves the
-// read union.
+// read union. Client state (stash, pending queue, due flag, telemetry) is
+// committed only after the exchange succeeds; on a transport error the
+// flush stays due (and its blocks in the stash) for the next fetch.
 func (s *scheduler) exchangeFetch(leaves []uint32) error {
-	widxs, wdata, err := s.sealEvictionSet()
+	es, err := s.sealEvictionSet()
 	if err != nil {
 		return err
 	}
-	s.due = false
+	ridxs := s.unionNodes(leaves)
+	sealed, err := s.o.exch.Exchange(es.idxs, es.data, ridxs)
+	if err != nil {
+		return err
+	}
+	// Commit before parsing the read buckets back in: a bucket written by
+	// this very exchange may be re-read by it, and its blocks must re-enter
+	// the stash *after* the commit drained their evicted copies.
+	s.commit(es)
 	s.exchanges++
 	if len(leaves) > 1 {
 		s.batchFetches++
 		s.batchedAccesses += int64(len(leaves))
 	}
-	ridxs := s.unionNodes(leaves)
 	s.o.bucketsRead += int64(len(ridxs))
-	sealed, err := s.o.exch.Exchange(widxs, wdata, ridxs)
-	if err != nil {
-		return err
-	}
 	for k, sb := range sealed {
 		plain, err := s.o.cfg.Sealer.Open(sb)
 		if err != nil {
@@ -190,12 +213,26 @@ func (s *scheduler) exchangeFetch(leaves []uint32) error {
 	return nil
 }
 
-// sealEvictionSet drains the pending queue into sealed buckets for the
+// evictionSet is a sealed flush staged for the store: the bucket writes,
+// plus everything commit needs to drain the client state once the store
+// has durably accepted them.
+type evictionSet struct {
+	idxs        []int64  // ascending store indices
+	data        [][]byte // sealed buckets, aligned with idxs
+	placed      []uint64 // stash keys serialized into the buckets
+	levelPlaced []int64  // per-level placement counts
+	paths       int      // pending paths covered by the set
+	dedupSaved  int64    // bucket writes avoided by intra-flush dedup
+}
+
+// sealEvictionSet serializes the pending queue into sealed buckets for the
 // union of the pending paths: shared upper-tree buckets appear once, the
 // stash is drained deepest-level-first so blocks sink as far as any pending
-// path allows, and the result is ordered by ascending store index. It
-// updates the eviction telemetry counters.
-func (s *scheduler) sealEvictionSet() (idxs []int64, data [][]byte, err error) {
+// path allows, and the result is ordered by ascending store index. It is
+// read-only on the client state — the stash entries it places, the pending
+// queue, and the telemetry counters are touched by commit, after the store
+// write succeeds — so a failed flush loses nothing.
+func (s *scheduler) sealEvictionSet() (*evictionSet, error) {
 	o := s.o
 	type node struct {
 		idx int64
@@ -212,10 +249,11 @@ func (s *scheduler) sealEvictionSet() (idxs []int64, data [][]byte, err error) {
 			}
 		}
 	}
-	s.flushes++
-	s.flushedPaths += int64(len(s.pending))
-	s.dedupSaved += int64(len(s.pending)*o.levels - len(nodes))
-	o.bucketsWritten += int64(len(nodes))
+	es := &evictionSet{
+		paths:       len(s.pending),
+		dedupSaved:  int64(len(s.pending)*o.levels - len(nodes)),
+		levelPlaced: make([]int64, o.levels),
+	}
 	// Fill deepest buckets first so blocks sink as far as allowed.
 	sort.Slice(nodes, func(i, j int) bool {
 		if nodes[i].lvl != nodes[j].lvl {
@@ -223,6 +261,7 @@ func (s *scheduler) sealEvictionSet() (idxs []int64, data [][]byte, err error) {
 		}
 		return nodes[i].idx < nodes[j].idx
 	})
+	taken := make(map[uint64]bool)
 	sealedByIdx := make(map[int64][]byte, len(nodes))
 	for _, n := range nodes {
 		bucket := make([]byte, o.bucketSize)
@@ -231,36 +270,56 @@ func (s *scheduler) sealEvictionSet() (idxs []int64, data [][]byte, err error) {
 			if filled == o.z {
 				break
 			}
-			if o.nodeAtLevel(entry.leaf, n.lvl) != n.idx {
+			if taken[key] || o.nodeAtLevel(entry.leaf, n.lvl) != n.idx {
 				continue
 			}
 			slot := bucket[filled*o.slotSize:]
 			slot[0] = 1
 			putSlotHeader(slot, key, entry.leaf)
 			copy(slot[slotHeader:], entry.payload)
-			delete(o.stash, key)
+			taken[key] = true
+			es.placed = append(es.placed, key)
 			filled++
 		}
-		o.levelPlaced[n.lvl] += int64(filled)
+		es.levelPlaced[n.lvl] += int64(filled)
 		sealed, serr := o.cfg.Sealer.Seal(bucket)
 		if serr != nil {
-			return nil, nil, serr
+			return nil, serr
 		}
 		sealedByIdx[n.idx] = sealed
 	}
-	s.pending = s.pending[:0]
 	// Write in ascending store-index order: for a single path this is the
 	// same root-to-leaf order writePath uses.
-	idxs = make([]int64, 0, len(nodes))
+	es.idxs = make([]int64, 0, len(nodes))
 	for idx := range sealedByIdx {
-		idxs = append(idxs, idx)
+		es.idxs = append(es.idxs, idx)
 	}
-	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
-	data = make([][]byte, len(idxs))
-	for k, idx := range idxs {
-		data[k] = sealedByIdx[idx]
+	sort.Slice(es.idxs, func(i, j int) bool { return es.idxs[i] < es.idxs[j] })
+	es.data = make([][]byte, len(es.idxs))
+	for k, idx := range es.idxs {
+		es.data[k] = sealedByIdx[idx]
 	}
-	return idxs, data, nil
+	return es, nil
+}
+
+// commit drains the client state a successfully stored eviction set covered:
+// the placed blocks leave the stash (their authoritative copies now live in
+// the written buckets), the pending queue empties, and the flush telemetry
+// advances.
+func (s *scheduler) commit(es *evictionSet) {
+	o := s.o
+	for _, key := range es.placed {
+		delete(o.stash, key)
+	}
+	s.pending = s.pending[:0]
+	s.due = false
+	s.flushes++
+	s.flushedPaths += int64(es.paths)
+	s.dedupSaved += es.dedupSaved
+	o.bucketsWritten += int64(len(es.idxs))
+	for lvl, n := range es.levelPlaced {
+		o.levelPlaced[lvl] += n
+	}
 }
 
 // ReadBatch reads several keys with their path downloads coalesced into a
@@ -269,8 +328,14 @@ func (s *scheduler) sealEvictionSet() (idxs []int64, data [][]byte, err error) {
 // the stash, and only then are the paths queued for eviction. Each access
 // still remaps its block to a fresh uniform leaf, so the server-visible
 // read set is the union of len(keys) independent uniform paths — the batch
-// leaks only its (public) size. Results align with keys; the first error is
-// returned after all accesses completed their server-visible work.
+// leaks only its (public) size. The caller must ensure its batching
+// *schedule* — which accesses coalesce, and at which point in the access
+// sequence batched rounds appear — is itself a function of public
+// quantities: a multi-path round is distinguishable from a single-path
+// round, so a data-dependent switch between the two leaks the switch index
+// (see core.Options.PrefetchDepth). Results align with keys; the first
+// error is returned after all accesses completed their server-visible
+// work.
 func (o *PathORAM) ReadBatch(keys []uint64) ([][]byte, error) {
 	if len(keys) == 0 {
 		return nil, nil

@@ -288,15 +288,22 @@ func DecodeRequest(payload []byte) (*Request, error) {
 			}
 		}
 	}
-	nWIdx, err := r.length(1)
-	if err != nil {
-		return nil, err
-	}
-	if nWIdx > 0 {
-		req.WriteIndices = make([]int64, nWIdx)
-		for k := range req.WriteIndices {
-			if req.WriteIndices[k], err = r.int64(); err != nil {
-				return nil, err
+	// The trailing WriteIndices field was added with OpExchange. A request
+	// encoded by the previous wire format simply ends here, so treat an
+	// exhausted buffer as an absent (empty) field rather than a malformed
+	// frame: version skew then only costs the peer the OpExchange fast path
+	// (which older clients never send), not the whole protocol.
+	if len(r.b) > 0 {
+		nWIdx, err := r.length(1)
+		if err != nil {
+			return nil, err
+		}
+		if nWIdx > 0 {
+			req.WriteIndices = make([]int64, nWIdx)
+			for k := range req.WriteIndices {
+				if req.WriteIndices[k], err = r.int64(); err != nil {
+					return nil, err
+				}
 			}
 		}
 	}

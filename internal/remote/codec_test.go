@@ -91,6 +91,39 @@ func TestReadFrameTruncated(t *testing.T) {
 	}
 }
 
+// TestDecodeRequestLegacyFormat pins wire compatibility across the
+// OpExchange protocol revision: a request encoded without the trailing
+// WriteIndices field — what a client from before the field existed sends —
+// must still decode, with WriteIndices empty. Version skew may cost a peer
+// the exchange fast path (which old clients never request), never the
+// whole protocol.
+func TestDecodeRequestLegacyFormat(t *testing.T) {
+	cases := []*Request{
+		{Op: OpRead, Store: "t1.data", Indices: []int64{7}},
+		{Op: OpWrite, Store: "t1.data", Indices: []int64{3}, Blocks: [][]byte{[]byte("payload")}},
+		{Op: OpReadMany, Store: "x", Indices: []int64{0, 5, 2, 9}},
+		{Op: OpWriteMany, Store: "x", Indices: []int64{1, 2}, Blocks: [][]byte{[]byte("a"), []byte("bb")}},
+		{Op: OpStat, Store: "idx.k"},
+		{Op: OpCreate, Store: "fresh", Slots: 128, BlockSize: 4096},
+	}
+	for _, req := range cases {
+		b := EncodeRequest(req)
+		// The current encoder always appends the WriteIndices field; with no
+		// write indices it is a single zero varint. Stripping it reproduces
+		// the previous wire format byte-for-byte.
+		if b[len(b)-1] != 0 {
+			t.Fatalf("%s: frame does not end with an empty WriteIndices field", req.Op)
+		}
+		got, err := DecodeRequest(b[:len(b)-1])
+		if err != nil {
+			t.Fatalf("%s: legacy frame rejected: %v", req.Op, err)
+		}
+		if !reflect.DeepEqual(got, req) {
+			t.Fatalf("%s: legacy decode %+v != %+v", req.Op, got, req)
+		}
+	}
+}
+
 func TestDecodeRequestMalformed(t *testing.T) {
 	base := EncodeRequest(&Request{Op: OpWriteMany, Store: "s", Indices: []int64{1, 2}, Blocks: [][]byte{[]byte("aa"), []byte("bb")}})
 	cases := map[string][]byte{
@@ -134,6 +167,9 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(EncodeRequest(&Request{Op: OpCreate, Store: "t", Slots: 8, BlockSize: 64}))
 	f.Add(EncodeRequest(&Request{Op: OpExchange, Store: "t", Indices: []int64{0, 2},
 		WriteIndices: []int64{1, 3}, Blocks: [][]byte{[]byte("x"), []byte("y")}}))
+	// Legacy wire format: a request from before the WriteIndices field.
+	legacy := EncodeRequest(&Request{Op: OpReadMany, Store: "t", Indices: []int64{4, 1}})
+	f.Add(legacy[:len(legacy)-1])
 	f.Add(EncodeResponse(&Response{Status: StatusOK, Blocks: [][]byte{[]byte("blk")}}))
 	f.Add(EncodeResponse(&Response{Status: StatusTransient, Msg: "retry"}))
 	var framed bytes.Buffer

@@ -64,7 +64,9 @@ type Options struct {
 	EvictionBatch int
 	// PrefetchDepth coalesces the path downloads of up to that many
 	// independent dummy accesses in the join padding loops into one round
-	// trip (<= 1 keeps one access per round).
+	// trip (<= 1 keeps one access per round). The join layer honors it only
+	// in the non-padded mode; see core.Options.PrefetchDepth for the
+	// leakage argument.
 	PrefetchDepth int
 }
 

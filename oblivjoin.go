@@ -132,8 +132,11 @@ type Config struct {
 	// write-back-per-access data path.
 	EvictionBatch int
 	// PrefetchDepth coalesces the read paths of the all-dummy padding
-	// loops, up to this many per round. Chunk boundaries are functions of
-	// the public theorem pad targets only. 0 or 1 disables coalescing.
+	// loops, up to this many per round. Honored only in the non-padded
+	// mode (PadNone): the switch to multi-path rounds happens at the
+	// executed step count, which is public there but is exactly what the
+	// padded modes exist to hide, so they force the depth to 1 (see
+	// core.Options.PrefetchDepth). 0 or 1 disables coalescing.
 	PrefetchDepth int
 }
 
