@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 
+	"oblivjoin/internal/diskstore"
 	"oblivjoin/internal/remote"
 )
 
@@ -21,11 +22,17 @@ import (
 // with request serving. The endpoints expose only aggregate request and
 // block counts — quantities the untrusted server observes anyway, so
 // nothing beyond Definition 1's leakage is published.
-func startHTTP(addr string, srv *remote.Server) (net.Addr, error) {
+func startHTTP(addr string, srv *remote.Server, dir *diskstore.Dir) (net.Addr, error) {
 	expvar.Publish("ojoinserver_stores", expvar.Func(func() any {
 		_, counts := srv.CountsAll()
 		return counts
 	}))
+	if dir != nil {
+		expvar.Publish("ojoinserver_disk", expvar.Func(func() any {
+			_, perStore, _ := dir.Stats()
+			return perStore
+		}))
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -33,6 +40,9 @@ func startHTTP(addr string, srv *remote.Server) (net.Addr, error) {
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		writeMetrics(w, srv)
+		if dir != nil {
+			writeDiskMetrics(w, dir)
+		}
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -83,4 +93,44 @@ func writeMetrics(w http.ResponseWriter, srv *remote.Server) {
 	fmt.Fprintf(w, "# HELP ojoin_server_requests_total RPCs served across all stores.\n")
 	fmt.Fprintf(w, "# TYPE ojoin_server_requests_total counter\n")
 	fmt.Fprintf(w, "ojoin_server_requests_total %d\n", srv.TotalRequests())
+}
+
+// writeDiskMetrics appends the persistence layer's durability counters —
+// WAL traffic, fsync cadence, checkpointing, and crash recovery — in the
+// same exposition format. Like the request counters these are functions of
+// request sizes and timing only, never of block contents.
+func writeDiskMetrics(w http.ResponseWriter, dir *diskstore.Dir) {
+	names, perStore, _ := dir.Stats()
+	type metric struct {
+		name, help string
+		value      func(diskstore.Stats) int64
+	}
+	metrics := []metric{
+		{"ojoin_disk_wal_records_total", "Batch records appended to the write-ahead log.",
+			func(s diskstore.Stats) int64 { return s.WALRecords }},
+		{"ojoin_disk_wal_bytes_total", "Bytes appended to the write-ahead log.",
+			func(s diskstore.Stats) int64 { return s.WALBytes }},
+		{"ojoin_disk_wal_fsyncs_total", "WAL fsync calls (group commit batches these).",
+			func(s diskstore.Stats) int64 { return s.WALFsyncs }},
+		{"ojoin_disk_seg_fsyncs_total", "Segment-file fsync calls (checkpoints).",
+			func(s diskstore.Stats) int64 { return s.SegFsyncs }},
+		{"ojoin_disk_checkpoints_total", "WAL truncations after a durable segment sync.",
+			func(s diskstore.Stats) int64 { return s.Checkpoints }},
+		{"ojoin_disk_recoveries_total", "Opens that found a non-empty WAL (unclean shutdown).",
+			func(s diskstore.Stats) int64 { return s.Recoveries }},
+		{"ojoin_disk_recovered_records_total", "Complete WAL records replayed during recovery.",
+			func(s diskstore.Stats) int64 { return s.RecoveredRecords }},
+		{"ojoin_disk_torn_tail_bytes_total", "Incomplete WAL tail bytes discarded during recovery.",
+			func(s diskstore.Stats) int64 { return s.TornTailBytes }},
+		{"ojoin_disk_blocks_read_total", "Slot reads served from the segment files.",
+			func(s diskstore.Stats) int64 { return s.BlocksRead }},
+		{"ojoin_disk_blocks_written_total", "Slot writes applied to the segment files.",
+			func(s diskstore.Stats) int64 { return s.BlocksWritten }},
+	}
+	for _, m := range metrics {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", m.name, m.help, m.name)
+		for _, n := range names {
+			fmt.Fprintf(w, "%s{store=%q} %d\n", m.name, n, m.value(perStore[n]))
+		}
+	}
 }

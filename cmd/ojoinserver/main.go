@@ -13,9 +13,17 @@
 // atomically while requests are in flight), /healthz, /debug/vars (expvar),
 // and /debug/pprof. The per-store counters are still printed at shutdown.
 //
+// With -data-dir the server is persistent: every store lives in a
+// crash-safe segment + write-ahead-log file pair under the directory
+// (internal/diskstore). Stores persisted by earlier runs are recovered at
+// startup and re-hosted automatically; -sync-every trades the durability of
+// the most recent batches for fewer fsyncs (batches are never torn either
+// way). Without -data-dir stores are in-memory and vanish at exit.
+//
 // Example:
 //
 //	ojoinserver -addr 127.0.0.1:9042 -store t1.data:1024:4144 -latency 10ms -http 127.0.0.1:9080
+//	ojoinserver -addr 127.0.0.1:9042 -data-dir /var/lib/ojoin -sync-every 8
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 	"strings"
 	"syscall"
 
+	"oblivjoin/internal/diskstore"
 	"oblivjoin/internal/remote"
 	"oblivjoin/internal/storage"
 )
@@ -40,6 +49,8 @@ func main() {
 		maxFrame  = flag.Int("max-frame", remote.DefaultMaxFrame, "maximum accepted frame size in bytes")
 		maxBytes  = flag.Int64("max-store-bytes", 1<<30, "cap on dynamically created store footprint")
 		httpAddr  = flag.String("http", "", "optional HTTP address serving /metrics, /healthz, and /debug/pprof")
+		dataDir   = flag.String("data-dir", "", "directory for persistent stores (empty = in-memory)")
+		syncEvery = flag.Int("sync-every", 1, "fsync the write-ahead log every Nth batch commit (group commit)")
 	)
 	var stores []string
 	flag.Func("store", "pre-register a store as name:slots:blocksize (repeatable)", func(v string) error {
@@ -52,13 +63,56 @@ func main() {
 	if *latency > 0 || *failEvery > 0 {
 		opts.Faults = &remote.Shaper{Latency: *latency, FailEvery: *failEvery}
 	}
+
+	// With -data-dir every store — pre-registered, recovered, or created on
+	// demand by clients — is file-backed and crash-safe.
+	var dir *diskstore.Dir
+	openStore := func(name string, slots int64, blockSize int) (storage.Store, error) {
+		return storage.NewMemStore(name, slots, blockSize, nil), nil
+	}
+	if *dataDir != "" {
+		var err error
+		dir, err = diskstore.Open(*dataDir, diskstore.Options{SyncEvery: *syncEvery})
+		if err != nil {
+			log.Fatalf("ojoinserver: open data dir: %v", err)
+		}
+		opts.OpenStore = dir.Opener()
+		openStore = opts.OpenStore
+		_, perStore, total := dir.Stats()
+		for _, name := range dir.Names() {
+			st := dir.Get(name)
+			s := perStore[name]
+			log.Printf("recovered %s (%d × %d bytes; %d WAL records replayed, %d torn bytes discarded)",
+				name, st.Len(), st.BlockSize(), s.RecoveredRecords, s.TornTailBytes)
+		}
+		if total.Recoveries > 0 {
+			log.Printf("recovery: %d stores had unclean shutdowns (%d records replayed)",
+				total.Recoveries, total.RecoveredRecords)
+		}
+	}
+
 	srv := remote.NewServer(opts)
+	if dir != nil {
+		// Re-host everything recovered from the data directory.
+		for _, name := range dir.Names() {
+			if err := srv.Register(name, dir.Get(name)); err != nil {
+				log.Fatalf("ojoinserver: %v", err)
+			}
+		}
+	}
 	for _, spec := range stores {
 		name, slots, blockSize, err := parseStoreSpec(spec)
 		if err != nil {
 			log.Fatalf("ojoinserver: -store %q: %v", spec, err)
 		}
-		if err := srv.Register(name, storage.NewMemStore(name, slots, blockSize, nil)); err != nil {
+		if dir != nil && dir.Get(name) != nil {
+			continue // already recovered (and geometry-checked at creation)
+		}
+		st, err := openStore(name, slots, blockSize)
+		if err != nil {
+			log.Fatalf("ojoinserver: create %s: %v", name, err)
+		}
+		if err := srv.Register(name, st); err != nil {
 			log.Fatalf("ojoinserver: %v", err)
 		}
 		log.Printf("hosting %s (%d × %d bytes)", name, slots, blockSize)
@@ -70,7 +124,7 @@ func main() {
 	}
 	log.Printf("listening on %s", bound)
 	if *httpAddr != "" {
-		hb, err := startHTTP(*httpAddr, srv)
+		hb, err := startHTTP(*httpAddr, srv, dir)
 		if err != nil {
 			log.Fatalf("ojoinserver: http listen: %v", err)
 		}
@@ -81,8 +135,19 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Printf("shutting down (draining in-flight requests)")
+	// Server.Close drains requests and then closes (checkpoints) every
+	// hosted disk store; Dir.Close is the idempotent backstop for stores
+	// the server never hosted.
 	if err := srv.Close(); err != nil {
 		log.Printf("ojoinserver: close: %v", err)
+	}
+	if dir != nil {
+		if err := dir.Close(); err != nil {
+			log.Printf("ojoinserver: data dir close: %v", err)
+		}
+		_, _, total := dir.Stats()
+		log.Printf("persistence: %d WAL records (%d bytes), %d WAL fsyncs, %d segment fsyncs, %d checkpoints",
+			total.WALRecords, total.WALBytes, total.WALFsyncs, total.SegFsyncs, total.Checkpoints)
 	}
 	for _, name := range srv.StoreNames() {
 		c := srv.Counts(name)

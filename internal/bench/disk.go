@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"oblivjoin/internal/core"
+	"oblivjoin/internal/diskstore"
+	"oblivjoin/internal/storage"
+	"oblivjoin/internal/table"
+)
+
+// DiskPoint is one measured backend configuration of the persistence
+// experiment: the same seeded sort-merge join run over in-memory stores,
+// a disk directory with per-commit fsync, and a disk directory with group
+// commit. The oblivious cost columns (accesses, rounds, blocks) must be
+// identical across backends — persistence sits entirely below the access
+// pattern — while the WAL columns show what durability itself costs.
+type DiskPoint struct {
+	Backend   string `json:"backend"`
+	SyncEvery int    `json:"sync_every,omitempty"`
+	// Oblivious traffic of the join (setup excluded), identical per seed
+	// across every backend.
+	Accesses    int64 `json:"oram_accesses"`
+	Rounds      int64 `json:"network_rounds"`
+	BlocksMoved int64 `json:"blocks_moved"`
+	// Durability work of the whole run (setup included — uploads are the
+	// bulk of the WAL traffic), zero for the in-memory backend.
+	WALRecords  int64 `json:"wal_records,omitempty"`
+	WALBytes    int64 `json:"wal_bytes,omitempty"`
+	WALFsyncs   int64 `json:"wal_fsyncs,omitempty"`
+	SegFsyncs   int64 `json:"seg_fsyncs,omitempty"`
+	Checkpoints int64 `json:"checkpoints,omitempty"`
+	// NsPerAccess is wall-clock and machine-dependent, so it is printed but
+	// kept out of the checked-in JSON snapshot.
+	NsPerAccess float64 `json:"-"`
+}
+
+// DiskReport is what the `disk` experiment produces; BENCH_disk.json is one
+// checked-in snapshot (deterministic fields only).
+type DiskReport struct {
+	Seed   int64       `json:"seed"`
+	Points []DiskPoint `json:"points"`
+}
+
+// diskRun executes one seeded sort-merge join over the given backend.
+// syncEvery < 0 selects the in-memory backend.
+func diskRun(e *Env, syncEvery int) (DiskPoint, error) {
+	pt := DiskPoint{Backend: "mem"}
+	m := storage.NewMeter()
+	topts, err := e.tableOpts(m, false, false, false)
+	if err != nil {
+		return pt, err
+	}
+
+	var dir *diskstore.Dir
+	if syncEvery >= 0 {
+		pt.Backend = "disk"
+		pt.SyncEvery = syncEvery
+		tmp, err := os.MkdirTemp("", "ojoin-bench-disk")
+		if err != nil {
+			return pt, err
+		}
+		defer os.RemoveAll(tmp)
+		// The meter rides inside the store, exactly as it does for MemStore:
+		// the bench measures logical traffic, not transport framing.
+		if dir, err = diskstore.Open(tmp, diskstore.Options{SyncEvery: syncEvery, Meter: m}); err != nil {
+			return pt, err
+		}
+		defer dir.Close()
+		topts.OpenStore = dir.Opener()
+	}
+
+	const n = 48
+	r1 := sortBenchRelation("db1", n, e.Seed)
+	r2 := sortBenchRelation("db2", n, e.Seed+1)
+	s1, err := table.Store(r1, []string{"k"}, topts)
+	if err != nil {
+		return pt, err
+	}
+	s2, err := table.Store(r2, []string{"k"}, topts)
+	if err != nil {
+		return pt, err
+	}
+	m.Reset() // setup traffic is not query cost
+	copts, err := e.coreOpts(storage.NewMeter())
+	if err != nil {
+		return pt, err
+	}
+	label := fmt.Sprintf("disk %s", pt.Backend)
+	if syncEvery >= 0 {
+		label = fmt.Sprintf("disk sync=%d", syncEvery)
+	}
+	sp := e.Trace.ChildMeter(label, m)
+	copts.Span = sp
+	start := time.Now()
+	_, err = core.SortMergeJoin(s1, s2, "k", "k", copts)
+	elapsed := time.Since(start)
+	if err != nil {
+		sp.End()
+		return pt, err
+	}
+	for _, st := range []*table.StoredTable{s1, s2} {
+		for _, ps := range st.PathTelemetry() {
+			pt.Accesses += ps.Accesses
+		}
+	}
+	stats := m.Snapshot()
+	pt.Rounds = stats.NetworkRounds
+	pt.BlocksMoved = stats.BlocksMoved()
+	if pt.Accesses > 0 {
+		pt.NsPerAccess = float64(elapsed.Nanoseconds()) / float64(pt.Accesses)
+	}
+	if dir != nil {
+		_, _, total := dir.Stats()
+		pt.WALRecords = total.WALRecords
+		pt.WALBytes = total.WALBytes
+		pt.WALFsyncs = total.WALFsyncs
+		pt.SegFsyncs = total.SegFsyncs
+		pt.Checkpoints = total.Checkpoints
+		sp.SetAttr("disk.wal_records", total.WALRecords)
+		sp.SetAttr("disk.wal_bytes", total.WALBytes)
+		sp.SetAttr("disk.wal_fsyncs", total.WALFsyncs)
+		sp.SetAttr("disk.checkpoints", total.Checkpoints)
+	}
+	sp.End()
+	return pt, nil
+}
+
+// DiskBench measures the in-memory baseline against the persistent backend
+// at per-commit fsync and at group commit.
+func DiskBench(e *Env) (*DiskReport, error) {
+	rep := &DiskReport{Seed: e.Seed}
+	for _, syncEvery := range []int{-1, 1, 16} {
+		pt, err := diskRun(e, syncEvery)
+		if err != nil {
+			return nil, err
+		}
+		rep.Points = append(rep.Points, pt)
+	}
+	// Persistence must be invisible to the oblivious cost: any backend that
+	// changed the access pattern would be a leak, so fail loudly here rather
+	// than snapshot a wrong number.
+	base := rep.Points[0]
+	for _, pt := range rep.Points[1:] {
+		if pt.Accesses != base.Accesses || pt.Rounds != base.Rounds || pt.BlocksMoved != base.BlocksMoved {
+			return nil, fmt.Errorf("bench: disk backend changed the oblivious cost: %+v vs %+v", pt, base)
+		}
+	}
+	return rep, nil
+}
+
+// WriteDiskReport renders the backend comparison table.
+func WriteDiskReport(w io.Writer, rep *DiskReport) {
+	fmt.Fprintln(w, "== DISK: mem vs persistent backend, same join, same seed (DESIGN.md §2.10)")
+	fmt.Fprintf(w, "%-10s %6s %10s %8s %8s %8s %10s %8s %7s %8s %10s\n",
+		"backend", "sync", "accesses", "rounds", "blocks", "walrec", "walbytes", "fsyncs", "segfs", "ckpts", "ns/access")
+	for _, p := range rep.Points {
+		sync := "-"
+		if p.Backend == "disk" {
+			sync = fmt.Sprint(p.SyncEvery)
+		}
+		fmt.Fprintf(w, "%-10s %6s %10d %8d %8d %8d %10d %8d %7d %8d %10.0f\n",
+			p.Backend, sync, p.Accesses, p.Rounds, p.BlocksMoved,
+			p.WALRecords, p.WALBytes, p.WALFsyncs, p.SegFsyncs, p.Checkpoints, p.NsPerAccess)
+	}
+	fmt.Fprintln(w)
+}
+
+// RunDisk executes the disk experiment and writes the table; the report is
+// returned for snapshotting (BENCH_disk.json).
+func RunDisk(w io.Writer, e *Env) (*DiskReport, error) {
+	rep, err := DiskBench(e)
+	if err != nil {
+		return nil, err
+	}
+	WriteDiskReport(w, rep)
+	return rep, nil
+}
+
+// MarshalDiskReport renders a DiskReport as the BENCH_disk.json snapshot
+// format (indented, trailing newline).
+func MarshalDiskReport(rep *DiskReport) ([]byte, error) {
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestDiskBenchSmoke runs the persistence experiment end to end: the
+// in-memory and disk backends must report identical oblivious cost (the
+// invariance DiskBench itself enforces), the disk points must show real
+// WAL traffic, and group commit must cost strictly fewer fsyncs than
+// per-commit sync.
+func TestDiskBenchSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	rep, err := RunDisk(&buf, Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 3 {
+		t.Fatalf("points: %d, want 3", len(rep.Points))
+	}
+	mem, sync1, group := rep.Points[0], rep.Points[1], rep.Points[2]
+	if mem.Backend != "mem" || sync1.SyncEvery != 1 || group.SyncEvery <= 1 {
+		t.Fatalf("unexpected lineup: %+v", rep.Points)
+	}
+	if mem.Accesses == 0 || mem.Rounds == 0 {
+		t.Fatalf("mem point measured nothing: %+v", mem)
+	}
+	if sync1.WALRecords == 0 || sync1.WALFsyncs == 0 {
+		t.Fatalf("disk point shows no WAL traffic: %+v", sync1)
+	}
+	if group.WALFsyncs >= sync1.WALFsyncs {
+		t.Fatalf("group commit did not reduce fsyncs: %d vs %d", group.WALFsyncs, sync1.WALFsyncs)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("no table written")
+	}
+	out, err := MarshalDiskReport(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back DiskReport
+	if err := json.Unmarshal(out, &back); err != nil {
+		t.Fatalf("snapshot does not round-trip: %v", err)
+	}
+	if len(back.Points) != len(rep.Points) {
+		t.Fatalf("snapshot dropped points: %d vs %d", len(back.Points), len(rep.Points))
+	}
+}

@@ -163,7 +163,7 @@ func Experiments() []string {
 	return append(ids,
 		"ablation-blocksize", "ablation-z", "ablation-posmap",
 		"ablation-writeback", "ablation-scheme", "ablation-chained", "ablation-dppad",
-		"sort", "phases", "rounds")
+		"sort", "phases", "rounds", "disk")
 }
 
 // Run executes one experiment by ID and writes its report.
@@ -178,6 +178,10 @@ func Run(w io.Writer, e *Env, id string) error {
 	}
 	if id == "rounds" {
 		_, err := RunRounds(w, e)
+		return err
+	}
+	if id == "disk" {
+		_, err := RunDisk(w, e)
 		return err
 	}
 	if id == "table1" {

@@ -347,11 +347,13 @@ func (w *faultableStore) Exchange(widxs []int64, wdata [][]byte, ridxs []int64) 
 // so due flushes go through standalone WriteMany rounds.
 type exchangelessFaultableStore struct{ fs *faultableStore }
 
-func (w exchangelessFaultableStore) Read(i int64) ([]byte, error)            { return w.fs.Read(i) }
-func (w exchangelessFaultableStore) Write(i int64, d []byte) error           { return w.fs.Write(i, d) }
-func (w exchangelessFaultableStore) Len() int64                              { return w.fs.Len() }
-func (w exchangelessFaultableStore) BlockSize() int                          { return w.fs.BlockSize() }
-func (w exchangelessFaultableStore) ReadMany(idxs []int64) ([][]byte, error) { return w.fs.ReadMany(idxs) }
+func (w exchangelessFaultableStore) Read(i int64) ([]byte, error)  { return w.fs.Read(i) }
+func (w exchangelessFaultableStore) Write(i int64, d []byte) error { return w.fs.Write(i, d) }
+func (w exchangelessFaultableStore) Len() int64                    { return w.fs.Len() }
+func (w exchangelessFaultableStore) BlockSize() int                { return w.fs.BlockSize() }
+func (w exchangelessFaultableStore) ReadMany(idxs []int64) ([][]byte, error) {
+	return w.fs.ReadMany(idxs)
+}
 func (w exchangelessFaultableStore) WriteMany(idxs []int64, d [][]byte) error {
 	return w.fs.WriteMany(idxs, d)
 }

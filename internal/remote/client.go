@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
@@ -79,6 +80,19 @@ var ErrClosed = errors.New("remote: client is closed")
 type RemoteError struct{ Msg string }
 
 func (e *RemoteError) Error() string { return e.Msg }
+
+// Is preserves sentinel matches across the wire: the server flattens errors
+// to strings, so the client re-recognizes well-known storage sentinels by
+// their (stable, documented) message. This is what lets a caller write
+// errors.Is(err, storage.ErrOutOfRange) and not care whether the store is
+// local or behind the transport.
+func (e *RemoteError) Is(target error) bool {
+	switch target {
+	case storage.ErrOutOfRange:
+		return strings.Contains(e.Msg, storage.ErrOutOfRange.Error())
+	}
+	return false
+}
 
 // errTransient wraps failures the client may retry.
 type errTransient struct{ err error }

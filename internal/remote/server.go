@@ -3,6 +3,7 @@ package remote
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sort"
 	"sync"
@@ -88,6 +89,10 @@ type ServerOptions struct {
 	// MaxStoreBytes caps the total footprint OpCreate may allocate across
 	// all dynamically created stores; 0 means 1 GiB.
 	MaxStoreBytes int64
+	// OpenStore, when non-nil, provisions the store backing each OpCreate —
+	// plug in diskstore.Dir.Opener to make the server persistent. Nil means
+	// in-memory MemStores, which vanish on shutdown.
+	OpenStore storage.Opener
 }
 
 func (o ServerOptions) maxFrame() int {
@@ -423,7 +428,16 @@ func (s *Server) handleCreate(req *Request) *Response {
 	s.createdBy += need
 	// The server-side store carries no meter: accounting is the client's
 	// concern, the server only counts requests.
-	s.stores[req.Store] = storage.NewMemStore(req.Store, req.Slots, int(req.BlockSize), nil)
+	if open := s.opts.OpenStore; open != nil {
+		st, err := open(req.Store, req.Slots, int(req.BlockSize))
+		if err != nil {
+			s.createdBy -= need
+			return &Response{Status: StatusError, Msg: fmt.Sprintf("remote: create %q: %v", req.Store, err)}
+		}
+		s.stores[req.Store] = st
+	} else {
+		s.stores[req.Store] = storage.NewMemStore(req.Store, req.Slots, int(req.BlockSize), nil)
+	}
 	c := &counterSet{}
 	c.requests.Add(1)
 	s.counts[req.Store] = c
@@ -432,7 +446,9 @@ func (s *Server) handleCreate(req *Request) *Response {
 
 // Close gracefully shuts the server down: it stops accepting connections,
 // lets every in-flight request complete and its response flush, closes all
-// connections, and waits for the serving goroutines to exit.
+// connections, waits for the serving goroutines to exit, and then closes
+// every hosted store that has a Close method — for a persistent backend
+// that is the checkpoint that makes all committed batches durable.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closing {
@@ -457,5 +473,19 @@ func (s *Server) Close() error {
 		err = ln.Close()
 	}
 	s.wg.Wait()
+	// No request can be in flight now, so the stores are quiescent.
+	s.mu.Lock()
+	stores := make([]storage.Store, 0, len(s.stores))
+	for _, st := range s.stores {
+		stores = append(stores, st)
+	}
+	s.mu.Unlock()
+	for _, st := range stores {
+		if c, ok := st.(io.Closer); ok {
+			if cerr := c.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+	}
 	return err
 }

@@ -17,6 +17,11 @@ import (
 )
 
 // ErrOutOfRange is returned when a block index is outside the store.
+// Implementations wrap it (fmt.Errorf with %w) with the offending index and
+// the store name, so a failure deep in a remote or disk backend is
+// diagnosable from its log line alone; callers must match with errors.Is,
+// never equality. The remote transport preserves the match across the wire
+// (see remote.RemoteError.Is).
 var ErrOutOfRange = errors.New("storage: block index out of range")
 
 // Store is a fixed-capacity array of equally sized opaque blocks held by the
@@ -39,13 +44,23 @@ type Store interface {
 // Path-ORAM access touches O(log n) buckets, and a transport that batches
 // the whole path pays one round instead of O(log n). Implementations that
 // report to a Meter must account each batch as exactly one round.
+//
+// Duplicate-index contract: a batch MAY name the same index more than once,
+// and implementations MUST apply the batch in slice order, so the highest
+// position wins deterministically (last-writer-wins). The ORAM scheduler's
+// flush dedupes shared buckets before writing, but crash-recovery replay in
+// a persistent backend re-applies whole logged batches verbatim — both
+// backends agreeing on this ordering is what makes replayed state equal
+// live state (see storetest.TestBatchContract, which every backend runs).
 type BatchStore interface {
 	Store
 	// ReadMany returns copies of the blocks at the given indices, in order,
-	// in a single round trip. An empty batch performs no round.
+	// in a single round trip. An empty batch performs no round. A repeated
+	// index yields the same block at each of its positions.
 	ReadMany(idxs []int64) ([][]byte, error)
 	// WriteMany replaces the block at idxs[i] with data[i] for every i, in a
-	// single round trip. len(data) must equal len(idxs).
+	// single round trip, applying positions in increasing i so duplicate
+	// indices resolve last-writer-wins. len(data) must equal len(idxs).
 	WriteMany(idxs []int64, data [][]byte) error
 }
 
@@ -58,8 +73,10 @@ type BatchStore interface {
 // performs no round.
 type ExchangeStore interface {
 	BatchStore
-	// Exchange writes writeData[i] to writeIdxs[i] for every i, then
-	// returns copies of the blocks at readIdxs, all in one round trip.
+	// Exchange writes writeData[i] to writeIdxs[i] for every i — in slice
+	// order, so duplicate write indices resolve last-writer-wins exactly as
+	// in WriteMany — then returns copies of the blocks at readIdxs, all in
+	// one round trip.
 	Exchange(writeIdxs []int64, writeData [][]byte, readIdxs []int64) ([][]byte, error)
 }
 
@@ -202,12 +219,19 @@ func (s *MemStore) Exchange(writeIdxs []int64, writeData [][]byte, readIdxs []in
 	if len(writeIdxs) == 0 && len(readIdxs) == 0 {
 		return nil, nil
 	}
+	// Validate the whole exchange — writes and reads — before touching any
+	// slot, so a malformed request can never commit a partial batch.
 	for k, i := range writeIdxs {
 		if i < 0 || i >= s.n {
 			return nil, fmt.Errorf("%w: exchange write %d of %d (%s)", ErrOutOfRange, i, s.n, s.name)
 		}
 		if len(writeData[k]) != s.blockSize {
 			return nil, fmt.Errorf("storage: exchange write of %d bytes to %d-byte block (%s)", len(writeData[k]), s.blockSize, s.name)
+		}
+	}
+	for _, i := range readIdxs {
+		if i < 0 || i >= s.n {
+			return nil, fmt.Errorf("%w: exchange read %d of %d (%s)", ErrOutOfRange, i, s.n, s.name)
 		}
 	}
 	var out [][]byte
@@ -218,10 +242,6 @@ func (s *MemStore) Exchange(writeIdxs []int64, writeData [][]byte, readIdxs []in
 	if len(readIdxs) > 0 {
 		out = make([][]byte, len(readIdxs))
 		for k, i := range readIdxs {
-			if i < 0 || i >= s.n {
-				s.mu.Unlock()
-				return nil, fmt.Errorf("%w: exchange read %d of %d (%s)", ErrOutOfRange, i, s.n, s.name)
-			}
 			blk := make([]byte, s.blockSize)
 			copy(blk, s.data[i*int64(s.blockSize):])
 			out[k] = blk

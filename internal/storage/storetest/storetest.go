@@ -1,0 +1,163 @@
+// Package storetest holds the conformance suite every storage.BatchStore
+// backend shares. MemStore, the disk-backed store, and the remote client
+// all run the same assertions, so contracts the layers above rely on —
+// last-writer-wins duplicate-index batches, read-after-write exchanges,
+// ErrOutOfRange wrapping with index and store name — cannot silently
+// diverge between the simulated, persistent, and networked backends. The
+// WAL replay path in particular re-applies logged batches verbatim and is
+// only correct because live application agrees on this ordering.
+package storetest
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"oblivjoin/internal/storage"
+)
+
+// Factory builds a fresh store for one subtest with the given geometry.
+type Factory func(t *testing.T, slots int64, blockSize int) storage.BatchStore
+
+// block builds a recognizable blockSize-byte payload.
+func block(blockSize int, fill byte) []byte {
+	return bytes.Repeat([]byte{fill}, blockSize)
+}
+
+// TestBatchContract runs the shared BatchStore conformance suite against
+// one backend.
+func TestBatchContract(t *testing.T, name string, mk Factory) {
+	t.Run(name+"/duplicate-index-last-writer-wins", func(t *testing.T) {
+		testDuplicateIndexWriteMany(t, mk)
+	})
+	t.Run(name+"/duplicate-index-exchange", func(t *testing.T) {
+		testDuplicateIndexExchange(t, mk)
+	})
+	t.Run(name+"/read-after-write-exchange", func(t *testing.T) {
+		testExchangeReadAfterWrite(t, mk)
+	})
+	t.Run(name+"/out-of-range-wrapping", func(t *testing.T) {
+		testOutOfRange(t, mk)
+	})
+	t.Run(name+"/empty-batches", func(t *testing.T) {
+		testEmptyBatches(t, mk)
+	})
+}
+
+func testDuplicateIndexWriteMany(t *testing.T, mk Factory) {
+	const bs = 32
+	s := mk(t, 8, bs)
+	// Slot 3 appears three times; position order must decide, so 0xCC wins.
+	err := s.WriteMany(
+		[]int64{3, 1, 3, 5, 3},
+		[][]byte{block(bs, 0xAA), block(bs, 0x11), block(bs, 0xBB), block(bs, 0x55), block(bs, 0xCC)})
+	if err != nil {
+		t.Fatalf("WriteMany: %v", err)
+	}
+	want := map[int64]byte{1: 0x11, 3: 0xCC, 5: 0x55}
+	for idx, fill := range want {
+		got, err := s.Read(idx)
+		if err != nil {
+			t.Fatalf("Read(%d): %v", idx, err)
+		}
+		if !bytes.Equal(got, block(bs, fill)) {
+			t.Fatalf("slot %d: got %#x..., want fill %#x", idx, got[0], fill)
+		}
+	}
+	// A repeated read index yields the block at each position.
+	blks, err := s.ReadMany([]int64{3, 3, 1})
+	if err != nil {
+		t.Fatalf("ReadMany: %v", err)
+	}
+	if !bytes.Equal(blks[0], blks[1]) || blks[0][0] != 0xCC || blks[2][0] != 0x11 {
+		t.Fatalf("duplicate read batch: got fills %#x %#x %#x", blks[0][0], blks[1][0], blks[2][0])
+	}
+}
+
+func testDuplicateIndexExchange(t *testing.T, mk Factory) {
+	const bs = 32
+	x, ok := mk(t, 8, bs).(storage.ExchangeStore)
+	if !ok {
+		t.Skip("backend does not implement ExchangeStore")
+	}
+	got, err := x.Exchange(
+		[]int64{2, 2, 4},
+		[][]byte{block(bs, 0x01), block(bs, 0x02), block(bs, 0x44)},
+		[]int64{2, 4})
+	if err != nil {
+		t.Fatalf("Exchange: %v", err)
+	}
+	if got[0][0] != 0x02 {
+		t.Fatalf("duplicate exchange write: slot 2 fill %#x, want 0x02 (last writer)", got[0][0])
+	}
+	if got[1][0] != 0x44 {
+		t.Fatalf("exchange read: slot 4 fill %#x, want 0x44", got[1][0])
+	}
+}
+
+func testExchangeReadAfterWrite(t *testing.T, mk Factory) {
+	const bs = 16
+	x, ok := mk(t, 4, bs).(storage.ExchangeStore)
+	if !ok {
+		t.Skip("backend does not implement ExchangeStore")
+	}
+	// Every write must be visible to the same exchange's reads.
+	got, err := x.Exchange([]int64{0, 1}, [][]byte{block(bs, 0x10), block(bs, 0x20)}, []int64{1, 0})
+	if err != nil {
+		t.Fatalf("Exchange: %v", err)
+	}
+	if got[0][0] != 0x20 || got[1][0] != 0x10 {
+		t.Fatalf("exchange reads saw stale data: fills %#x %#x", got[0][0], got[1][0])
+	}
+}
+
+func testOutOfRange(t *testing.T, mk Factory) {
+	const bs = 16
+	s := mk(t, 4, bs)
+	check := func(op string, err error) {
+		t.Helper()
+		if !errors.Is(err, storage.ErrOutOfRange) {
+			t.Fatalf("%s: error %v does not match storage.ErrOutOfRange", op, err)
+		}
+		if !strings.Contains(err.Error(), "99") {
+			t.Fatalf("%s: error %q does not name the offending index", op, err)
+		}
+	}
+	_, err := s.Read(99)
+	check("Read", err)
+	check("Write", s.Write(99, block(bs, 1)))
+	_, err = s.ReadMany([]int64{0, 99})
+	check("ReadMany", err)
+	check("WriteMany", s.WriteMany([]int64{0, 99}, [][]byte{block(bs, 1), block(bs, 2)}))
+	if x, ok := s.(storage.ExchangeStore); ok {
+		_, err = x.Exchange([]int64{99}, [][]byte{block(bs, 1)}, nil)
+		check("Exchange write", err)
+		_, err = x.Exchange([]int64{0}, [][]byte{block(bs, 1)}, []int64{99})
+		check("Exchange read", err)
+	}
+	// A failed batch must not have applied a prefix: every in-tree backend
+	// validates the whole batch before touching any slot, so pin it here.
+	blk, err := s.Read(0)
+	if err != nil {
+		t.Fatalf("Read(0): %v", err)
+	}
+	if blk[0] != 0 {
+		t.Fatalf("failed batch leaked a partial write into slot 0 (fill %#x)", blk[0])
+	}
+}
+
+func testEmptyBatches(t *testing.T, mk Factory) {
+	s := mk(t, 4, 16)
+	if blks, err := s.ReadMany(nil); err != nil || blks != nil {
+		t.Fatalf("empty ReadMany: %v, %v", blks, err)
+	}
+	if err := s.WriteMany(nil, nil); err != nil {
+		t.Fatalf("empty WriteMany: %v", err)
+	}
+	if x, ok := s.(storage.ExchangeStore); ok {
+		if blks, err := x.Exchange(nil, nil, nil); err != nil || blks != nil {
+			t.Fatalf("empty Exchange: %v, %v", blks, err)
+		}
+	}
+}
