@@ -38,8 +38,30 @@ func startHTTP(addr string, srv *remote.Server, dir *diskstore.Dir) (net.Addr, e
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	expvar.Publish("ojoinserver_sessions", expvar.Func(func() any {
+		return srv.Sessions().Snapshot()
+	}))
+	// Per-session rows: ID, tenant, and traffic so far. All quantities the
+	// untrusted server observes on the wire anyway.
+	expvar.Publish("ojoinserver_session_table", expvar.Func(func() any {
+		type row struct {
+			ID       int64  `json:"id"`
+			Tenant   string `json:"tenant"`
+			Requests int64  `json:"requests"`
+			Stores   int    `json:"stores"`
+		}
+		var rows []row
+		for _, s := range srv.Sessions().Sessions() {
+			rows = append(rows, row{
+				ID: s.ID(), Tenant: s.Tenant(),
+				Requests: s.Requests(), Stores: len(s.Touched()),
+			})
+		}
+		return rows
+	}))
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		writeMetrics(w, srv)
+		writeSessionMetrics(w, srv)
 		if dir != nil {
 			writeDiskMetrics(w, dir)
 		}
@@ -93,6 +115,35 @@ func writeMetrics(w http.ResponseWriter, srv *remote.Server) {
 	fmt.Fprintf(w, "# HELP ojoin_server_requests_total RPCs served across all stores.\n")
 	fmt.Fprintf(w, "# TYPE ojoin_server_requests_total counter\n")
 	fmt.Fprintf(w, "ojoin_server_requests_total %d\n", srv.TotalRequests())
+}
+
+// writeSessionMetrics appends the serving layer's admission and broker
+// counters. Session counts, rejection totals, and broker round/contention
+// tallies are functions of request arrival timing only — the same public
+// schedule the untrusted server already observes — so publishing them
+// leaks nothing beyond Definition 1.
+func writeSessionMetrics(w http.ResponseWriter, srv *remote.Server) {
+	ss := srv.Sessions().Snapshot()
+	bs := srv.BrokerStats()
+	type sample struct {
+		name, typ, help string
+		value           int64
+	}
+	samples := []sample{
+		{"ojoin_sessions_active", "gauge", "Live client sessions.", int64(ss.Active)},
+		{"ojoin_sessions_peak", "gauge", "High-water concurrent session count.", int64(ss.Peak)},
+		{"ojoin_sessions_opened_total", "counter", "Sessions admitted.", ss.Opened},
+		{"ojoin_sessions_closed_total", "counter", "Sessions ended by their clients.", ss.Closed},
+		{"ojoin_sessions_rejected_total", "counter", "Hellos refused at the admission cap.", ss.Rejected},
+		{"ojoin_sessions_expired_total", "counter", "Sessions reaped by their idle deadline.", ss.Expired},
+		{"ojoin_sessions_requests_total", "counter", "Session-scoped requests served.", ss.Requests},
+		{"ojoin_broker_rounds_total", "counter", "Batch rounds serialized by the ORAM access broker.", bs.Rounds},
+		{"ojoin_broker_contended_total", "counter", "Rounds that waited behind another session's round.", bs.Contended},
+		{"ojoin_broker_stores", "gauge", "Stores owned by the ORAM access broker.", int64(bs.Stores)},
+	}
+	for _, s := range samples {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", s.name, s.help, s.name, s.typ, s.name, s.value)
+	}
 }
 
 // writeDiskMetrics appends the persistence layer's durability counters —

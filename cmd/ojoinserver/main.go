@@ -13,6 +13,14 @@
 // atomically while requests are in flight), /healthz, /debug/vars (expvar),
 // and /debug/pprof. The per-store counters are still printed at shutdown.
 //
+// The server is multi-tenant: clients that open a session (remote.Client
+// StartSession) get their stores qualified into a per-tenant namespace and
+// their traffic serialized round-by-round through the ORAM access broker
+// (internal/session). -max-sessions bounds the admission table — saturated
+// hellos get a typed busy rejection — and -session-timeout reaps sessions
+// whose clients went silent. Shutdown first drains live sessions (bounded
+// by -drain-timeout) so no store is checkpointed mid-batch.
+//
 // With -data-dir the server is persistent: every store lives in a
 // crash-safe segment + write-ahead-log file pair under the directory
 // (internal/diskstore). Stores persisted by earlier runs are recovered at
@@ -51,6 +59,10 @@ func main() {
 		httpAddr  = flag.String("http", "", "optional HTTP address serving /metrics, /healthz, and /debug/pprof")
 		dataDir   = flag.String("data-dir", "", "directory for persistent stores (empty = in-memory)")
 		syncEvery = flag.Int("sync-every", 1, "fsync the write-ahead log every Nth batch commit (group commit)")
+
+		maxSessions    = flag.Int("max-sessions", 0, "admission cap on concurrent client sessions (0 = default 64)")
+		sessionTimeout = flag.Duration("session-timeout", 0, "idle deadline after which a silent session is reaped (0 = default 2m)")
+		drainTimeout   = flag.Duration("drain-timeout", 0, "how long shutdown waits for live sessions to end (0 = default 5s)")
 	)
 	var stores []string
 	flag.Func("store", "pre-register a store as name:slots:blocksize (repeatable)", func(v string) error {
@@ -59,7 +71,13 @@ func main() {
 	})
 	flag.Parse()
 
-	opts := remote.ServerOptions{MaxFrame: *maxFrame, MaxStoreBytes: *maxBytes}
+	opts := remote.ServerOptions{
+		MaxFrame:       *maxFrame,
+		MaxStoreBytes:  *maxBytes,
+		MaxSessions:    *maxSessions,
+		SessionTimeout: *sessionTimeout,
+		DrainTimeout:   *drainTimeout,
+	}
 	if *latency > 0 || *failEvery > 0 {
 		opts.Faults = &remote.Shaper{Latency: *latency, FailEvery: *failEvery}
 	}
@@ -134,13 +152,18 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	log.Printf("shutting down (draining in-flight requests)")
-	// Server.Close drains requests and then closes (checkpoints) every
-	// hosted disk store; Dir.Close is the idempotent backstop for stores
-	// the server never hosted.
+	log.Printf("shutting down (draining sessions and in-flight requests)")
+	// Server.Close refuses new sessions, waits for live ones to end (or
+	// expire, bounded by -drain-timeout), drains in-flight requests, and
+	// then closes (checkpoints) every hosted disk store; Dir.Close is the
+	// idempotent backstop for stores the server never hosted.
 	if err := srv.Close(); err != nil {
 		log.Printf("ojoinserver: close: %v", err)
 	}
+	ss := srv.Sessions().Snapshot()
+	bs := srv.BrokerStats()
+	log.Printf("sessions: %d served (peak %d concurrent), %d rejected at cap, %d expired idle; broker: %d rounds over %d stores, %d contended",
+		ss.Opened, ss.Peak, ss.Rejected, ss.Expired, bs.Rounds, bs.Stores, bs.Contended)
 	if dir != nil {
 		if err := dir.Close(); err != nil {
 			log.Printf("ojoinserver: data dir close: %v", err)

@@ -1,0 +1,298 @@
+package bench
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"oblivjoin/internal/core"
+	"oblivjoin/internal/remote"
+	"oblivjoin/internal/storage"
+	"oblivjoin/internal/table"
+)
+
+// ConcurrencyPoint is one measured client count of the serving-layer
+// experiment: N tenants, each holding its own session against one shared
+// server, run one seeded sort-merge join apiece at the same time. The
+// traffic columns are deterministic per seed; throughput is wall-clock and
+// host-dependent (see the report's Host header).
+type ConcurrencyPoint struct {
+	Clients int `json:"clients"`
+	// Queries is the number of joins completed (one per client).
+	Queries int     `json:"queries"`
+	WallMS  float64 `json:"wall_ms"`
+	// QueriesPerSec is Queries / wall time over the concurrent phase only
+	// (table upload is excluded, as in the rounds experiment).
+	QueriesPerSec float64 `json:"queries_per_sec"`
+	// Accesses and Rounds aggregate every client's ORAM accesses and
+	// network round trips; RoundsPerAccess must not degrade with client
+	// count — the broker serializes rounds, it never adds any.
+	Accesses        int64   `json:"oram_accesses"`
+	Rounds          int64   `json:"network_rounds"`
+	RoundsPerAccess float64 `json:"rounds_per_access"`
+	// Broker counters for this point's server: rounds serialized and how
+	// many of them waited behind another session's round.
+	BrokerRounds    int64 `json:"broker_rounds"`
+	BrokerContended int64 `json:"broker_contended"`
+}
+
+// ConcurrencyReport is what the `concurrency` experiment produces;
+// BENCH_concurrency.json is one checked-in snapshot. CapAttempted and
+// CapRejected record the admission-control exercise: with MaxSessions held
+// open, every further hello must come back as a typed busy rejection.
+type ConcurrencyReport struct {
+	Host
+	Seed         int64              `json:"seed"`
+	MaxSessions  int                `json:"max_sessions"`
+	Sweep        []int              `json:"client_sweep"`
+	Points       []ConcurrencyPoint `json:"points"`
+	CapAttempted int                `json:"cap_attempted"`
+	CapRejected  int                `json:"cap_rejected"`
+}
+
+// ConcurrencyClientSweep is the client-count lineup the experiment measures.
+var ConcurrencyClientSweep = []int{1, 2, 4, 8}
+
+// concurrencyMaxSessions is the admission cap the experiment's servers run
+// with; the sweep stays under it and the cap exercise fills it exactly.
+const concurrencyMaxSessions = 8
+
+// concurrencyClient is one tenant's session worth of work: dial, open a
+// session, upload two tables into the tenant namespace, then (behind the
+// start barrier) run the join. The returned stats are this client's own
+// metered traffic.
+func concurrencyClient(e *Env, addr, tenant string, seed int64, ready *sync.WaitGroup, start <-chan struct{}) (storage.Stats, int64, error) {
+	// The ready group must be released exactly once — at the barrier on
+	// success, or on the way out when setup fails (so the run doesn't hang
+	// waiting for a client that never arrives).
+	var once sync.Once
+	setup := func() { once.Do(ready.Done) }
+	defer setup()
+	// The meter rides the remote client, so network rounds are counted at
+	// the wire, exactly where the paper's round-trip argument lives.
+	m := storage.NewMeter()
+	c, err := remote.Dial(remote.ClientOptions{Addr: addr, Meter: m})
+	if err != nil {
+		return storage.Stats{}, 0, err
+	}
+	defer c.Close()
+	if err := c.StartSession(tenant, time.Minute); err != nil {
+		return storage.Stats{}, 0, err
+	}
+
+	env := *e
+	env.Seed = seed
+	topts, err := env.tableOpts(m, false, false, false)
+	if err != nil {
+		return storage.Stats{}, 0, err
+	}
+	topts.OpenStore = c.Opener()
+	const n = 32
+	r1 := sortBenchRelation("cb1", n, seed)
+	r2 := sortBenchRelation("cb2", n, seed+1)
+	s1, err := table.Store(r1, []string{"k"}, topts)
+	if err != nil {
+		return storage.Stats{}, 0, err
+	}
+	s2, err := table.Store(r2, []string{"k"}, topts)
+	if err != nil {
+		return storage.Stats{}, 0, err
+	}
+	m.Reset() // setup traffic is not query cost
+	copts, err := env.coreOpts(storage.NewMeter())
+	if err != nil {
+		return storage.Stats{}, 0, err
+	}
+	// Each tenant's join runs under its own span, attributed to the server
+	// session serving it (nil-safe when the run is untraced).
+	sp := e.Trace.ChildMeter("session "+tenant, m)
+	sp.SetAttr("session.id", c.Session())
+	copts.Span = sp
+	defer sp.End()
+
+	setup()
+	<-start
+	if _, err := core.SortMergeJoin(s1, s2, "k", "k", copts); err != nil {
+		return storage.Stats{}, 0, err
+	}
+	var accesses int64
+	for _, st := range []*table.StoredTable{s1, s2} {
+		for _, ps := range st.PathTelemetry() {
+			accesses += ps.Accesses
+		}
+	}
+	return m.Snapshot(), accesses, nil
+}
+
+// concurrencyRun measures one client count over a fresh server.
+func concurrencyRun(e *Env, clients int) (ConcurrencyPoint, error) {
+	pt := ConcurrencyPoint{Clients: clients}
+	srv := remote.NewServer(remote.ServerOptions{
+		MaxSessions:   concurrencyMaxSessions,
+		MaxStoreBytes: 1 << 32,
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return pt, err
+	}
+	defer srv.Close()
+
+	start := make(chan struct{})
+	var ready sync.WaitGroup
+	ready.Add(clients)
+	type result struct {
+		stats    storage.Stats
+		accesses int64
+		err      error
+	}
+	results := make([]result, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := &results[i]
+			r.stats, r.accesses, r.err = concurrencyClient(
+				e, addr.String(), fmt.Sprintf("bench%d", i), e.Seed+int64(2*i), &ready, start)
+		}(i)
+	}
+	// Every client's upload races the others' — that alone exercises the
+	// broker — but the timed phase starts only once every table is in
+	// place, so queries/sec measures joins, not uploads.
+	ready.Wait()
+	wall := time.Now()
+	close(start)
+	wg.Wait()
+	elapsed := time.Since(wall)
+
+	for _, r := range results {
+		if r.err != nil {
+			return pt, r.err
+		}
+		pt.Accesses += r.accesses
+		pt.Rounds += r.stats.NetworkRounds
+	}
+	pt.Queries = clients
+	pt.WallMS = float64(elapsed.Nanoseconds()) / 1e6
+	if elapsed > 0 {
+		pt.QueriesPerSec = float64(clients) / elapsed.Seconds()
+	}
+	if pt.Accesses > 0 {
+		pt.RoundsPerAccess = float64(pt.Rounds) / float64(pt.Accesses)
+	}
+	bs := srv.BrokerStats()
+	pt.BrokerRounds = bs.Rounds
+	pt.BrokerContended = bs.Contended
+	return pt, nil
+}
+
+// concurrencyCap exercises admission control: fill the session table to the
+// cap, then count how many further hellos come back as typed busy
+// rejections (all of them must).
+func concurrencyCap(attempts int) (attempted, rejected int, err error) {
+	srv := remote.NewServer(remote.ServerOptions{MaxSessions: concurrencyMaxSessions})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer srv.Close()
+
+	var held []*remote.Client
+	defer func() {
+		for _, c := range held {
+			c.Close()
+		}
+	}()
+	for i := 0; i < concurrencyMaxSessions; i++ {
+		c, err := remote.Dial(remote.ClientOptions{Addr: addr.String()})
+		if err != nil {
+			return 0, 0, err
+		}
+		held = append(held, c)
+		if err := c.StartSession(fmt.Sprintf("cap%d", i), time.Minute); err != nil {
+			return 0, 0, err
+		}
+	}
+	for i := 0; i < attempts; i++ {
+		c, err := remote.Dial(remote.ClientOptions{Addr: addr.String()})
+		if err != nil {
+			return attempted, rejected, err
+		}
+		attempted++
+		err = c.StartSession(fmt.Sprintf("over%d", i), time.Minute)
+		c.Close()
+		switch {
+		case errors.Is(err, remote.ErrBusy):
+			rejected++
+		case err == nil:
+			return attempted, rejected, fmt.Errorf("bench: hello %d admitted past the %d-session cap", i, concurrencyMaxSessions)
+		default:
+			return attempted, rejected, err
+		}
+	}
+	return attempted, rejected, nil
+}
+
+// ConcurrencyBench measures queries/sec and rounds-per-access against a
+// real loopback server across ConcurrencyClientSweep, then exercises the
+// admission cap.
+func ConcurrencyBench(e *Env) (*ConcurrencyReport, error) {
+	rep := &ConcurrencyReport{
+		Host:        CurrentHost(),
+		Seed:        e.Seed,
+		MaxSessions: concurrencyMaxSessions,
+		Sweep:       ConcurrencyClientSweep,
+	}
+	for _, clients := range ConcurrencyClientSweep {
+		pt, err := concurrencyRun(e, clients)
+		if err != nil {
+			return nil, err
+		}
+		rep.Points = append(rep.Points, pt)
+	}
+	var err error
+	rep.CapAttempted, rep.CapRejected, err = concurrencyCap(3)
+	if err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// WriteConcurrencyReport renders the serving-layer throughput table.
+func WriteConcurrencyReport(w io.Writer, rep *ConcurrencyReport) {
+	fmt.Fprintf(w, "== CONCURRENCY: sessions over one server, queries/sec vs client count (NumCPU=%d GOMAXPROCS=%d)\n",
+		rep.NumCPU, rep.GOMAXPROCS)
+	fmt.Fprintf(w, "%-8s %8s %10s %8s %10s %12s %10s %10s\n",
+		"clients", "q/sec", "wall ms", "accesses", "rounds", "rounds/acc", "brk rnds", "contended")
+	for _, p := range rep.Points {
+		fmt.Fprintf(w, "%-8d %8.2f %10.1f %8d %10d %12.3f %10d %10d\n",
+			p.Clients, p.QueriesPerSec, p.WallMS, p.Accesses, p.Rounds,
+			p.RoundsPerAccess, p.BrokerRounds, p.BrokerContended)
+	}
+	fmt.Fprintf(w, "admission cap %d: %d/%d over-cap hellos rejected busy\n\n",
+		rep.MaxSessions, rep.CapRejected, rep.CapAttempted)
+}
+
+// RunConcurrency executes the concurrency experiment and writes the table;
+// the report is returned for snapshotting (BENCH_concurrency.json).
+func RunConcurrency(w io.Writer, e *Env) (*ConcurrencyReport, error) {
+	rep, err := ConcurrencyBench(e)
+	if err != nil {
+		return nil, err
+	}
+	WriteConcurrencyReport(w, rep)
+	return rep, nil
+}
+
+// MarshalConcurrencyReport renders a ConcurrencyReport as the
+// BENCH_concurrency.json snapshot format (indented, trailing newline).
+func MarshalConcurrencyReport(rep *ConcurrencyReport) ([]byte, error) {
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestConcurrencyBenchSmoke runs the serving-layer experiment at small
+// client counts over a real loopback server: every client's join must move
+// real ORAM traffic, the broker must have serialized rounds, and over-cap
+// hellos must all come back as busy rejections.
+func TestConcurrencyBenchSmoke(t *testing.T) {
+	e := Quick()
+	p1, err := concurrencyRun(e, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := concurrencyRun(e, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Queries != 1 || p2.Queries != 2 {
+		t.Fatalf("query counts: %d and %d, want 1 and 2", p1.Queries, p2.Queries)
+	}
+	for _, p := range []ConcurrencyPoint{p1, p2} {
+		if p.Accesses == 0 || p.Rounds == 0 || p.RoundsPerAccess == 0 {
+			t.Fatalf("client count %d measured no traffic: %+v", p.Clients, p)
+		}
+		if p.BrokerRounds == 0 {
+			t.Fatalf("client count %d saw no broker rounds: %+v", p.Clients, p)
+		}
+		if p.QueriesPerSec <= 0 {
+			t.Fatalf("client count %d has no throughput: %+v", p.Clients, p)
+		}
+	}
+	if p2.Accesses <= p1.Accesses {
+		t.Fatalf("two clients accessed no more than one: %d vs %d", p2.Accesses, p1.Accesses)
+	}
+
+	attempted, rejected, err := concurrencyCap(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempted != 2 || rejected != 2 {
+		t.Fatalf("cap exercise: %d/%d rejected, want 2/2", rejected, attempted)
+	}
+
+	rep := &ConcurrencyReport{
+		Host:         CurrentHost(),
+		Seed:         e.Seed,
+		MaxSessions:  concurrencyMaxSessions,
+		Sweep:        []int{1, 2},
+		Points:       []ConcurrencyPoint{p1, p2},
+		CapAttempted: attempted,
+		CapRejected:  rejected,
+	}
+	var buf bytes.Buffer
+	WriteConcurrencyReport(&buf, rep)
+	if buf.Len() == 0 {
+		t.Fatal("no table written")
+	}
+	out, err := MarshalConcurrencyReport(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ConcurrencyReport
+	if err := json.Unmarshal(out, &back); err != nil {
+		t.Fatalf("snapshot does not round-trip: %v", err)
+	}
+	if back.NumCPU <= 0 || back.GOMAXPROCS <= 0 {
+		t.Fatalf("snapshot lost its host header: %+v", back.Host)
+	}
+	if len(back.Points) != 2 || back.CapRejected != 2 {
+		t.Fatalf("snapshot dropped data: %+v", back)
+	}
+}

@@ -42,6 +42,7 @@ type DiskPoint struct {
 // DiskReport is what the `disk` experiment produces; BENCH_disk.json is one
 // checked-in snapshot (deterministic fields only).
 type DiskReport struct {
+	Host
 	Seed   int64       `json:"seed"`
 	Points []DiskPoint `json:"points"`
 }
@@ -133,7 +134,7 @@ func diskRun(e *Env, syncEvery int) (DiskPoint, error) {
 // DiskBench measures the in-memory baseline against the persistent backend
 // at per-commit fsync and at group commit.
 func DiskBench(e *Env) (*DiskReport, error) {
-	rep := &DiskReport{Seed: e.Seed}
+	rep := &DiskReport{Host: CurrentHost(), Seed: e.Seed}
 	for _, syncEvery := range []int{-1, 1, 16} {
 		pt, err := diskRun(e, syncEvery)
 		if err != nil {

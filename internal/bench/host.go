@@ -1,0 +1,19 @@
+package bench
+
+import "runtime"
+
+// Host records the machine context a benchmark snapshot was captured on.
+// Every report that lands in a BENCH_*.json file embeds it, so a snapshot
+// showing a ~1.0x parallel "speedup" is immediately explainable by its
+// gomaxprocs=1 header instead of masquerading as a real result. Traffic
+// counts are machine-independent; wall-clock and throughput numbers are
+// only comparable between snapshots with compatible hosts.
+type Host struct {
+	NumCPU     int `json:"num_cpu"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+}
+
+// CurrentHost samples the running machine.
+func CurrentHost() Host {
+	return Host{NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+}

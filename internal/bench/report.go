@@ -163,7 +163,7 @@ func Experiments() []string {
 	return append(ids,
 		"ablation-blocksize", "ablation-z", "ablation-posmap",
 		"ablation-writeback", "ablation-scheme", "ablation-chained", "ablation-dppad",
-		"sort", "phases", "rounds", "disk")
+		"sort", "phases", "rounds", "disk", "concurrency")
 }
 
 // Run executes one experiment by ID and writes its report.
@@ -182,6 +182,10 @@ func Run(w io.Writer, e *Env, id string) error {
 	}
 	if id == "disk" {
 		_, err := RunDisk(w, e)
+		return err
+	}
+	if id == "concurrency" {
+		_, err := RunConcurrency(w, e)
 		return err
 	}
 	if id == "table1" {

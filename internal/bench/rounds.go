@@ -40,6 +40,7 @@ type RoundsPoint struct {
 // snapshot. Every number is a deterministic traffic count (seeded ORAM
 // randomness), unlike the wall-clock sort report.
 type RoundsReport struct {
+	Host
 	Seed   int64         `json:"seed"`
 	Sweep  []int         `json:"eviction_batches"`
 	Points []RoundsPoint `json:"points"`
@@ -107,7 +108,7 @@ func roundsRun(e *Env, join string, k int) (RoundsPoint, error) {
 // RoundsBench measures the sort-merge and index nested-loop joins across
 // RoundsBatchSweep.
 func RoundsBench(e *Env) (*RoundsReport, error) {
-	rep := &RoundsReport{Seed: e.Seed, Sweep: RoundsBatchSweep}
+	rep := &RoundsReport{Host: CurrentHost(), Seed: e.Seed, Sweep: RoundsBatchSweep}
 	for _, join := range []string{"smj", "inlj"} {
 		var classic float64
 		for _, k := range RoundsBatchSweep {

@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"runtime"
 	"time"
 
 	"oblivjoin/internal/obliv"
@@ -35,10 +34,9 @@ type SortPoint struct {
 // Wall-clock numbers are machine-dependent (NumCPU bounds the achievable
 // speedup), unlike the traffic counts of the figure experiments.
 type SortReport struct {
-	NumCPU     int         `json:"num_cpu"`
-	GOMAXPROCS int         `json:"gomaxprocs"`
-	Seed       int64       `json:"seed"`
-	Points     []SortPoint `json:"points"`
+	Host
+	Seed   int64       `json:"seed"`
+	Points []SortPoint `json:"points"`
 }
 
 // SortWorkerSweep is the pool-size lineup the sort experiment measures.
@@ -76,11 +74,7 @@ func timeOp(fn func() error) (float64, error) {
 // in-memory bitonic sort, the external oblivious sort over an encrypted
 // BlockVector, and a full sort-merge join, each across SortWorkerSweep.
 func SortBench(e *Env) (*SortReport, error) {
-	rep := &SortReport{
-		NumCPU:     runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Seed:       e.Seed,
-	}
+	rep := &SortReport{Host: CurrentHost(), Seed: e.Seed}
 
 	// In-memory bitonic network sort, the acceptance scale of the repo's
 	// BenchmarkBitonicSort.

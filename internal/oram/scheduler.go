@@ -413,3 +413,13 @@ func (o *PathORAM) Flush() error {
 // PendingEvictions reports the number of fetched paths whose write-back is
 // currently deferred.
 func (o *PathORAM) PendingEvictions() int { return len(o.sched.pending) }
+
+// Close settles the instance at a session boundary: every deferred
+// eviction path — the tree's and the recursive position map's — is written
+// back, so no stash state is pinned by pending paths when the serving
+// layer checkpoints the backing store or hands the tree to another
+// session. Close is idempotent (a settled instance flushes vacuously) and
+// the instance remains usable afterwards; it implements io.Closer so a
+// session table can hold heterogeneous per-session resources and close
+// them uniformly.
+func (o *PathORAM) Close() error { return o.Flush() }

@@ -3,6 +3,7 @@ package oram
 import (
 	"bytes"
 	"fmt"
+	"io"
 	mrand "math/rand"
 	"testing"
 
@@ -478,5 +479,39 @@ func TestSchedulerRecursivePosMap(t *testing.T) {
 		if string(got[:len(want)]) != want {
 			t.Fatalf("read %d = %q, want %q", i, got[:len(want)], want)
 		}
+	}
+}
+
+// TestCloseSettlesPendingEvictions pins the session-boundary hook: Close
+// flushes every deferred path, is idempotent, and leaves the instance
+// usable — the serving layer calls it before checkpointing a store another
+// session may pick up.
+func TestCloseSettlesPendingEvictions(t *testing.T) {
+	o := newBatchORAM(t, 64, 16, nil, 8, 23)
+	for i := uint64(0); i < 20; i++ {
+		if err := o.Write(i, []byte{byte(i)}); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if o.PendingEvictions() == 0 {
+		t.Fatal("workload left nothing deferred; test is vacuous")
+	}
+	var c io.Closer = o // the hook must satisfy io.Closer
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := o.PendingEvictions(); n != 0 {
+		t.Fatalf("%d evictions still pending after Close", n)
+	}
+	if err := o.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	// The instance stays usable after Close.
+	got, err := o.Read(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 7 {
+		t.Fatalf("post-Close read = %v", got[0])
 	}
 }

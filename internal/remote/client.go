@@ -1,6 +1,7 @@
 package remote
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -76,20 +77,32 @@ func (o ClientOptions) retryBase() time.Duration {
 // ErrClosed is returned by operations on a closed client.
 var ErrClosed = errors.New("remote: client is closed")
 
+// ErrBusy is the typed admission-control rejection: the server's session
+// table is full (or it is draining for shutdown). Unlike a transient
+// fault it is not retried by the client's backoff loop — the caller
+// decides whether to wait, shed load, or fail over.
+var ErrBusy = errors.New("remote: server at session capacity")
+
 // RemoteError is a permanent failure reported by the server.
-type RemoteError struct{ Msg string }
+type RemoteError struct {
+	Msg string
+	// Busy marks an admission-control rejection (wire StatusBusy).
+	Busy bool
+}
 
 func (e *RemoteError) Error() string { return e.Msg }
 
 // Is preserves sentinel matches across the wire: the server flattens errors
 // to strings, so the client re-recognizes well-known storage sentinels by
 // their (stable, documented) message. This is what lets a caller write
-// errors.Is(err, storage.ErrOutOfRange) and not care whether the store is
-// local or behind the transport.
+// errors.Is(err, storage.ErrOutOfRange) — or errors.Is(err, ErrBusy) —
+// and not care whether the store is local or behind the transport.
 func (e *RemoteError) Is(target error) bool {
 	switch target {
 	case storage.ErrOutOfRange:
 		return strings.Contains(e.Msg, storage.ErrOutOfRange.Error())
+	case ErrBusy:
+		return e.Busy
 	}
 	return false
 }
@@ -102,12 +115,19 @@ func (e *errTransient) Unwrap() error { return e.err }
 
 // Client is a connection-pooled handle to a remote block server. It is safe
 // for concurrent use; each in-flight request holds one pooled connection.
+//
+// A client may carry at most one server session (StartSession); every
+// subsequent request then travels with the session ID and is resolved in
+// the session tenant's store namespace. The session rides the request, not
+// the connection, so it survives connection churn and pool reuse.
 type Client struct {
 	opts ClientOptions
 
-	mu     sync.Mutex
-	idle   []net.Conn
-	closed bool
+	mu      sync.Mutex
+	idle    []net.Conn
+	closed  bool
+	ctx     context.Context
+	session int64
 }
 
 // Dial connects to a block server, verifying reachability with one pooled
@@ -154,8 +174,17 @@ func (c *Client) put(conn net.Conn) {
 	conn.Close()
 }
 
-// Close releases all pooled connections.
+// Close ends the client's server session (if any) and releases all pooled
+// connections.
 func (c *Client) Close() error {
+	c.mu.Lock()
+	sid := c.session
+	c.mu.Unlock()
+	if sid != 0 {
+		// Best-effort goodbye; the server's idle deadline reaps the session
+		// anyway if this races with shutdown or a dead network.
+		_ = c.EndSession()
+	}
 	c.mu.Lock()
 	c.closed = true
 	idle := c.idle
@@ -167,10 +196,96 @@ func (c *Client) Close() error {
 	return nil
 }
 
+// BindContext attaches a context to the client: from now on every request
+// checks it before dialing or retrying, its deadline tightens the
+// connection I/O deadline (net.Conn SetDeadline), and the remaining budget
+// travels to the server in the request's DeadlineMS field so a saturated
+// or fault-shaped server can fail fast instead of serving a reply nobody
+// is waiting for. A nil context unbinds. The binding applies to requests
+// started after the call.
+func (c *Client) BindContext(ctx context.Context) {
+	c.mu.Lock()
+	c.ctx = ctx
+	c.mu.Unlock()
+}
+
+// boundCtx returns the bound context, never nil.
+func (c *Client) boundCtx() context.Context {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ctx != nil {
+		return c.ctx
+	}
+	return context.Background()
+}
+
+// sessionID returns the live session ID, or 0.
+func (c *Client) sessionID() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.session
+}
+
+// Session returns the live session ID (0 = sessionless) so callers can
+// attribute client-side telemetry spans to the server session serving
+// them (the server's own attribution is session.Session.Annotate).
+func (c *Client) Session() int64 { return c.sessionID() }
+
+// StartSession opens a server session scoped to the tenant's store
+// namespace; idle requests a session idle timeout (0 = server default;
+// the server may grant less). All subsequent requests on this client are
+// session-scoped until EndSession. A saturated server yields ErrBusy
+// (match with errors.Is).
+func (c *Client) StartSession(tenant string, idle time.Duration) error {
+	c.mu.Lock()
+	if c.session != 0 {
+		c.mu.Unlock()
+		return errors.New("remote: client already has a session")
+	}
+	c.mu.Unlock()
+	resp, err := c.call(&Request{Op: OpHello, Tenant: tenant, Slots: idle.Milliseconds()})
+	if err != nil {
+		return err
+	}
+	if resp.Session == 0 {
+		return fmt.Errorf("%w: hello response carries no session", ErrMalformed)
+	}
+	c.mu.Lock()
+	c.session = resp.Session
+	c.mu.Unlock()
+	return nil
+}
+
+// EndSession ends the server session, releasing its admission slot and
+// checkpointing the stores it touched on a persistent server. The client
+// reverts to sessionless operation.
+func (c *Client) EndSession() error {
+	c.mu.Lock()
+	sid := c.session
+	c.session = 0
+	c.mu.Unlock()
+	if sid == 0 {
+		return nil
+	}
+	_, err := c.call(&Request{Op: OpBye, Session: sid})
+	return err
+}
+
 // roundTrip performs one request over one connection under the per-request
-// deadline. Network-level failures come back wrapped as transient.
-func (c *Client) roundTrip(conn net.Conn, req *Request) (*Response, error) {
-	if err := conn.SetDeadline(time.Now().Add(c.opts.requestTimeout())); err != nil {
+// deadline, tightened by the bound context's deadline if that is sooner.
+// The remaining budget is declared to the server in DeadlineMS.
+// Network-level failures come back wrapped as transient.
+func (c *Client) roundTrip(ctx context.Context, conn net.Conn, req *Request) (*Response, error) {
+	deadline := time.Now().Add(c.opts.requestTimeout())
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	if ms := time.Until(deadline).Milliseconds(); ms > 0 {
+		req.DeadlineMS = ms
+	} else {
+		req.DeadlineMS = 1 // declare an (expired) deadline rather than none
+	}
+	if err := conn.SetDeadline(deadline); err != nil {
 		return nil, &errTransient{err}
 	}
 	if err := WriteFrame(conn, EncodeRequest(req)); err != nil {
@@ -185,16 +300,31 @@ func (c *Client) roundTrip(conn net.Conn, req *Request) (*Response, error) {
 
 // call executes a request with bounded retry and exponential backoff on
 // transient failures. Block writes are idempotent (absolute index, absolute
-// contents), so retrying after an ambiguous network failure is safe.
+// contents), so retrying after an ambiguous network failure is safe. A
+// bound context stops the retry loop at its deadline or cancellation —
+// a hung server costs at most one I/O deadline, never an unbounded wait.
 func (c *Client) call(req *Request) (*Response, error) {
+	ctx := c.boundCtx()
+	if req.Session == 0 && req.Op != OpHello {
+		req.Session = c.sessionID()
+	}
 	backoff := c.opts.retryBase()
 	var lastErr error
 	for attempt := 0; attempt <= c.opts.maxRetries(); attempt++ {
 		if attempt > 0 {
-			time.Sleep(backoff)
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+			}
 			if backoff *= 2; backoff > time.Second {
 				backoff = time.Second
 			}
+		}
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return nil, fmt.Errorf("remote: %s %q: %w (last error: %v)", req.Op, req.Store, err, lastErr)
+			}
+			return nil, fmt.Errorf("remote: %s %q: %w", req.Op, req.Store, err)
 		}
 		conn, err := c.get()
 		if err != nil {
@@ -204,7 +334,7 @@ func (c *Client) call(req *Request) (*Response, error) {
 			lastErr = err
 			continue
 		}
-		resp, err := c.roundTrip(conn, req)
+		resp, err := c.roundTrip(ctx, conn, req)
 		if err != nil {
 			// The connection is in an unknown state mid-protocol: discard it.
 			conn.Close()
@@ -222,6 +352,8 @@ func (c *Client) call(req *Request) (*Response, error) {
 		case StatusTransient:
 			lastErr = &errTransient{errors.New(resp.Msg)}
 			continue
+		case StatusBusy:
+			return nil, &RemoteError{Msg: resp.Msg, Busy: true}
 		default:
 			return nil, &RemoteError{Msg: resp.Msg}
 		}

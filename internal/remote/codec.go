@@ -58,6 +58,15 @@ const (
 	// in one round trip — the multi-path RPC behind the ORAM scheduler's
 	// deferred-eviction flush riding a path download.
 	OpExchange
+	// OpHello opens a client session: Tenant names the namespace every
+	// store the session touches is qualified into, Slots carries the
+	// requested idle timeout in milliseconds (0 = server default). The
+	// response echoes the granted timeout in Slots and the session ID in
+	// Session. A saturated server answers StatusBusy.
+	OpHello
+	// OpBye ends the session named by Session, releasing its admission
+	// slot and checkpointing the stores it touched on a persistent server.
+	OpBye
 )
 
 func (o Op) String() string {
@@ -76,6 +85,10 @@ func (o Op) String() string {
 		return "create"
 	case OpExchange:
 		return "exchange"
+	case OpHello:
+		return "hello"
+	case OpBye:
+		return "bye"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}
@@ -86,11 +99,14 @@ type Status uint8
 
 // Response statuses. StatusTransient marks failures worth retrying
 // (injected faults, shedding); StatusError marks permanent ones
-// (out-of-range index, unknown store, malformed request).
+// (out-of-range index, unknown store, malformed request); StatusBusy is
+// the admission-control rejection — the session table is full, and the
+// client should surface a typed error rather than hammer the retry path.
 const (
 	StatusOK Status = iota
 	StatusError
 	StatusTransient
+	StatusBusy
 )
 
 // Request is one client→server operation.
@@ -109,6 +125,17 @@ type Request struct {
 	// WriteIndices carries the write index list for OpExchange, aligned
 	// with Blocks; empty for every other op.
 	WriteIndices []int64
+	// Tenant carries the namespace for OpHello; empty otherwise.
+	Tenant string
+	// Session is the session this request executes under (0 = none). The
+	// server qualifies Store into the session's tenant namespace.
+	Session int64
+	// DeadlineMS is the client's remaining per-request deadline budget in
+	// milliseconds at send time (0 = none). The server refuses to start
+	// work it already knows cannot finish inside the budget — injected
+	// WAN latency included — so a saturated or shaped server fails fast
+	// instead of wedging the session.
+	DeadlineMS int64
 }
 
 // Response is one server→client reply.
@@ -118,9 +145,14 @@ type Response struct {
 	Msg string
 	// Blocks carries read results.
 	Blocks [][]byte
-	// Slots and BlockSize carry store geometry for OpStat/OpCreate replies.
+	// Slots and BlockSize carry store geometry for OpStat/OpCreate replies
+	// (and the granted idle timeout in milliseconds for OpHello).
 	Slots     int64
 	BlockSize int64
+	// Session carries the session ID granted by OpHello; 0 otherwise. It is
+	// encoded only when non-zero so replies to pre-session clients stay
+	// byte-identical to the old wire format.
+	Session int64
 }
 
 // Codec errors.
@@ -234,6 +266,15 @@ func EncodeRequest(req *Request) []byte {
 	for _, i := range req.WriteIndices {
 		b = binary.AppendUvarint(b, uint64(i))
 	}
+	// The session section is appended only when in use, so a sessionless
+	// request stays byte-identical to the pre-session wire format and an
+	// old server keeps decoding it.
+	if req.Tenant != "" || req.Session != 0 || req.DeadlineMS != 0 {
+		b = binary.AppendUvarint(b, uint64(len(req.Tenant)))
+		b = append(b, req.Tenant...)
+		b = binary.AppendUvarint(b, uint64(req.Session))
+		b = binary.AppendUvarint(b, uint64(req.DeadlineMS))
+	}
 	return b
 }
 
@@ -246,7 +287,7 @@ func DecodeRequest(payload []byte) (*Request, error) {
 	}
 	op := Op(r.b[0])
 	r.b = r.b[1:]
-	if op < OpRead || op > OpExchange {
+	if op < OpRead || op > OpBye {
 		return nil, fmt.Errorf("%w: unknown op %d", ErrMalformed, op)
 	}
 	req := &Request{Op: op}
@@ -307,6 +348,25 @@ func DecodeRequest(payload []byte) (*Request, error) {
 			}
 		}
 	}
+	// The session section (tenant, session ID, deadline) trails WriteIndices
+	// under the same skew rule: absent means a sessionless request from any
+	// wire-format generation, so old traffic decodes unchanged.
+	if len(r.b) > 0 {
+		tenant, err := r.bytes()
+		if err != nil {
+			return nil, err
+		}
+		if len(tenant) > maxStoreName {
+			return nil, fmt.Errorf("%w: tenant name of %d bytes", ErrMalformed, len(tenant))
+		}
+		req.Tenant = string(tenant)
+		if req.Session, err = r.int64(); err != nil {
+			return nil, err
+		}
+		if req.DeadlineMS, err = r.int64(); err != nil {
+			return nil, err
+		}
+	}
 	if len(r.b) != 0 {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(r.b))
 	}
@@ -326,6 +386,12 @@ func EncodeResponse(resp *Response) []byte {
 	}
 	b = binary.AppendUvarint(b, uint64(resp.Slots))
 	b = binary.AppendUvarint(b, uint64(resp.BlockSize))
+	// Only session-opening replies carry the trailing session ID; every
+	// other response stays byte-identical to the pre-session format, so a
+	// pre-session client never sees trailing bytes it would reject.
+	if resp.Session != 0 {
+		b = binary.AppendUvarint(b, uint64(resp.Session))
+	}
 	return b
 }
 
@@ -337,7 +403,7 @@ func DecodeResponse(payload []byte) (*Response, error) {
 	}
 	status := Status(r.b[0])
 	r.b = r.b[1:]
-	if status > StatusTransient {
+	if status > StatusBusy {
 		return nil, fmt.Errorf("%w: unknown status %d", ErrMalformed, status)
 	}
 	resp := &Response{Status: status}
@@ -363,6 +429,12 @@ func DecodeResponse(payload []byte) (*Response, error) {
 	}
 	if resp.BlockSize, err = r.int64(); err != nil {
 		return nil, err
+	}
+	// Trailing session ID, present only on OpHello replies.
+	if len(r.b) > 0 {
+		if resp.Session, err = r.int64(); err != nil {
+			return nil, err
+		}
 	}
 	if len(r.b) != 0 {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(r.b))

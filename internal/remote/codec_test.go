@@ -23,6 +23,13 @@ func TestRequestRoundTrip(t *testing.T) {
 			WriteIndices: []int64{1, 2}, Blocks: [][]byte{[]byte("wa"), []byte("wb")}},
 		{Op: OpExchange, Store: "t1.data", Indices: []int64{5},
 			WriteIndices: []int64{9}, Blocks: [][]byte{[]byte("solo")}},
+		// Session handshake and session-scoped traffic.
+		{Op: OpHello, Tenant: "acme", Slots: 30_000},
+		{Op: OpHello, Tenant: "weird/tenant:name"},
+		{Op: OpBye, Session: 17},
+		{Op: OpRead, Store: "t1.data", Indices: []int64{7}, Session: 3, DeadlineMS: 2500},
+		{Op: OpExchange, Store: "t1.data", Indices: []int64{0, 3},
+			WriteIndices: []int64{1}, Blocks: [][]byte{[]byte("w")}, Session: 9},
 	}
 	for _, req := range cases {
 		got, err := DecodeRequest(EncodeRequest(req))
@@ -41,6 +48,8 @@ func TestResponseRoundTrip(t *testing.T) {
 		{Status: StatusOK, Slots: 64, BlockSize: 4144},
 		{Status: StatusError, Msg: "remote: unknown store"},
 		{Status: StatusTransient, Msg: "injected"},
+		{Status: StatusBusy, Msg: "remote: session table full"},
+		{Status: StatusOK, Slots: 60_000, Session: 42},
 	}
 	for i, resp := range cases {
 		got, err := DecodeResponse(EncodeResponse(resp))
@@ -124,6 +133,35 @@ func TestDecodeRequestLegacyFormat(t *testing.T) {
 	}
 }
 
+// TestSessionlessWireCompat pins the session protocol revision's skew rule
+// from the other side: a request that uses no session features must encode
+// byte-identically to the pre-session wire format (no trailing session
+// section), and a response without a session ID likewise — so new clients
+// keep talking to old servers and old clients to new servers.
+func TestSessionlessWireCompat(t *testing.T) {
+	req := &Request{Op: OpReadMany, Store: "x", Indices: []int64{0, 5}}
+	b := EncodeRequest(req)
+	// Pre-session format = current format minus nothing: the frame must end
+	// with the empty WriteIndices varint, exactly as before the revision.
+	if b[len(b)-1] != 0 {
+		t.Fatalf("sessionless request grew a trailing section: % x", b)
+	}
+	got, err := DecodeRequest(b)
+	if err != nil || !reflect.DeepEqual(got, req) {
+		t.Fatalf("sessionless round trip: %+v, %v", got, err)
+	}
+	resp := &Response{Status: StatusOK, Slots: 8, BlockSize: 32}
+	rb := EncodeResponse(resp)
+	// A zero session ID must not be encoded at all.
+	want := len(EncodeResponse(&Response{Status: StatusOK, Slots: 8, BlockSize: 32, Session: 0}))
+	if len(rb) != want {
+		t.Fatalf("zero session changed the encoding: %d vs %d bytes", len(rb), want)
+	}
+	if _, err := DecodeResponse(rb); err != nil {
+		t.Fatalf("sessionless response rejected: %v", err)
+	}
+}
+
 func TestDecodeRequestMalformed(t *testing.T) {
 	base := EncodeRequest(&Request{Op: OpWriteMany, Store: "s", Indices: []int64{1, 2}, Blocks: [][]byte{[]byte("aa"), []byte("bb")}})
 	cases := map[string][]byte{
@@ -172,6 +210,11 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(legacy[:len(legacy)-1])
 	f.Add(EncodeResponse(&Response{Status: StatusOK, Blocks: [][]byte{[]byte("blk")}}))
 	f.Add(EncodeResponse(&Response{Status: StatusTransient, Msg: "retry"}))
+	// Session protocol revision: handshake, session-scoped op, busy reply.
+	f.Add(EncodeRequest(&Request{Op: OpHello, Tenant: "acme", Slots: 30_000}))
+	f.Add(EncodeRequest(&Request{Op: OpRead, Store: "t", Indices: []int64{1}, Session: 5, DeadlineMS: 900}))
+	f.Add(EncodeResponse(&Response{Status: StatusBusy, Msg: "full"}))
+	f.Add(EncodeResponse(&Response{Status: StatusOK, Slots: 60_000, Session: 7}))
 	var framed bytes.Buffer
 	_ = WriteFrame(&framed, EncodeRequest(&Request{Op: OpStat, Store: "t"}))
 	f.Add(framed.Bytes())

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"oblivjoin/internal/session"
 	"oblivjoin/internal/storage"
 )
 
@@ -93,6 +94,17 @@ type ServerOptions struct {
 	// plug in diskstore.Dir.Opener to make the server persistent. Nil means
 	// in-memory MemStores, which vanish on shutdown.
 	OpenStore storage.Opener
+	// MaxSessions bounds the concurrent session table; 0 means the session
+	// package default (64). Sessionless clients are unaffected.
+	MaxSessions int
+	// SessionTimeout is the idle deadline after which a silent session is
+	// reaped; 0 means the session package default (2 minutes). OpHello may
+	// request a shorter timeout per session.
+	SessionTimeout time.Duration
+	// DrainTimeout bounds how long Close waits for live sessions to end
+	// before closing connections and stores anyway; 0 means 5s. A server
+	// with no live sessions drains instantly.
+	DrainTimeout time.Duration
 }
 
 func (o ServerOptions) maxFrame() int {
@@ -109,6 +121,13 @@ func (o ServerOptions) maxStoreBytes() int64 {
 	return o.MaxStoreBytes
 }
 
+func (o ServerOptions) drainTimeout() time.Duration {
+	if o.DrainTimeout <= 0 {
+		return 5 * time.Second
+	}
+	return o.DrainTimeout
+}
+
 type connState struct {
 	c net.Conn
 	// busy marks a request mid-execution; graceful shutdown lets busy
@@ -122,8 +141,15 @@ type connState struct {
 // Server hosts named block stores behind the wire protocol. It is the
 // paper's untrusted storage server: it executes block reads and writes
 // verbatim and performs no other computation.
+//
+// Concurrency: every hosted store is owned by a session.Broker guard, so
+// rounds from concurrent connections are serialized per store — the ORAM
+// scheduler's single-client execution model holds for each tree no matter
+// how many sessions the server admits (see internal/session).
 type Server struct {
-	opts ServerOptions
+	opts     ServerOptions
+	sessions *session.Manager
+	broker   *session.Broker
 
 	mu        sync.Mutex
 	stores    map[string]storage.Store
@@ -139,21 +165,34 @@ type Server struct {
 // NewServer returns a server with no stores registered.
 func NewServer(opts ServerOptions) *Server {
 	return &Server{
-		opts:   opts,
+		opts: opts,
+		sessions: session.NewManager(session.Options{
+			MaxSessions: opts.MaxSessions,
+			IdleTimeout: opts.SessionTimeout,
+		}),
+		broker: session.NewBroker(),
 		stores: make(map[string]storage.Store),
 		counts: make(map[string]*counterSet),
 		conns:  make(map[*connState]struct{}),
 	}
 }
 
-// Register hosts an existing store under the given name.
+// Sessions exposes the admission table for metrics endpoints.
+func (s *Server) Sessions() *session.Manager { return s.sessions }
+
+// BrokerStats snapshots the access broker's round/contention counters.
+func (s *Server) BrokerStats() session.BrokerStats { return s.broker.Stats() }
+
+// Register hosts an existing store under the given name. The store is
+// placed under the access broker, so traffic against it is serialized
+// round-by-round with every other connection's.
 func (s *Server) Register(name string, st storage.Store) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.stores[name]; ok {
 		return fmt.Errorf("remote: store %q already registered", name)
 	}
-	s.stores[name] = st
+	s.stores[name] = s.broker.Wrap(name, st)
 	s.counts[name] = &counterSet{}
 	return nil
 }
@@ -298,6 +337,12 @@ func (s *Server) serveConn(cs *connState) {
 func (s *Server) handle(req *Request) *Response {
 	if f := s.opts.Faults; f != nil {
 		delay, transient := f.Next(req)
+		// A client-declared deadline the injected latency alone would blow
+		// fails fast: the client has already given up by the time a reply
+		// could land, so serving the request would only burn a round.
+		if req.DeadlineMS > 0 && delay >= time.Duration(req.DeadlineMS)*time.Millisecond {
+			return &Response{Status: StatusError, Msg: "remote: deadline exceeded before service"}
+		}
 		if delay > 0 {
 			time.Sleep(delay)
 		}
@@ -305,12 +350,32 @@ func (s *Server) handle(req *Request) *Response {
 			return &Response{Status: StatusTransient, Msg: "remote: injected transient fault"}
 		}
 	}
+	switch req.Op {
+	case OpHello:
+		return s.handleHello(req)
+	case OpBye:
+		return s.handleBye(req)
+	}
+	// Resolve the store name through the session layer: session-scoped
+	// requests are qualified into their tenant's namespace; sessionless
+	// requests may not address qualified names directly.
+	name := req.Store
+	if req.Session != 0 {
+		sess, err := s.sessions.Get(req.Session)
+		if err != nil {
+			return &Response{Status: StatusError, Msg: err.Error()}
+		}
+		name = sess.Qualify(req.Store)
+		sess.CountRequest(name)
+	} else if session.Reserved(name) {
+		return &Response{Status: StatusError, Msg: fmt.Sprintf("remote: store %q is in a tenant namespace", name)}
+	}
 	if req.Op == OpCreate {
-		return s.handleCreate(req)
+		return s.handleCreate(req, name)
 	}
 	s.mu.Lock()
-	st, ok := s.stores[req.Store]
-	c := s.counts[req.Store]
+	st, ok := s.stores[name]
+	c := s.counts[name]
 	s.mu.Unlock()
 	if !ok {
 		return &Response{Status: StatusError, Msg: fmt.Sprintf("remote: unknown store %q", req.Store)}
@@ -412,14 +477,50 @@ func exchange(st storage.Store, writeIdxs []int64, writeData [][]byte, readIdxs 
 	return readMany(st, readIdxs)
 }
 
-func (s *Server) handleCreate(req *Request) *Response {
+// handleHello admits a new session. The request's Slots field carries the
+// desired idle timeout in milliseconds; the response echoes the granted
+// timeout in Slots and the session ID in Session. Saturation is a typed
+// busy status, not an error: the client should back off or fail over.
+func (s *Server) handleHello(req *Request) *Response {
+	sess, err := s.sessions.Open(req.Tenant, time.Duration(req.Slots)*time.Millisecond)
+	if err != nil {
+		if errors.Is(err, session.ErrSaturated) {
+			return &Response{Status: StatusBusy, Msg: err.Error()}
+		}
+		return &Response{Status: StatusError, Msg: err.Error()}
+	}
+	sess.CountRequest("")
+	return &Response{Slots: sess.IdleTimeout().Milliseconds(), Session: sess.ID()}
+}
+
+// handleBye ends a session, checkpointing the stores it touched so its
+// committed batches are durable on a persistent backend even while other
+// sessions keep the server busy. Ending an unknown or already-expired
+// session succeeds: the client's intent — no live session — already holds.
+func (s *Server) handleBye(req *Request) *Response {
+	sess, err := s.sessions.Get(req.Session)
+	if err != nil {
+		return &Response{}
+	}
+	touched := sess.Touched()
+	s.sessions.End(sess.ID())
+	if err := s.broker.Checkpoint(touched); err != nil {
+		return &Response{Status: StatusError, Msg: fmt.Sprintf("remote: session checkpoint: %v", err)}
+	}
+	return &Response{}
+}
+
+// handleCreate provisions a store under its resolved (possibly
+// tenant-qualified) name. The client-visible name in error messages stays
+// the raw request name.
+func (s *Server) handleCreate(req *Request, name string) *Response {
 	if req.Slots < 0 || req.BlockSize <= 0 {
 		return &Response{Status: StatusError, Msg: fmt.Sprintf("remote: bad geometry %d×%d", req.Slots, req.BlockSize)}
 	}
 	need := req.Slots * req.BlockSize
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.stores[req.Store]; ok {
+	if _, ok := s.stores[name]; ok {
 		return &Response{Status: StatusError, Msg: fmt.Sprintf("remote: store %q already exists", req.Store)}
 	}
 	if s.createdBy+need > s.opts.maxStoreBytes() {
@@ -428,27 +529,36 @@ func (s *Server) handleCreate(req *Request) *Response {
 	s.createdBy += need
 	// The server-side store carries no meter: accounting is the client's
 	// concern, the server only counts requests.
+	var st storage.Store
 	if open := s.opts.OpenStore; open != nil {
-		st, err := open(req.Store, req.Slots, int(req.BlockSize))
+		var err error
+		st, err = open(name, req.Slots, int(req.BlockSize))
 		if err != nil {
 			s.createdBy -= need
 			return &Response{Status: StatusError, Msg: fmt.Sprintf("remote: create %q: %v", req.Store, err)}
 		}
-		s.stores[req.Store] = st
 	} else {
-		s.stores[req.Store] = storage.NewMemStore(req.Store, req.Slots, int(req.BlockSize), nil)
+		st = storage.NewMemStore(name, req.Slots, int(req.BlockSize), nil)
 	}
+	s.stores[name] = s.broker.Wrap(name, st)
 	c := &counterSet{}
 	c.requests.Add(1)
-	s.counts[req.Store] = c
+	s.counts[name] = c
 	return &Response{Slots: req.Slots, BlockSize: req.BlockSize}
 }
 
-// Close gracefully shuts the server down: it stops accepting connections,
-// lets every in-flight request complete and its response flush, closes all
-// connections, waits for the serving goroutines to exit, and then closes
-// every hosted store that has a Close method — for a persistent backend
-// that is the checkpoint that makes all committed batches durable.
+// Close gracefully shuts the server down in three phases. First it stops
+// accepting connections and drains live sessions: new OpHello traffic is
+// refused while existing connections keep serving, so clients can finish
+// in-flight rounds and end their sessions (or be reaped by their idle
+// deadlines), bounded by DrainTimeout. Only then are connections closed —
+// in-flight requests complete and their responses flush — and finally,
+// with the serving goroutines gone and the stores quiescent, every hosted
+// store with a Close method is closed; for a persistent backend that is
+// the checkpoint that makes all committed batches durable. Before the
+// drain phase existed, a persistent store could be checkpointed while a
+// session was mid-batch, tearing its final eviction set across the
+// shutdown boundary.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closing {
@@ -458,6 +568,15 @@ func (s *Server) Close() error {
 	}
 	s.closing = true
 	ln := s.ln
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	// Drain: existing connections still serve (the serving goroutines only
+	// stop on connection close), so sessions can finish and say goodbye.
+	s.sessions.Drain(s.opts.drainTimeout())
+	s.mu.Lock()
 	for cs := range s.conns {
 		if cs.busy {
 			cs.closeAfter = true
@@ -468,10 +587,6 @@ func (s *Server) Close() error {
 		}
 	}
 	s.mu.Unlock()
-	var err error
-	if ln != nil {
-		err = ln.Close()
-	}
 	s.wg.Wait()
 	// No request can be in flight now, so the stores are quiescent.
 	s.mu.Lock()

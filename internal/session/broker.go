@@ -1,0 +1,278 @@
+package session
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"oblivjoin/internal/storage"
+)
+
+// Broker is the ORAM access broker: it owns every store the server hosts
+// and serializes concurrent sessions' traffic against each one,
+// batch-round by batch-round. The PR 4 scheduler's invariants — stash
+// consistency across deferred evictions, failure-atomic flush, exchange
+// ordering (writes land before reads) — are stated for a single client
+// executing rounds one at a time; the broker restores exactly that
+// execution model per store under concurrency by making every round a
+// critical section. Rounds against different stores proceed in parallel,
+// which is safe because the scheduler's state is per-tree and trees never
+// share a store.
+//
+// Obliviousness of the interleaving: a Guard treats each round as an
+// opaque unit — it never reads indices, payloads, or batch sizes to decide
+// anything; the only scheduling input is which goroutine reached the mutex
+// first, i.e. request arrival order. The merged trace the untrusted server
+// observes is therefore a timing-dependent shuffle of per-session traces,
+// and each per-session projection is identical to the trace that session
+// produces running alone (asserted by the concurrency e2e test). Since
+// every per-session trace already satisfies Definition 1's leakage bound,
+// so does any timing-only merge of them.
+type Broker struct {
+	mu     sync.Mutex
+	guards map[string]*Guard
+}
+
+// NewBroker returns a broker owning no stores.
+func NewBroker() *Broker {
+	return &Broker{guards: make(map[string]*Guard)}
+}
+
+// Wrap places a store under the broker's ownership and returns the Guard
+// all traffic must go through. Wrapping the same name twice returns the
+// original Guard — the second store is ignored, so concurrent opens of one
+// name cannot split its traffic across two locks.
+func (b *Broker) Wrap(name string, st storage.Store) *Guard {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if g, ok := b.guards[name]; ok {
+		return g
+	}
+	g := &Guard{name: name, st: st}
+	b.guards[name] = g
+	return g
+}
+
+// Guard returns the guard for a wrapped store, or nil.
+func (b *Broker) Guard(name string) *Guard {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.guards[name]
+}
+
+// BrokerStats aggregates round accounting across all guarded stores.
+type BrokerStats struct {
+	// Stores is the number of guarded stores.
+	Stores int
+	// Rounds counts batch rounds executed under a guard.
+	Rounds int64
+	// Contended counts rounds that found the guard held by another
+	// session's round and had to wait — the broker's measure of
+	// cross-session interleaving pressure.
+	Contended int64
+}
+
+// Stats snapshots the broker's aggregate counters.
+func (b *Broker) Stats() BrokerStats {
+	b.mu.Lock()
+	guards := make([]*Guard, 0, len(b.guards))
+	for _, g := range b.guards {
+		guards = append(guards, g)
+	}
+	b.mu.Unlock()
+	st := BrokerStats{Stores: len(guards)}
+	for _, g := range guards {
+		st.Rounds += g.rounds.Load()
+		st.Contended += g.contended.Load()
+	}
+	return st
+}
+
+// syncer is the optional checkpoint hook persistent stores expose
+// (diskstore.Store.Sync); see Checkpoint.
+type syncer interface{ Sync() error }
+
+// Checkpoint syncs the named stores if their backends support it — the
+// session-boundary durability hook: when a session ends, the stores it
+// touched are checkpointed so its committed batches survive a crash even
+// while other sessions keep the server busy. Unknown names and
+// non-syncable backends are skipped; the first sync error is returned
+// after all stores have been attempted.
+func (b *Broker) Checkpoint(names []string) error {
+	var first error
+	for _, name := range names {
+		g := b.Guard(name)
+		if g == nil {
+			continue
+		}
+		s, ok := g.st.(syncer)
+		if !ok {
+			continue
+		}
+		g.lock()
+		err := s.Sync()
+		g.mu.Unlock()
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Guard serializes all traffic against one store. It implements the full
+// ExchangeStore surface regardless of the wrapped store's capabilities:
+// missing batch support is emulated per-block *inside* the critical
+// section, which keeps even the emulated round atomic — stronger than the
+// unguarded server fallback, which could interleave with other traffic
+// mid-batch. Error semantics pass through unchanged (out-of-range errors
+// still match storage.ErrOutOfRange via errors.Is).
+type Guard struct {
+	name string
+	st   storage.Store
+	mu   sync.Mutex
+
+	rounds, contended atomic.Int64
+}
+
+// Name returns the store name the guard was registered under.
+func (g *Guard) Name() string { return g.name }
+
+// Unwrap returns the guarded store. Callers must not perform traffic on
+// it directly — the accessor exists for capability checks and tests.
+func (g *Guard) Unwrap() storage.Store { return g.st }
+
+// lock acquires the round mutex, counting the acquisition and whether it
+// had to wait behind another session's round.
+func (g *Guard) lock() {
+	if !g.mu.TryLock() {
+		g.contended.Add(1)
+		g.mu.Lock()
+	}
+	g.rounds.Add(1)
+}
+
+// Rounds and Contended expose the per-store counters.
+func (g *Guard) Rounds() int64    { return g.rounds.Load() }
+func (g *Guard) Contended() int64 { return g.contended.Load() }
+
+// Len implements storage.Store.
+func (g *Guard) Len() int64 {
+	g.lock()
+	defer g.mu.Unlock()
+	return g.st.Len()
+}
+
+// BlockSize implements storage.Store. Geometry is immutable, so no round
+// is taken.
+func (g *Guard) BlockSize() int { return g.st.BlockSize() }
+
+// Read implements storage.Store.
+func (g *Guard) Read(i int64) ([]byte, error) {
+	g.lock()
+	defer g.mu.Unlock()
+	return g.st.Read(i)
+}
+
+// Write implements storage.Store.
+func (g *Guard) Write(i int64, data []byte) error {
+	g.lock()
+	defer g.mu.Unlock()
+	return g.st.Write(i, data)
+}
+
+// ReadMany implements storage.BatchStore as one atomic round.
+func (g *Guard) ReadMany(idxs []int64) ([][]byte, error) {
+	if len(idxs) == 0 {
+		return nil, nil
+	}
+	g.lock()
+	defer g.mu.Unlock()
+	if b, ok := g.st.(storage.BatchStore); ok {
+		return b.ReadMany(idxs)
+	}
+	out := make([][]byte, len(idxs))
+	for k, i := range idxs {
+		blk, err := g.st.Read(i)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = blk
+	}
+	return out, nil
+}
+
+// WriteMany implements storage.BatchStore as one atomic round, applying
+// positions in slice order so duplicate indices stay last-writer-wins.
+func (g *Guard) WriteMany(idxs []int64, data [][]byte) error {
+	if len(idxs) == 0 && len(data) == 0 {
+		return nil
+	}
+	g.lock()
+	defer g.mu.Unlock()
+	return g.writeManyLocked(idxs, data)
+}
+
+func (g *Guard) writeManyLocked(idxs []int64, data [][]byte) error {
+	if b, ok := g.st.(storage.BatchStore); ok {
+		return b.WriteMany(idxs, data)
+	}
+	if len(idxs) != len(data) {
+		return fmt.Errorf("storage: batch write of %d blocks with %d payloads (%s)", len(idxs), len(data), g.name)
+	}
+	for k, i := range idxs {
+		if err := g.st.Write(i, data[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Exchange implements storage.ExchangeStore as one atomic round: all
+// writes land, then the reads are served, with no other session's round
+// in between — exactly the ordering the deferred-eviction flush relies on.
+func (g *Guard) Exchange(writeIdxs []int64, writeData [][]byte, readIdxs []int64) ([][]byte, error) {
+	if len(writeIdxs) == 0 && len(readIdxs) == 0 {
+		return nil, nil
+	}
+	g.lock()
+	defer g.mu.Unlock()
+	if x, ok := g.st.(storage.ExchangeStore); ok {
+		return x.Exchange(writeIdxs, writeData, readIdxs)
+	}
+	if err := g.writeManyLocked(writeIdxs, writeData); err != nil {
+		return nil, err
+	}
+	if len(readIdxs) == 0 {
+		return nil, nil
+	}
+	if b, ok := g.st.(storage.BatchStore); ok {
+		return b.ReadMany(readIdxs)
+	}
+	out := make([][]byte, len(readIdxs))
+	for k, i := range readIdxs {
+		blk, err := g.st.Read(i)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = blk
+	}
+	return out, nil
+}
+
+// Close implements io.Closer, forwarding to the wrapped store if it is
+// closable. The final round lock is taken so a close cannot cut into a
+// session's in-flight round.
+func (g *Guard) Close() error {
+	g.mu.Lock() // not a round; no accounting
+	defer g.mu.Unlock()
+	if c, ok := g.st.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+var (
+	_ storage.ExchangeStore = (*Guard)(nil)
+	_ io.Closer             = (*Guard)(nil)
+)

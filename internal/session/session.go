@@ -1,0 +1,418 @@
+// Package session is the multi-client serving layer between the remote
+// block-store server and its storage backends. The paper's cost model
+// (Theorems 1–4) prices a single query; a production deployment serves many
+// simultaneous queries, and this package supplies the three pieces that
+// makes safe:
+//
+//   - Per-tenant namespaces. Every store a session touches is qualified
+//     into its tenant's namespace by an injective name mapping (Qualify),
+//     so concurrent clients can neither see nor address each other's ORAM
+//     trees. Qualified names flow unchanged through the diskstore.Dir
+//     naming seam, which escapes them again for the filesystem.
+//
+//   - Admission control. The Manager holds a bounded session table with
+//     per-session idle deadlines. A saturated server rejects new sessions
+//     with ErrSaturated — surfaced on the wire as a typed busy status —
+//     instead of queueing unbounded work, and expired sessions are reaped
+//     so a dead client cannot pin a slot.
+//
+//   - The ORAM access broker (broker.go), which owns each hosted store and
+//     serializes concurrent sessions' batch rounds so every round executes
+//     atomically, preserving the ORAM scheduler's deferred-eviction
+//     invariants under concurrency.
+//
+// Obliviousness under concurrency: the layer never inspects block indices
+// or ciphertexts. Admission decisions depend on the session count, idle
+// clocks, and arrival order; the broker's interleaving of rounds depends
+// on arrival timing alone (see broker.go). The server-visible trace is
+// therefore a timing-dependent merge of per-session traces, each of which
+// is exactly the trace the same query produces when run serially — the
+// adversary learns which tenant sent each (already attributable) request
+// and nothing about the data beyond Definition 1's leakage. DESIGN.md
+// §2.11 gives the full argument.
+package session
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"oblivjoin/internal/telemetry"
+)
+
+// Typed admission and lookup failures. The remote server maps ErrSaturated
+// to the wire's busy status and the others to permanent errors whose
+// messages the client re-recognizes (same scheme as storage.ErrOutOfRange).
+var (
+	// ErrSaturated is the admission-control rejection: the session table is
+	// full (or the server is draining) and the client should back off or
+	// fail over, not retry-hammer.
+	ErrSaturated = errors.New("session: server at session capacity")
+	// ErrExpired marks a session reaped by its idle deadline.
+	ErrExpired = errors.New("session: session expired")
+	// ErrUnknown marks a session ID the table has no record of.
+	ErrUnknown = errors.New("session: unknown session")
+)
+
+// reservedPrefix marks qualified store names on the server. Sessionless
+// requests may not address names under it, which is what makes tenant
+// namespaces closed: only a session scoped to tenant T can produce T's
+// prefix.
+const reservedPrefix = "t:"
+
+// Qualify maps a (tenant, store) pair into the single server-wide store
+// namespace: "t:" + escape(tenant) + "/" + store. The escaping passes
+// alphanumerics, dot, dash, and underscore through and %XX-encodes
+// everything else (including '/' and '%'), so the escaped tenant never
+// contains the '/' delimiter and the mapping is injective: the first '/'
+// always splits tenant from store, distinct tenants have distinct escaped
+// forms, and the store suffix is carried verbatim. The qualified name is
+// an ordinary store name to every layer below — the diskstore.Dir seam
+// escapes it again, independently, for the filesystem.
+func Qualify(tenant, store string) string {
+	var b strings.Builder
+	b.Grow(len(reservedPrefix) + len(tenant) + 1 + len(store))
+	b.WriteString(reservedPrefix)
+	for i := 0; i < len(tenant); i++ {
+		c := tenant[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '-', c == '_':
+			b.WriteByte(c)
+		default:
+			fmt.Fprintf(&b, "%%%02X", c)
+		}
+	}
+	b.WriteByte('/')
+	b.WriteString(store)
+	return b.String()
+}
+
+// Reserved reports whether a raw store name lies inside the qualified
+// namespace. The server rejects such names from sessionless requests so
+// tenant isolation cannot be bypassed by addressing a qualified name
+// directly.
+func Reserved(name string) bool { return strings.HasPrefix(name, reservedPrefix) }
+
+// Options configures a Manager.
+type Options struct {
+	// MaxSessions bounds the concurrent session table; 0 means 64.
+	MaxSessions int
+	// IdleTimeout is how long a session may go without traffic before it is
+	// reaped; 0 means 2 minutes. OpHello may request a shorter timeout.
+	IdleTimeout time.Duration
+	// now is the clock seam for tests; nil means time.Now.
+	now func() time.Time
+}
+
+func (o Options) maxSessions() int {
+	if o.MaxSessions <= 0 {
+		return 64
+	}
+	return o.MaxSessions
+}
+
+func (o Options) idleTimeout() time.Duration {
+	if o.IdleTimeout <= 0 {
+		return 2 * time.Minute
+	}
+	return o.IdleTimeout
+}
+
+// Stats is a snapshot of the Manager's admission counters.
+type Stats struct {
+	// Active is the current session count (expired sessions excluded).
+	Active int
+	// Peak is the high-water Active value.
+	Peak int
+	// Opened, Closed, Rejected, Expired count lifecycle events: sessions
+	// admitted, ended by the client, refused at the cap, and reaped by
+	// their idle deadline.
+	Opened, Closed, Rejected, Expired int64
+	// Requests counts session-scoped requests across all sessions, live
+	// and ended.
+	Requests int64
+}
+
+// Manager is the bounded session table. It is safe for concurrent use.
+type Manager struct {
+	opts Options
+
+	mu       sync.Mutex
+	sessions map[int64]*Session
+	nextID   int64
+	draining bool
+	drained  chan struct{} // non-nil while a drain waits; closed at empty
+
+	peak                              int
+	opened, closed, rejected, expired int64
+	endedRequests                     int64 // requests of sessions already gone
+}
+
+// NewManager returns an empty session table.
+func NewManager(opts Options) *Manager {
+	return &Manager{opts: opts, sessions: make(map[int64]*Session)}
+}
+
+func (m *Manager) now() time.Time {
+	if m.opts.now != nil {
+		return m.opts.now()
+	}
+	return time.Now()
+}
+
+// Open admits a new session for the tenant, or returns ErrSaturated when
+// the table is full (after reaping expired sessions) or the manager is
+// draining. idle requests a shorter-than-default idle timeout; 0 or
+// anything above the configured IdleTimeout gets the configured value.
+func (m *Manager) Open(tenant string, idle time.Duration) (*Session, error) {
+	if idle <= 0 || idle > m.opts.idleTimeout() {
+		idle = m.opts.idleTimeout()
+	}
+	now := m.now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.reapLocked(now)
+	if m.draining || len(m.sessions) >= m.opts.maxSessions() {
+		m.rejected++
+		return nil, ErrSaturated
+	}
+	m.nextID++
+	s := &Session{
+		id:         m.nextID,
+		tenant:     tenant,
+		idle:       idle,
+		lastActive: now,
+		touched:    make(map[string]struct{}),
+	}
+	m.sessions[s.id] = s
+	m.opened++
+	if len(m.sessions) > m.peak {
+		m.peak = len(m.sessions)
+	}
+	return s, nil
+}
+
+// Get resolves a session ID, extending its idle deadline. ErrExpired and
+// ErrUnknown distinguish a reaped session from one that never existed
+// (both are permanent: the client must open a new session).
+func (m *Manager) Get(id int64) (*Session, error) {
+	now := m.now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: id %d", ErrUnknown, id)
+	}
+	if s.expired(now) {
+		m.dropLocked(s, true)
+		return nil, fmt.Errorf("%w: id %d idle past %v", ErrExpired, id, s.idle)
+	}
+	s.mu.Lock()
+	s.lastActive = now
+	s.mu.Unlock()
+	return s, nil
+}
+
+// End removes a session the client finished with. Ending an unknown or
+// already-reaped session is not an error — the client's intent (no live
+// session) already holds.
+func (m *Manager) End(id int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if s, ok := m.sessions[id]; ok {
+		m.dropLocked(s, false)
+	}
+}
+
+// dropLocked removes a session and accounts it. Caller holds m.mu.
+func (m *Manager) dropLocked(s *Session, wasExpired bool) {
+	delete(m.sessions, s.id)
+	if wasExpired {
+		m.expired++
+	} else {
+		m.closed++
+	}
+	s.mu.Lock()
+	m.endedRequests += s.requests
+	s.mu.Unlock()
+	if m.drained != nil && len(m.sessions) == 0 {
+		close(m.drained)
+		m.drained = nil
+	}
+}
+
+// reapLocked drops every expired session. Caller holds m.mu.
+func (m *Manager) reapLocked(now time.Time) {
+	for _, s := range m.sessions {
+		if s.expired(now) {
+			m.dropLocked(s, true)
+		}
+	}
+}
+
+// Active returns the live session count after reaping expired ones.
+func (m *Manager) Active() int {
+	now := m.now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.reapLocked(now)
+	return len(m.sessions)
+}
+
+// Snapshot returns the admission counters.
+func (m *Manager) Snapshot() Stats {
+	now := m.now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.reapLocked(now)
+	st := Stats{
+		Active:   len(m.sessions),
+		Peak:     m.peak,
+		Opened:   m.opened,
+		Closed:   m.closed,
+		Rejected: m.rejected,
+		Expired:  m.expired,
+		Requests: m.endedRequests,
+	}
+	for _, s := range m.sessions {
+		s.mu.Lock()
+		st.Requests += s.requests
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// Drain refuses new sessions and waits until every live session has ended
+// or expired, or the timeout elapses — the graceful-shutdown barrier the
+// server runs before checkpointing stores. It returns the number of
+// sessions still live when it gave up (0 = fully drained). Idle deadlines
+// keep ticking during the drain, so an abandoned session releases its
+// slot without client cooperation.
+func (m *Manager) Drain(timeout time.Duration) int {
+	deadline := m.now().Add(timeout)
+	m.mu.Lock()
+	m.draining = true
+	m.mu.Unlock()
+	for {
+		now := m.now()
+		m.mu.Lock()
+		m.reapLocked(now)
+		n := len(m.sessions)
+		if n == 0 || !now.Before(deadline) {
+			m.mu.Unlock()
+			return n
+		}
+		if m.drained == nil {
+			m.drained = make(chan struct{})
+		}
+		ch := m.drained
+		m.mu.Unlock()
+
+		wait := time.Until(deadline)
+		// Re-check at least every 10ms so expiry-based draining does not
+		// depend on a session event firing.
+		if wait > 10*time.Millisecond {
+			wait = 10 * time.Millisecond
+		}
+		select {
+		case <-ch:
+		case <-time.After(wait):
+		}
+	}
+}
+
+// Sessions snapshots the live sessions sorted by ID (expired ones reaped
+// first) — the metrics endpoint's view of the table.
+func (m *Manager) Sessions() []*Session {
+	now := m.now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.reapLocked(now)
+	out := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// Session is one admitted client session. Its immutable identity (ID,
+// tenant, granted idle timeout) is safe to read from any goroutine; the
+// activity state is guarded internally.
+type Session struct {
+	id     int64
+	tenant string
+	idle   time.Duration
+
+	mu         sync.Mutex
+	lastActive time.Time
+	requests   int64
+	touched    map[string]struct{}
+}
+
+// ID returns the wire-visible session identifier.
+func (s *Session) ID() int64 { return s.id }
+
+// Tenant returns the namespace the session is scoped to.
+func (s *Session) Tenant() string { return s.tenant }
+
+// IdleTimeout returns the granted idle deadline.
+func (s *Session) IdleTimeout() time.Duration { return s.idle }
+
+// Qualify maps a client-visible store name into the session's namespace.
+func (s *Session) Qualify(store string) string { return Qualify(s.tenant, store) }
+
+func (s *Session) expired(now time.Time) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return now.Sub(s.lastActive) > s.idle
+}
+
+// CountRequest records one session-scoped request against the qualified
+// store it addressed (empty for handshake traffic).
+func (s *Session) CountRequest(store string) {
+	s.mu.Lock()
+	s.requests++
+	if store != "" {
+		s.touched[store] = struct{}{}
+	}
+	s.mu.Unlock()
+}
+
+// Requests returns the session's request count so far.
+func (s *Session) Requests() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.requests
+}
+
+// Touched lists the qualified store names the session has addressed, in
+// sorted order — the set the broker checkpoints at the session boundary.
+func (s *Session) Touched() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.touched))
+	for n := range s.touched {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Annotate attributes the session to a telemetry span: its ID, request
+// count, and touched-store count become span attributes, so a trace of a
+// multi-session run breaks down by session. All three are public
+// quantities (the untrusted server sees every request and its store name),
+// so the span leaks nothing beyond the trace itself.
+func (s *Session) Annotate(sp *telemetry.Span) {
+	s.mu.Lock()
+	id, reqs, stores := s.id, s.requests, int64(len(s.touched))
+	s.mu.Unlock()
+	sp.SetAttr("session.id", id)
+	sp.SetAttr("session.requests", reqs)
+	sp.SetAttr("session.stores", stores)
+}

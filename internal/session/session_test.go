@@ -1,0 +1,242 @@
+package session
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"oblivjoin/internal/telemetry"
+)
+
+// fakeClock is the Manager's test clock seam.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestManager(max int, idle time.Duration) (*Manager, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	return NewManager(Options{MaxSessions: max, IdleTimeout: idle, now: clk.now}), clk
+}
+
+func TestQualifyInjective(t *testing.T) {
+	// Pairs that could collide under a naive concatenation must map to
+	// distinct qualified names.
+	pairs := [][2]string{
+		{"a", "b/c"},
+		{"a/b", "c"},
+		{"a%2Fb", "c"},
+		{"a", "b"},
+		{"", "a/b"},
+		{"a.b-c_d", "store"},
+		{"t:", "x"},
+	}
+	seen := make(map[string][2]string)
+	for _, p := range pairs {
+		q := Qualify(p[0], p[1])
+		if prev, ok := seen[q]; ok {
+			t.Fatalf("collision: %v and %v both qualify to %q", prev, p, q)
+		}
+		seen[q] = p
+		if !Reserved(q) {
+			t.Fatalf("qualified name %q not recognized as reserved", q)
+		}
+		// The escaped tenant must contain no '/', so the first '/' splits.
+		trimmed := strings.TrimPrefix(q, "t:")
+		i := strings.IndexByte(trimmed, '/')
+		if i < 0 {
+			t.Fatalf("qualified name %q has no tenant/store delimiter", q)
+		}
+		if got := trimmed[i+1:]; got != p[1] {
+			t.Fatalf("store suffix of %q = %q, want %q", q, got, p[1])
+		}
+	}
+	if Reserved("plain.store") {
+		t.Fatal("unqualified name reported reserved")
+	}
+}
+
+func TestManagerAdmissionCap(t *testing.T) {
+	m, _ := newTestManager(2, time.Minute)
+	s1, err := m.Open("a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Open("b", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Open("c", 0); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("over-cap open: got %v, want ErrSaturated", err)
+	}
+	// Ending a session frees its slot.
+	m.End(s1.ID())
+	if _, err := m.Open("c", 0); err != nil {
+		t.Fatalf("open after release: %v", err)
+	}
+	st := m.Snapshot()
+	if st.Active != 2 || st.Peak != 2 || st.Opened != 3 || st.Closed != 1 || st.Rejected != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestManagerIdleExpiry(t *testing.T) {
+	m, clk := newTestManager(4, time.Minute)
+	s, err := m.Open("a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.IdleTimeout() != time.Minute {
+		t.Fatalf("granted idle %v, want the default", s.IdleTimeout())
+	}
+	// Traffic refreshes the deadline.
+	clk.advance(40 * time.Second)
+	if _, err := m.Get(s.ID()); err != nil {
+		t.Fatalf("live session lookup: %v", err)
+	}
+	clk.advance(40 * time.Second)
+	if _, err := m.Get(s.ID()); err != nil {
+		t.Fatalf("refreshed session expired early: %v", err)
+	}
+	// Silence past the deadline reaps it.
+	clk.advance(61 * time.Second)
+	if _, err := m.Get(s.ID()); !errors.Is(err, ErrExpired) {
+		t.Fatalf("expired lookup: got %v, want ErrExpired", err)
+	}
+	if _, err := m.Get(999); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("unknown lookup: got %v, want ErrUnknown", err)
+	}
+	if st := m.Snapshot(); st.Expired != 1 || st.Active != 0 {
+		t.Fatalf("stats after expiry: %+v", st)
+	}
+}
+
+func TestManagerGrantsRequestedShorterIdle(t *testing.T) {
+	m, _ := newTestManager(4, time.Minute)
+	s, err := m.Open("a", 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.IdleTimeout() != 10*time.Second {
+		t.Fatalf("granted %v, want 10s", s.IdleTimeout())
+	}
+	// A request above the server cap is clamped to the cap.
+	s2, err := m.Open("a", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.IdleTimeout() != time.Minute {
+		t.Fatalf("granted %v, want the 1m cap", s2.IdleTimeout())
+	}
+}
+
+func TestManagerDrain(t *testing.T) {
+	m, clk := newTestManager(4, 50*time.Millisecond)
+	s1, _ := m.Open("a", 0)
+	s2, _ := m.Open("b", 0)
+
+	// Drain refuses new sessions immediately.
+	done := make(chan int, 1)
+	go func() { done <- m.Drain(5 * time.Second) }()
+	// Give the drain goroutine a beat to set the flag.
+	for i := 0; i < 100; i++ {
+		if _, err := m.Open("c", 0); errors.Is(err, ErrSaturated) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := m.Open("c", 0); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("open during drain: got %v, want ErrSaturated", err)
+	}
+
+	// One session ends politely; the other goes silent and must be reaped
+	// by its idle deadline rather than block the drain forever.
+	m.End(s1.ID())
+	clk.advance(time.Second)
+	_ = s2
+	if left := <-done; left != 0 {
+		t.Fatalf("drain left %d sessions", left)
+	}
+}
+
+func TestSessionTouchedStores(t *testing.T) {
+	m, _ := newTestManager(4, time.Minute)
+	s, _ := m.Open("acme", 0)
+	s.CountRequest(s.Qualify("idx"))
+	s.CountRequest(s.Qualify("data"))
+	s.CountRequest(s.Qualify("idx"))
+	s.CountRequest("") // handshake traffic touches no store
+	got := s.Touched()
+	want := []string{Qualify("acme", "data"), Qualify("acme", "idx")}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("touched = %v, want %v", got, want)
+	}
+	if s.Requests() != 4 {
+		t.Fatalf("requests = %d, want 4", s.Requests())
+	}
+}
+
+func TestManagerConcurrentOpenEnd(t *testing.T) {
+	m, _ := newTestManager(8, time.Minute)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				s, err := m.Open("t", 0)
+				if errors.Is(err, ErrSaturated) {
+					continue
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				s.CountRequest(s.Qualify("store"))
+				if _, err := m.Get(s.ID()); err != nil {
+					t.Error(err)
+					return
+				}
+				m.End(s.ID())
+			}
+		}()
+	}
+	wg.Wait()
+	st := m.Snapshot()
+	if st.Active != 0 {
+		t.Fatalf("sessions leaked: %+v", st)
+	}
+	if st.Opened != st.Closed {
+		t.Fatalf("opened %d != closed %d", st.Opened, st.Closed)
+	}
+	if st.Opened+st.Rejected != 16*50 {
+		t.Fatalf("opened %d + rejected %d != %d attempts", st.Opened, st.Rejected, 16*50)
+	}
+}
+
+func TestSessionAnnotateSpan(t *testing.T) {
+	m, _ := newTestManager(4, time.Minute)
+	s, _ := m.Open("acme", 0)
+	s.CountRequest(s.Qualify("idx"))
+	s.CountRequest(s.Qualify("data"))
+	sp := telemetry.Start("join", nil)
+	s.Annotate(sp)
+	sp.End()
+	n := sp.Export()
+	if n.Attrs["session.id"] != s.ID() || n.Attrs["session.requests"] != 2 || n.Attrs["session.stores"] != 2 {
+		t.Fatalf("span attrs: %+v", n.Attrs)
+	}
+}
