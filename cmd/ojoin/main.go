@@ -16,7 +16,9 @@
 // The tool prints the join result, the padded step count, and the
 // simulated query cost. With -trace-out it also writes a phase-attributed
 // span-tree trace (JSON) of the query; with -remote the sealed tables live
-// on a networked ojoinserver instead of in-process stores.
+// on a networked ojoinserver instead of in-process stores; with
+// -shards addr1,addr2,... they are striped across several ojoinservers
+// and every batch fans out in parallel (still one logical round).
 package main
 
 import (
@@ -49,6 +51,7 @@ func main() {
 	maxPrint := flag.Int("n", 10, "print at most this many result rows")
 	traceOut := flag.String("trace-out", "", "write a phase-attributed span-tree JSON trace to this file")
 	remoteAddr := flag.String("remote", "", "store sealed tables on a networked ojoinserver at this address")
+	shardAddrs := flag.String("shards", "", "comma-separated ojoinserver addresses: stripe sealed tables across them (mutually exclusive with -remote)")
 	flag.Parse()
 
 	if len(tables) == 0 || (len(joins) == 0 && *band == "") {
@@ -144,6 +147,13 @@ func main() {
 		}
 		defer db.Close()
 	}
+	if *shardAddrs != "" {
+		addrs := strings.Split(*shardAddrs, ",")
+		if err := db.ConnectShards(addrs); err != nil {
+			fatal("connecting to shards %s: %v", *shardAddrs, err)
+		}
+		defer db.Close()
+	}
 	if err := db.Seal(); err != nil {
 		fatal("sealing: %v", err)
 	}
@@ -189,6 +199,10 @@ func main() {
 	}
 	fmt.Printf("join steps (padded): %d; traffic %.2f MB; simulated cost %.3fs\n",
 		res.PaddedSteps, float64(res.Stats.BytesMoved())/1e6, db.QueryCost(res))
+	if *shardAddrs != "" {
+		fmt.Print("shard fan-out (ojoin_shard_* metrics):\n")
+		db.WriteShardMetrics(os.Stdout)
+	}
 
 	if *traceOut != "" {
 		data, err := oblivjoin.MarshalTrace(db.EndTrace())

@@ -1,0 +1,65 @@
+package oblivjoin_test
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestEveryPackageHasDocComment is the docs lint: every package in this
+// module — the facade, every internal package, and every command — must
+// carry a package comment, so `go doc` answers "what is this layer for"
+// at every node of the architecture diagram in README.md.
+func TestEveryPackageHasDocComment(t *testing.T) {
+	var dirs []string
+	dirs = append(dirs, ".")
+	for _, root := range []string{"internal", "cmd"} {
+		if err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				dirs = append(dirs, path)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, dir := range dirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var goFiles []string
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			goFiles = append(goFiles, filepath.Join(dir, name))
+		}
+		if len(goFiles) == 0 {
+			continue
+		}
+		documented := false
+		fset := token.NewFileSet()
+		for _, path := range goFiles {
+			f, err := parser.ParseFile(fset, path, nil, parser.PackageClauseOnly|parser.ParseComments)
+			if err != nil {
+				t.Fatalf("parsing %s: %v", path, err)
+			}
+			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+				documented = true
+				break
+			}
+		}
+		if !documented {
+			t.Errorf("package in %s has no package comment on any of its %d files", dir, len(goFiles))
+		}
+	}
+}

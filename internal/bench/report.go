@@ -154,7 +154,10 @@ func WriteTable1(w io.Writer, rows []Table1Row) {
 // Experiments lists every runnable experiment by ID: the paper's Table 1
 // and Figures 7–21, plus this repo's ablations, the parallel-sort engine
 // comparison ("sort"), the telemetry-driven per-phase breakdown ("phases"),
-// and the deferred-eviction round-trip comparison ("rounds").
+// the deferred-eviction round-trip comparison ("rounds"), the mem-vs-disk
+// backend invariance check ("disk"), the multi-session serving-layer
+// throughput sweep ("concurrency"), and the striped-store fan-out scaling
+// sweep ("shard").
 func Experiments() []string {
 	ids := []string{"table1"}
 	for i := 7; i <= 21; i++ {
@@ -163,7 +166,7 @@ func Experiments() []string {
 	return append(ids,
 		"ablation-blocksize", "ablation-z", "ablation-posmap",
 		"ablation-writeback", "ablation-scheme", "ablation-chained", "ablation-dppad",
-		"sort", "phases", "rounds", "disk", "concurrency")
+		"sort", "phases", "rounds", "disk", "concurrency", "shard")
 }
 
 // Run executes one experiment by ID and writes its report.
@@ -186,6 +189,10 @@ func Run(w io.Writer, e *Env, id string) error {
 	}
 	if id == "concurrency" {
 		_, err := RunConcurrency(w, e)
+		return err
+	}
+	if id == "shard" {
+		_, err := RunShard(w, e)
 		return err
 	}
 	if id == "table1" {

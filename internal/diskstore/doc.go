@@ -1,0 +1,54 @@
+// Package diskstore is the persistent, crash-safe block store behind the
+// untrusted server: a fixed-slot segment file per named store plus a
+// write-ahead log that makes every WriteMany/Exchange batch commit
+// atomically.
+//
+// The paper's server is a MongoDB instance that persists the encrypted
+// B-tree/ORAM blocks across sessions (Section 9.1); the simulated MemStore
+// loses every tree on restart. This package implements the same
+// storage.Store / BatchStore / ExchangeStore interfaces against files, so
+// cmd/ojoinserver -data-dir survives restarts: clients reconnect and rerun
+// joins against the recovered trees with identical results and traffic.
+//
+// Layout (one store = two files, <escaped-name>.seg and <escaped-name>.wal):
+//
+//	segment: 4 KiB versioned header | slots × (crc u32 | block[blockSize])
+//	wal:     16 B header | records (see wal.go)
+//
+// Each slot carries a CRC32-Castagnoli checksum — the sealer's AES-CTR
+// provides confidentiality but no integrity, so the store must detect its
+// own torn or bit-rotted writes. The stored value is crc(block) XOR
+// crc(zero block), so the sparsely created (all-zero) file validates
+// everywhere without a full initialization pass.
+//
+// # Atomic batch commit
+//
+// A batch is appended to the WAL as one CRC-covered record, the log is
+// fsynced (subject to the SyncEvery group-commit knob), and only then are
+// the slots updated in place. Recovery replays complete records in order
+// and discards the first incomplete or corrupt record and everything after
+// it (the torn tail). A crash at any point therefore leaves every batch
+// either fully applied or fully absent — the property the ORAM scheduler's
+// sealed eviction sets require of a flush (DESIGN.md §2.10). With
+// SyncEvery=k>1 the log is fsynced every k-th commit: a whole-machine
+// crash may lose the most recent (unsynced, unacknowledged durability)
+// batches, but never tears one, because replay still sees a prefix of
+// whole records.
+//
+// # Concurrency contract
+//
+// A FileStore serializes all operations on itself with one mutex — batches
+// are atomic with respect to each other by construction, matching
+// MemStore's semantics. Distinct stores (distinct files) are independent;
+// the serving layer above (internal/session's broker) is what serializes
+// rival clients onto one store. The files behind a store must not be
+// shared between two live FileStore instances.
+//
+// # Obliviousness
+//
+// The store is index-faithful: it touches exactly the slots the (already
+// public) access sequence names, adds no data-dependent I/O, and its WAL
+// records are a deterministic function of the request. Persistence
+// therefore leaks nothing beyond the access pattern the client already
+// reveals, which the ORAM layer above has randomized (DESIGN.md §2.10).
+package diskstore

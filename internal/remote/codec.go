@@ -7,9 +7,12 @@
 // The paper's deployment (Section 9.1) separates the trusted client from an
 // untrusted storage server and argues costs in network round trips. The
 // protocol therefore exposes batch reads and writes as first-class
-// operations: a Path-ORAM access over this transport is exactly two round
+// operations: a Path-ORAM access over this transport is at most two round
 // trips — one batched path download, one batched path write-back — instead
-// of the O(log n) single-block trips a naive transport would pay.
+// of the O(log n) single-block trips a naive transport would pay, and the
+// deferred-eviction scheduler (DESIGN.md §2.9) coalesces the write-backs of
+// several accesses into one exchange round, dropping the realized cost
+// below two.
 //
 // The server is untrusted by construction: it only ever sees sealed bucket
 // ciphertexts and physical indices, exactly the view the obliviousness

@@ -23,6 +23,12 @@ type Shaper struct {
 	// protocol is one request per round trip, this is exactly a simulated
 	// one-way server delay; set it to the target RTT to model a WAN link.
 	Latency time.Duration
+	// PerBlock is added once per block the request names (read indices
+	// plus write indices), modeling per-block server work — the serialized
+	// cost the shard bench shows shrinking ~N× when batches fan out to N
+	// servers in parallel, while the fixed Latency is paid once per round
+	// regardless of shard count.
+	PerBlock time.Duration
 	// FailEvery makes every FailEvery-th request (1-based) fail with a
 	// transient error. 1 fails every request; 0 disables.
 	FailEvery int64
@@ -31,9 +37,13 @@ type Shaper struct {
 }
 
 // Next implements FaultModel.
-func (s *Shaper) Next(*Request) (time.Duration, bool) {
+func (s *Shaper) Next(req *Request) (time.Duration, bool) {
 	k := s.n.Add(1)
-	return s.Latency, s.FailEvery > 0 && k%s.FailEvery == 0
+	delay := s.Latency
+	if s.PerBlock > 0 && req != nil {
+		delay += s.PerBlock * time.Duration(len(req.Indices)+len(req.WriteIndices))
+	}
+	return delay, s.FailEvery > 0 && k%s.FailEvery == 0
 }
 
 // Requests reports how many requests the shaper has seen.

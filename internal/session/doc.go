@@ -1,0 +1,43 @@
+// Package session is the multi-client serving layer between the remote
+// block-store server and its storage backends. The paper's cost model
+// (Theorems 1–4) prices a single query; a production deployment serves many
+// simultaneous queries, and this package supplies the three pieces that
+// makes safe:
+//
+//   - Per-tenant namespaces. Every store a session touches is qualified
+//     into its tenant's namespace by an injective name mapping (Qualify),
+//     so concurrent clients can neither see nor address each other's ORAM
+//     trees. Qualified names flow unchanged through the diskstore.Dir
+//     naming seam, which escapes them again for the filesystem.
+//
+//   - Admission control. The Manager holds a bounded session table with
+//     per-session idle deadlines. A saturated server rejects new sessions
+//     with ErrSaturated — surfaced on the wire as a typed busy status —
+//     instead of queueing unbounded work, and expired sessions are reaped
+//     so a dead client cannot pin a slot.
+//
+//   - The ORAM access broker (broker.go), which owns each hosted store and
+//     serializes concurrent sessions' batch rounds so every round executes
+//     atomically, preserving the ORAM scheduler's deferred-eviction
+//     invariants under concurrency.
+//
+// # Concurrency contract
+//
+// Every exported type is safe for concurrent use by any number of server
+// connections. The Manager guards its session table with a single mutex;
+// the Broker serializes rounds per store, so two sessions' batches against
+// the same store never interleave at sub-round granularity, while rounds
+// against different stores proceed in parallel. Callers never hold broker
+// or manager locks across network I/O.
+//
+// # Obliviousness under concurrency
+//
+// The layer never inspects block indices or ciphertexts. Admission
+// decisions depend on the session count, idle clocks, and arrival order;
+// the broker's interleaving of rounds depends on arrival timing alone (see
+// broker.go). The server-visible trace is therefore a timing-dependent
+// merge of per-session traces, each of which is exactly the trace the same
+// query produces when run serially — the adversary learns which tenant
+// sent each (already attributable) request and nothing about the data
+// beyond Definition 1's leakage. DESIGN.md §2.11 gives the full argument.
+package session

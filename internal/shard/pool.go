@@ -1,0 +1,197 @@
+package shard
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"oblivjoin/internal/remote"
+	"oblivjoin/internal/storage"
+)
+
+// Stat is one shard's cumulative fan-out traffic across every store of a
+// Pool: how many sub-batches it was sent and how many blocks they carried.
+// These are the quantities shard s observes on its own wire — a projection
+// of the global (already-public) schedule, so exposing them leaks nothing
+// beyond Definition 1.
+type Stat struct {
+	Addr    string `json:"addr,omitempty"`
+	Batches int64  `json:"batches"`
+	Blocks  int64  `json:"blocks"`
+}
+
+// Stats holds per-shard fan-out counters, shared by every Router a Pool
+// opens. Safe for concurrent use.
+type Stats struct {
+	batches []atomic.Int64
+	blocks  []atomic.Int64
+}
+
+// NewStats allocates counters for n shards.
+func NewStats(n int) *Stats {
+	return &Stats{batches: make([]atomic.Int64, n), blocks: make([]atomic.Int64, n)}
+}
+
+// Shards returns the shard count the counters cover.
+func (s *Stats) Shards() int { return len(s.batches) }
+
+func (s *Stats) add(shard, blocks int) {
+	s.batches[shard].Add(1)
+	s.blocks[shard].Add(int64(blocks))
+}
+
+// Snapshot returns one Stat per shard.
+func (s *Stats) Snapshot() []Stat {
+	out := make([]Stat, len(s.batches))
+	for i := range out {
+		out[i] = Stat{Batches: s.batches[i].Load(), Blocks: s.blocks[i].Load()}
+	}
+	return out
+}
+
+// Reset zeroes every counter (benchmarks reset after setup, mirroring
+// Meter.Reset: upload traffic is not query cost).
+func (s *Stats) Reset() {
+	for i := range s.batches {
+		s.batches[i].Store(0)
+		s.blocks[i].Store(0)
+	}
+}
+
+// Pool owns one transport per shard and provisions logical stores over
+// them: Opener returns Routers whose sub-stores are created under the same
+// name, with the striped share of the slots, on every shard.
+type Pool struct {
+	openers []storage.Opener
+	clients []*remote.Client // non-nil only for DialPool pools
+	addrs   []string
+	meter   *storage.Meter
+	stats   *Stats
+}
+
+// NewPool builds a pool over arbitrary per-shard backends (one opener per
+// shard — in-process stores in tests, remote clients in production). The
+// meter receives the logical one-round-per-batch accounting for every
+// store the pool opens; the per-shard backends must not meter themselves.
+func NewPool(openers []storage.Opener, meter *storage.Meter) (*Pool, error) {
+	if len(openers) == 0 {
+		return nil, fmt.Errorf("shard: pool needs at least one shard")
+	}
+	return &Pool{openers: openers, meter: meter, stats: NewStats(len(openers))}, nil
+}
+
+// DialPool connects one remote client per address. opts.Addr is taken from
+// addrs, and opts.Meter becomes the pool's LOGICAL meter (the per-shard
+// clients are dialed meterless — the Router accounts each fanned-out batch
+// as one round with global indices, which is the whole point).
+func DialPool(addrs []string, opts remote.ClientOptions) (*Pool, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("shard: pool needs at least one shard address")
+	}
+	meter := opts.Meter
+	opts.Meter = nil
+	p := &Pool{meter: meter, stats: NewStats(len(addrs)), addrs: addrs}
+	for _, addr := range addrs {
+		o := opts
+		o.Addr = addr
+		c, err := remote.Dial(o)
+		if err != nil {
+			p.Close()
+			return nil, fmt.Errorf("shard: dialing %s: %w", addr, err)
+		}
+		p.clients = append(p.clients, c)
+		p.openers = append(p.openers, c.Opener())
+	}
+	return p, nil
+}
+
+// Shards returns the shard count.
+func (p *Pool) Shards() int { return len(p.openers) }
+
+// Addrs returns the dialed addresses (nil for NewPool pools).
+func (p *Pool) Addrs() []string { return p.addrs }
+
+// Clients returns the per-shard remote clients (nil for NewPool pools).
+func (p *Pool) Clients() []*remote.Client { return p.clients }
+
+// Stats returns the per-shard fan-out counters, with addresses filled in
+// when the pool was dialed.
+func (p *Pool) Stats() []Stat {
+	out := p.stats.Snapshot()
+	for i := range out {
+		if i < len(p.addrs) {
+			out[i].Addr = p.addrs[i]
+		}
+	}
+	return out
+}
+
+// ResetStats zeroes the per-shard counters.
+func (p *Pool) ResetStats() { p.stats.Reset() }
+
+// Opener returns a storage.Opener that provisions every named store as a
+// Router over all shards — the drop-in backend for table.Options,
+// oram.PathConfig, and the access scheduler above them.
+func (p *Pool) Opener() storage.Opener {
+	return func(name string, slots int64, blockSize int) (storage.Store, error) {
+		subs := make([]storage.BatchStore, len(p.openers))
+		for s, open := range p.openers {
+			st, err := open(name, LocalSlots(slots, s, len(p.openers)), blockSize)
+			if err != nil {
+				return nil, fmt.Errorf("shard %d: opening %q: %w", s, name, err)
+			}
+			b, ok := st.(storage.BatchStore)
+			if !ok {
+				return nil, fmt.Errorf("shard %d: store %q does not support batches", s, name)
+			}
+			subs[s] = b
+		}
+		return New(RouterConfig{
+			Name: name, Slots: slots, BlockSize: blockSize,
+			Subs: subs, Meter: p.meter, Stats: p.stats,
+		})
+	}
+}
+
+// StartSessions opens one tenant session per shard server (DialPool pools
+// only), so the striped sub-stores live in the tenant's namespace on every
+// shard. Sessions are independent per server; a saturated shard reports
+// remote.ErrBusy like any other.
+func (p *Pool) StartSessions(tenant string, idle time.Duration) error {
+	for s, c := range p.clients {
+		if err := c.StartSession(tenant, idle); err != nil {
+			return fmt.Errorf("shard %d: %w", s, err)
+		}
+	}
+	return nil
+}
+
+// Close releases every per-shard client (ending their sessions). NewPool
+// pools have nothing to release.
+func (p *Pool) Close() error {
+	var first error
+	for _, c := range p.clients {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// WriteMetrics renders the per-shard counters in the Prometheus text
+// exposition format under the ojoin_shard_* namespace (the client-side
+// counterpart of ojoinserver's ojoin_store_* metrics).
+func (p *Pool) WriteMetrics(w io.Writer) {
+	stats := p.Stats()
+	fmt.Fprintf(w, "# HELP ojoin_shard_count Shards the router fans out to.\n# TYPE ojoin_shard_count gauge\n")
+	fmt.Fprintf(w, "ojoin_shard_count %d\n", len(stats))
+	fmt.Fprintf(w, "# HELP ojoin_shard_batches_total Sub-batches sent to the shard.\n# TYPE ojoin_shard_batches_total counter\n")
+	for s, st := range stats {
+		fmt.Fprintf(w, "ojoin_shard_batches_total{shard=\"%d\",addr=%q} %d\n", s, st.Addr, st.Batches)
+	}
+	fmt.Fprintf(w, "# HELP ojoin_shard_blocks_total Blocks carried by those sub-batches.\n# TYPE ojoin_shard_blocks_total counter\n")
+	for s, st := range stats {
+		fmt.Fprintf(w, "ojoin_shard_blocks_total{shard=\"%d\",addr=%q} %d\n", s, st.Addr, st.Blocks)
+	}
+}

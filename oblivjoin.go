@@ -26,12 +26,14 @@ package oblivjoin
 
 import (
 	"fmt"
+	"io"
 
 	"oblivjoin/internal/core"
 	"oblivjoin/internal/jointree"
 	"oblivjoin/internal/oram"
 	"oblivjoin/internal/relation"
 	"oblivjoin/internal/remote"
+	"oblivjoin/internal/shard"
 	"oblivjoin/internal/storage"
 	"oblivjoin/internal/table"
 	"oblivjoin/internal/telemetry"
@@ -154,6 +156,7 @@ type Database struct {
 	setupStats storage.Stats
 	span       *telemetry.Span
 	remote     *remote.Client
+	pool       *shard.Pool
 }
 
 type pendingTable struct {
@@ -240,6 +243,9 @@ func (db *Database) Seal() error {
 	if db.remote != nil {
 		opts.OpenStore = db.remote.Opener()
 	}
+	if db.pool != nil {
+		opts.OpenStore = db.pool.Opener()
+	}
 	switch db.cfg.Setting {
 	case OneORAM:
 		rels := make([]*Relation, len(db.pending))
@@ -316,10 +322,56 @@ func (db *Database) ConnectRemote(addr string) error {
 	return nil
 }
 
+// ConnectShards stripes the database's server-side storage over several
+// networked block servers: every store Seal provisions is partitioned by
+// the public function block i ↦ shard i mod N, and each ORAM batch fans
+// out to the owning shards in parallel while still counting as one logical
+// round (DESIGN.md §2.12). Must be called before Seal and is mutually
+// exclusive with ConnectRemote. Traffic accounting still lands in Stats —
+// the router meters at the transport, exactly like the single-server
+// client, so Stats are identical at any shard count.
+func (db *Database) ConnectShards(addrs []string) error {
+	if db.sealed {
+		return fmt.Errorf("oblivjoin: connect before sealing")
+	}
+	if db.remote != nil || db.pool != nil {
+		return fmt.Errorf("oblivjoin: already connected")
+	}
+	p, err := shard.DialPool(addrs, remote.ClientOptions{Meter: db.meter})
+	if err != nil {
+		return err
+	}
+	db.pool = p
+	return nil
+}
+
+// ShardStats reports each shard's share of the fan-out traffic (sub-batches
+// served and blocks carried) since the last reset. Empty without
+// ConnectShards. These are public quantities: they are a fixed geometric
+// projection of the already-public access pattern.
+func (db *Database) ShardStats() []shard.Stat {
+	if db.pool == nil {
+		return nil
+	}
+	return db.pool.Stats()
+}
+
+// WriteShardMetrics writes the shard router's ojoin_shard_* metrics
+// (shard count, per-shard batches and blocks) in Prometheus text format.
+// No-op without ConnectShards.
+func (db *Database) WriteShardMetrics(w io.Writer) {
+	if db.pool != nil {
+		db.pool.WriteMetrics(w)
+	}
+}
+
 // Close releases the remote connection pool, if any.
 func (db *Database) Close() error {
 	if db.remote != nil {
 		return db.remote.Close()
+	}
+	if db.pool != nil {
+		return db.pool.Close()
 	}
 	return nil
 }
@@ -339,6 +391,13 @@ func (db *Database) StartTrace(name string) *Span {
 // StartTrace was never called). Export the result with oblivjoin.MarshalTrace.
 func (db *Database) EndTrace() *Span {
 	sp := db.span
+	if sp != nil && db.pool != nil {
+		sp.SetAttr("shard.count", int64(db.pool.Shards()))
+		for s, st := range db.pool.Stats() {
+			sp.SetAttr(fmt.Sprintf("shard.%d.batches", s), st.Batches)
+			sp.SetAttr(fmt.Sprintf("shard.%d.blocks", s), st.Blocks)
+		}
+	}
 	sp.End()
 	db.span = nil
 	return sp
