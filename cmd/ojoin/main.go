@@ -18,7 +18,11 @@
 // span-tree trace (JSON) of the query; with -remote the sealed tables live
 // on a networked ojoinserver instead of in-process stores; with
 // -shards addr1,addr2,... they are striped across several ojoinservers
-// and every batch fans out in parallel (still one logical round).
+// and every batch fans out in parallel (still one logical round). Adding
+// -watch 500ms polls live per-shard latency/skew metrics to stderr while
+// the query runs; with -trace-out and a remote backend the written trace
+// also contains the servers' per-op spans grafted under server.shard.<s>
+// subtrees (distributed tracing, DESIGN.md §2.13).
 package main
 
 import (
@@ -52,6 +56,7 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a phase-attributed span-tree JSON trace to this file")
 	remoteAddr := flag.String("remote", "", "store sealed tables on a networked ojoinserver at this address")
 	shardAddrs := flag.String("shards", "", "comma-separated ojoinserver addresses: stripe sealed tables across them (mutually exclusive with -remote)")
+	watch := flag.Duration("watch", 0, "with -shards: poll and print live per-shard metrics at this interval while the query runs (0 = off)")
 	flag.Parse()
 
 	if len(tables) == 0 || (len(joins) == 0 && *band == "") {
@@ -162,6 +167,10 @@ func main() {
 
 	if *traceOut != "" {
 		db.StartTrace("ojoin")
+	}
+	if *watch > 0 && *shardAddrs != "" {
+		stop := db.WatchShards(os.Stderr, *watch)
+		defer stop()
 	}
 
 	var res *oblivjoin.Result

@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 
 	"oblivjoin/internal/diskstore"
 	"oblivjoin/internal/remote"
@@ -14,14 +15,21 @@ import (
 // startHTTP serves the observability endpoints next to the block protocol:
 //
 //	/healthz      liveness probe ("ok")
-//	/metrics      Prometheus text exposition of the live per-store counters
+//	/metrics      Prometheus text exposition: per-store counters, session
+//	              and broker tallies (aggregate and per store), per-op
+//	              latency histograms with the queue-wait / store-I/O
+//	              decomposition, and (with -data-dir) the persistence
+//	              counters plus the WAL fsync latency histogram
+//	/debug/trace  recent server spans as JSON, ?trace=<id> filters to one
+//	              distributed trace (see DESIGN.md §2.13)
 //	/debug/vars   the same counters as expvar JSON
 //	/debug/pprof  the standard pprof profiles
 //
-// Counter snapshots are atomic reads, so scraping mid-join never contends
-// with request serving. The endpoints expose only aggregate request and
-// block counts — quantities the untrusted server observes anyway, so
-// nothing beyond Definition 1's leakage is published.
+// Counter snapshots are atomic reads and histogram observation is
+// lock-free, so scraping mid-join never contends with request serving.
+// The endpoints expose only aggregate request counts, op kinds, and
+// timings — quantities the untrusted server observes anyway, so nothing
+// beyond Definition 1's leakage is published.
 func startHTTP(addr string, srv *remote.Server, dir *diskstore.Dir) (net.Addr, error) {
 	expvar.Publish("ojoinserver_stores", expvar.Func(func() any {
 		_, counts := srv.CountsAll()
@@ -60,11 +68,26 @@ func startHTTP(addr string, srv *remote.Server, dir *diskstore.Dir) (net.Addr, e
 		return rows
 	}))
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		writeMetrics(w, srv)
-		writeSessionMetrics(w, srv)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		remote.WriteStoreMetrics(w, srv)
+		remote.WriteSessionMetrics(w, srv)
+		remote.WriteHistogramMetrics(w, srv)
 		if dir != nil {
-			writeDiskMetrics(w, dir)
+			diskstore.WriteMetrics(w, dir)
 		}
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		var traceID uint64
+		if v := r.URL.Query().Get("trace"); v != "" {
+			id, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				http.Error(w, "bad trace id", http.StatusBadRequest)
+				return
+			}
+			traceID = id
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		remote.WriteTrace(w, srv, traceID) //nolint:errcheck // best-effort telemetry read
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -79,109 +102,4 @@ func startHTTP(addr string, srv *remote.Server, dir *diskstore.Dir) (net.Addr, e
 	}
 	go http.Serve(ln, mux) //nolint:errcheck // exits when ln closes at shutdown
 	return ln.Addr(), nil
-}
-
-// writeMetrics renders the per-store counters in the Prometheus text
-// exposition format, one labeled sample per store plus a server total.
-func writeMetrics(w http.ResponseWriter, srv *remote.Server) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	names, counts := srv.CountsAll()
-	type metric struct {
-		name, help string
-		value      func(remote.Counters) int64
-	}
-	metrics := []metric{
-		{"ojoin_store_requests_total", "RPCs served against the store (one request = one round trip).",
-			func(c remote.Counters) int64 { return c.Requests }},
-		{"ojoin_store_reads_total", "Single-block read requests.",
-			func(c remote.Counters) int64 { return c.Reads }},
-		{"ojoin_store_writes_total", "Single-block write requests.",
-			func(c remote.Counters) int64 { return c.Writes }},
-		{"ojoin_store_batch_reads_total", "Batched read requests (e.g. ORAM path downloads).",
-			func(c remote.Counters) int64 { return c.BatchReads }},
-		{"ojoin_store_batch_writes_total", "Batched write requests (e.g. ORAM path write-backs).",
-			func(c remote.Counters) int64 { return c.BatchWrites }},
-		{"ojoin_store_blocks_read_total", "Individual blocks sent to clients.",
-			func(c remote.Counters) int64 { return c.BlocksRead }},
-		{"ojoin_store_blocks_written_total", "Individual blocks received from clients.",
-			func(c remote.Counters) int64 { return c.BlocksWritten }},
-	}
-	for _, m := range metrics {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", m.name, m.help, m.name)
-		for _, n := range names {
-			fmt.Fprintf(w, "%s{store=%q} %d\n", m.name, n, m.value(counts[n]))
-		}
-	}
-	fmt.Fprintf(w, "# HELP ojoin_server_requests_total RPCs served across all stores.\n")
-	fmt.Fprintf(w, "# TYPE ojoin_server_requests_total counter\n")
-	fmt.Fprintf(w, "ojoin_server_requests_total %d\n", srv.TotalRequests())
-}
-
-// writeSessionMetrics appends the serving layer's admission and broker
-// counters. Session counts, rejection totals, and broker round/contention
-// tallies are functions of request arrival timing only — the same public
-// schedule the untrusted server already observes — so publishing them
-// leaks nothing beyond Definition 1.
-func writeSessionMetrics(w http.ResponseWriter, srv *remote.Server) {
-	ss := srv.Sessions().Snapshot()
-	bs := srv.BrokerStats()
-	type sample struct {
-		name, typ, help string
-		value           int64
-	}
-	samples := []sample{
-		{"ojoin_sessions_active", "gauge", "Live client sessions.", int64(ss.Active)},
-		{"ojoin_sessions_peak", "gauge", "High-water concurrent session count.", int64(ss.Peak)},
-		{"ojoin_sessions_opened_total", "counter", "Sessions admitted.", ss.Opened},
-		{"ojoin_sessions_closed_total", "counter", "Sessions ended by their clients.", ss.Closed},
-		{"ojoin_sessions_rejected_total", "counter", "Hellos refused at the admission cap.", ss.Rejected},
-		{"ojoin_sessions_expired_total", "counter", "Sessions reaped by their idle deadline.", ss.Expired},
-		{"ojoin_sessions_requests_total", "counter", "Session-scoped requests served.", ss.Requests},
-		{"ojoin_broker_rounds_total", "counter", "Batch rounds serialized by the ORAM access broker.", bs.Rounds},
-		{"ojoin_broker_contended_total", "counter", "Rounds that waited behind another session's round.", bs.Contended},
-		{"ojoin_broker_stores", "gauge", "Stores owned by the ORAM access broker.", int64(bs.Stores)},
-	}
-	for _, s := range samples {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", s.name, s.help, s.name, s.typ, s.name, s.value)
-	}
-}
-
-// writeDiskMetrics appends the persistence layer's durability counters —
-// WAL traffic, fsync cadence, checkpointing, and crash recovery — in the
-// same exposition format. Like the request counters these are functions of
-// request sizes and timing only, never of block contents.
-func writeDiskMetrics(w http.ResponseWriter, dir *diskstore.Dir) {
-	names, perStore, _ := dir.Stats()
-	type metric struct {
-		name, help string
-		value      func(diskstore.Stats) int64
-	}
-	metrics := []metric{
-		{"ojoin_disk_wal_records_total", "Batch records appended to the write-ahead log.",
-			func(s diskstore.Stats) int64 { return s.WALRecords }},
-		{"ojoin_disk_wal_bytes_total", "Bytes appended to the write-ahead log.",
-			func(s diskstore.Stats) int64 { return s.WALBytes }},
-		{"ojoin_disk_wal_fsyncs_total", "WAL fsync calls (group commit batches these).",
-			func(s diskstore.Stats) int64 { return s.WALFsyncs }},
-		{"ojoin_disk_seg_fsyncs_total", "Segment-file fsync calls (checkpoints).",
-			func(s diskstore.Stats) int64 { return s.SegFsyncs }},
-		{"ojoin_disk_checkpoints_total", "WAL truncations after a durable segment sync.",
-			func(s diskstore.Stats) int64 { return s.Checkpoints }},
-		{"ojoin_disk_recoveries_total", "Opens that found a non-empty WAL (unclean shutdown).",
-			func(s diskstore.Stats) int64 { return s.Recoveries }},
-		{"ojoin_disk_recovered_records_total", "Complete WAL records replayed during recovery.",
-			func(s diskstore.Stats) int64 { return s.RecoveredRecords }},
-		{"ojoin_disk_torn_tail_bytes_total", "Incomplete WAL tail bytes discarded during recovery.",
-			func(s diskstore.Stats) int64 { return s.TornTailBytes }},
-		{"ojoin_disk_blocks_read_total", "Slot reads served from the segment files.",
-			func(s diskstore.Stats) int64 { return s.BlocksRead }},
-		{"ojoin_disk_blocks_written_total", "Slot writes applied to the segment files.",
-			func(s diskstore.Stats) int64 { return s.BlocksWritten }},
-	}
-	for _, m := range metrics {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", m.name, m.help, m.name)
-		for _, n := range names {
-			fmt.Fprintf(w, "%s{store=%q} %d\n", m.name, n, m.value(perStore[n]))
-		}
-	}
 }

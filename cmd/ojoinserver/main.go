@@ -63,6 +63,9 @@ func main() {
 		maxSessions    = flag.Int("max-sessions", 0, "admission cap on concurrent client sessions (0 = default 64)")
 		sessionTimeout = flag.Duration("session-timeout", 0, "idle deadline after which a silent session is reaped (0 = default 2m)")
 		drainTimeout   = flag.Duration("drain-timeout", 0, "how long shutdown waits for live sessions to end (0 = default 5s)")
+
+		slowOp      = flag.Duration("slow-op-threshold", 0, "log a structured warning for requests slower than this (0 disables)")
+		traceBuffer = flag.Int("trace-buffer", 0, "server span ring capacity for /debug/trace and OpTrace (0 = default 4096)")
 	)
 	var stores []string
 	flag.Func("store", "pre-register a store as name:slots:blocksize (repeatable)", func(v string) error {
@@ -72,11 +75,13 @@ func main() {
 	flag.Parse()
 
 	opts := remote.ServerOptions{
-		MaxFrame:       *maxFrame,
-		MaxStoreBytes:  *maxBytes,
-		MaxSessions:    *maxSessions,
-		SessionTimeout: *sessionTimeout,
-		DrainTimeout:   *drainTimeout,
+		MaxFrame:        *maxFrame,
+		MaxStoreBytes:   *maxBytes,
+		MaxSessions:     *maxSessions,
+		SessionTimeout:  *sessionTimeout,
+		DrainTimeout:    *drainTimeout,
+		SlowOpThreshold: *slowOp,
+		TraceBuffer:     *traceBuffer,
 	}
 	if *latency > 0 || *failEvery > 0 {
 		opts.Faults = &remote.Shaper{Latency: *latency, FailEvery: *failEvery}

@@ -1,0 +1,238 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"oblivjoin/internal/core"
+	"oblivjoin/internal/remote"
+	"oblivjoin/internal/shard"
+	"oblivjoin/internal/storage"
+	"oblivjoin/internal/table"
+	"oblivjoin/internal/telemetry"
+)
+
+// LatencyOp is one wire op's merged server-side latency distribution over
+// a run: quantiles over the fixed-boundary histograms of every shard
+// server, merged bucket-wise (the boundaries are shared by construction).
+type LatencyOp struct {
+	Op     string  `json:"op"`
+	Count  int64   `json:"count"`
+	P50US  float64 `json:"p50_us"`
+	P95US  float64 `json:"p95_us"`
+	P99US  float64 `json:"p99_us"`
+	MeanUS float64 `json:"mean_us"`
+}
+
+// LatencyPoint is one measured shard count: the seeded sort-merge join
+// run over N latency-shaped loopback servers with per-op server-side
+// service-time quantiles, the broker queue-wait / store-I/O
+// decomposition, and the router's per-shard sub-call quantiles.
+type LatencyPoint struct {
+	Shards int     `json:"shards"`
+	WallMS float64 `json:"wall_ms"`
+	// Ops are the per-op service-time distributions, merged across the
+	// run's shard servers and sorted by op name.
+	Ops []LatencyOp `json:"ops"`
+	// QueueWait and StoreIO decompose each server round: time queued
+	// behind other sessions' rounds vs. time in the wrapped store.
+	QueueWait LatencyOp `json:"queue_wait"`
+	StoreIO   LatencyOp `json:"store_io"`
+	// ShardP95US is each shard's sub-call p95 as the router saw it —
+	// client-side, so it includes loopback transport on top of service
+	// time. Skew is the max/mean ratio of per-shard block traffic.
+	ShardP95US []float64 `json:"shard_p95_us"`
+	Skew       float64   `json:"skew"`
+}
+
+// LatencyReport is what the `latency` experiment produces;
+// BENCH_latency.json is one checked-in snapshot.
+type LatencyReport struct {
+	Host
+	Seed              int64          `json:"seed"`
+	Sweep             []int          `json:"shard_sweep"`
+	PerBlockLatencyUS int64          `json:"per_block_latency_us"`
+	Points            []LatencyPoint `json:"points"`
+}
+
+// LatencySweep is the shard-count lineup the latency experiment measures.
+var LatencySweep = []int{1, 4}
+
+// latencyPerBlock is the injected per-block service latency — smaller than
+// the shard experiment's because here the subject is the histogram
+// decomposition, not the speedup curve; it only needs to dominate loopback
+// noise so the quantiles are stable.
+const latencyPerBlock = 200 * time.Microsecond
+
+const usPerNS = 1e-3
+
+func latencyOp(name string, s telemetry.HistogramSnapshot) LatencyOp {
+	return LatencyOp{
+		Op:     name,
+		Count:  s.Count,
+		P50US:  float64(s.Quantile(0.50)) * usPerNS,
+		P95US:  float64(s.Quantile(0.95)) * usPerNS,
+		P99US:  float64(s.Quantile(0.99)) * usPerNS,
+		MeanUS: float64(s.Mean()) * usPerNS,
+	}
+}
+
+// latencyRun measures one shard count: the same loopback topology as
+// shardRun, but what it harvests afterwards is the servers' per-op latency
+// histograms. The distributions include the setup (upload) ops — servers
+// expose cumulative histograms, not deltas — which is fine for a latency
+// profile: setup and query ops of the same kind cost the same under the
+// shaped per-block latency.
+func latencyRun(e *Env, shards int, perBlock time.Duration) (LatencyPoint, error) {
+	pt := LatencyPoint{Shards: shards}
+	var addrs []string
+	var servers []*remote.Server
+	defer func() {
+		for _, srv := range servers {
+			srv.Close()
+		}
+	}()
+	for s := 0; s < shards; s++ {
+		srv := remote.NewServer(remote.ServerOptions{
+			MaxStoreBytes: 1 << 32,
+			Faults:        &remote.Shaper{PerBlock: perBlock},
+		})
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			return pt, err
+		}
+		servers = append(servers, srv)
+		addrs = append(addrs, addr.String())
+	}
+
+	m := storage.NewMeter()
+	pool, err := shard.DialPool(addrs, remote.ClientOptions{Meter: m})
+	if err != nil {
+		return pt, err
+	}
+	defer pool.Close()
+
+	topts, err := e.tableOpts(m, false, false, false)
+	if err != nil {
+		return pt, err
+	}
+	topts.OpenStore = pool.Opener()
+	topts.EvictionBatch = shardEvictionBatch
+	topts.PrefetchDepth = shardEvictionBatch
+	const n = 32
+	r1 := sortBenchRelation("lat1", n, e.Seed)
+	r2 := sortBenchRelation("lat2", n, e.Seed+1)
+	s1, err := table.Store(r1, []string{"k"}, topts)
+	if err != nil {
+		return pt, err
+	}
+	s2, err := table.Store(r2, []string{"k"}, topts)
+	if err != nil {
+		return pt, err
+	}
+	m.Reset()
+	pool.ResetStats()
+	copts, err := e.coreOpts(m)
+	if err != nil {
+		return pt, err
+	}
+	sp := e.Trace.ChildMeter(fmt.Sprintf("latency %d shards", shards), m)
+	copts.Span = sp
+	defer sp.End()
+
+	wall := time.Now()
+	if _, err := core.SortMergeJoin(s1, s2, "k", "k", copts); err != nil {
+		return pt, err
+	}
+	pt.WallMS = float64(time.Since(wall).Nanoseconds()) / 1e6
+
+	// Merge each server's per-op histograms bucket-wise into one
+	// distribution per op, plus the queue-wait / store-I/O decomposition.
+	merged := make(map[string]telemetry.HistogramSnapshot)
+	for _, srv := range servers {
+		for k, s := range srv.HistogramSnapshots() {
+			merged[k] = merged[k].Merge(s)
+		}
+	}
+	var ops []string
+	for k := range merged {
+		if len(k) > 3 && k[:3] == "op." && merged[k].Count > 0 {
+			ops = append(ops, k)
+		}
+	}
+	sort.Strings(ops)
+	for _, k := range ops {
+		pt.Ops = append(pt.Ops, latencyOp(k[3:], merged[k]))
+	}
+	pt.QueueWait = latencyOp("queue_wait", merged["queue_wait"])
+	pt.StoreIO = latencyOp("store_io", merged["store_io"])
+	stats := pool.Stats()
+	for s := range stats {
+		pt.ShardP95US = append(pt.ShardP95US, stats[s].P95MS*1e3)
+	}
+	pt.Skew = shard.Skew(stats)
+	return pt, nil
+}
+
+// LatencyBench measures per-op server-side latency distributions for the
+// seeded join at 1 and 4 latency-shaped loopback shards.
+func LatencyBench(e *Env) (*LatencyReport, error) {
+	return latencyBench(e, LatencySweep, latencyPerBlock)
+}
+
+func latencyBench(e *Env, sweep []int, perBlock time.Duration) (*LatencyReport, error) {
+	rep := &LatencyReport{
+		Host:              CurrentHost(),
+		Seed:              e.Seed,
+		Sweep:             sweep,
+		PerBlockLatencyUS: perBlock.Microseconds(),
+	}
+	for _, shards := range sweep {
+		pt, err := latencyRun(e, shards, perBlock)
+		if err != nil {
+			return nil, err
+		}
+		rep.Points = append(rep.Points, pt)
+	}
+	return rep, nil
+}
+
+// WriteLatencyReport renders the per-op latency tables.
+func WriteLatencyReport(w io.Writer, rep *LatencyReport) {
+	fmt.Fprintf(w, "== LATENCY: per-op server-side service time, %dus injected per-block latency (NumCPU=%d GOMAXPROCS=%d)\n",
+		rep.PerBlockLatencyUS, rep.NumCPU, rep.GOMAXPROCS)
+	for _, p := range rep.Points {
+		fmt.Fprintf(w, "-- %d shard(s): wall %.1f ms, block skew %.3f\n", p.Shards, p.WallMS, p.Skew)
+		fmt.Fprintf(w, "%-12s %8s %10s %10s %10s %10s\n", "op", "count", "p50 us", "p95 us", "p99 us", "mean us")
+		rows := append(append([]LatencyOp{}, p.Ops...), p.QueueWait, p.StoreIO)
+		for _, o := range rows {
+			fmt.Fprintf(w, "%-12s %8d %10.1f %10.1f %10.1f %10.1f\n",
+				o.Op, o.Count, o.P50US, o.P95US, o.P99US, o.MeanUS)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// RunLatency executes the latency experiment and writes the tables; the
+// report is returned for snapshotting (BENCH_latency.json).
+func RunLatency(w io.Writer, e *Env) (*LatencyReport, error) {
+	rep, err := LatencyBench(e)
+	if err != nil {
+		return nil, err
+	}
+	WriteLatencyReport(w, rep)
+	return rep, nil
+}
+
+// MarshalLatencyReport renders a LatencyReport as the BENCH_latency.json
+// snapshot format (indented, trailing newline).
+func MarshalLatencyReport(rep *LatencyReport) ([]byte, error) {
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestLatencyBenchSmoke runs the latency experiment at 1 and 2 shards
+// with a tiny injected per-block latency (CI-fast) and checks the merged
+// per-op histograms, the queue-wait / store-I/O decomposition, and the
+// JSON snapshot round trip.
+func TestLatencyBenchSmoke(t *testing.T) {
+	e := Quick()
+	rep, err := latencyBench(e, []int{1, 2}, 2*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(rep.Points))
+	}
+	for _, p := range rep.Points {
+		if len(p.Ops) == 0 {
+			t.Fatalf("%d-shard point has no per-op distributions", p.Shards)
+		}
+		for _, o := range p.Ops {
+			if o.Count <= 0 {
+				t.Fatalf("op %q has zero count at %d shards", o.Op, p.Shards)
+			}
+			if o.P50US < 0 || o.P95US < o.P50US || o.P99US < o.P95US {
+				t.Fatalf("op %q quantiles not monotone: %+v", o.Op, o)
+			}
+			// 2us per block is injected on every store op, so service-time
+			// medians can't be sub-microsecond.
+			if o.P50US == 0 {
+				t.Fatalf("op %q p50 is zero despite injected latency", o.Op)
+			}
+		}
+		if p.StoreIO.Count == 0 || p.QueueWait.Count == 0 {
+			t.Fatalf("%d-shard point missing the queue/store decomposition: %+v", p.Shards, p)
+		}
+		if len(p.ShardP95US) != p.Shards {
+			t.Fatalf("%d-shard point has %d shard p95 entries", p.Shards, len(p.ShardP95US))
+		}
+		if p.Skew <= 0 {
+			t.Fatalf("%d-shard point skew = %v, want > 0", p.Shards, p.Skew)
+		}
+		if p.WallMS <= 0 {
+			t.Fatalf("%d-shard point wall time %v", p.Shards, p.WallMS)
+		}
+	}
+
+	var buf bytes.Buffer
+	WriteLatencyReport(&buf, rep)
+	if buf.Len() == 0 {
+		t.Fatal("report rendered empty")
+	}
+	out, err := MarshalLatencyReport(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back LatencyReport
+	if err := json.Unmarshal(out, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.PerBlockLatencyUS != 2 || len(back.Points) != 2 {
+		t.Fatalf("snapshot round-trip mismatch: %+v", back)
+	}
+}

@@ -156,8 +156,9 @@ func WriteTable1(w io.Writer, rows []Table1Row) {
 // comparison ("sort"), the telemetry-driven per-phase breakdown ("phases"),
 // the deferred-eviction round-trip comparison ("rounds"), the mem-vs-disk
 // backend invariance check ("disk"), the multi-session serving-layer
-// throughput sweep ("concurrency"), and the striped-store fan-out scaling
-// sweep ("shard").
+// throughput sweep ("concurrency"), the striped-store fan-out scaling
+// sweep ("shard"), and the per-op server-side latency-histogram profile
+// ("latency").
 func Experiments() []string {
 	ids := []string{"table1"}
 	for i := 7; i <= 21; i++ {
@@ -166,7 +167,7 @@ func Experiments() []string {
 	return append(ids,
 		"ablation-blocksize", "ablation-z", "ablation-posmap",
 		"ablation-writeback", "ablation-scheme", "ablation-chained", "ablation-dppad",
-		"sort", "phases", "rounds", "disk", "concurrency", "shard")
+		"sort", "phases", "rounds", "disk", "concurrency", "shard", "latency")
 }
 
 // Run executes one experiment by ID and writes its report.
@@ -193,6 +194,10 @@ func Run(w io.Writer, e *Env, id string) error {
 	}
 	if id == "shard" {
 		_, err := RunShard(w, e)
+		return err
+	}
+	if id == "latency" {
+		_, err := RunLatency(w, e)
 		return err
 	}
 	if id == "table1" {

@@ -45,6 +45,52 @@ func TestInstrumentedTraceIdentical(t *testing.T) {
 	}
 }
 
+// tracedSMJFlight mirrors tracedSMJ with an active trace flight attached
+// to the root span, as Database.StartTrace does: every child span sets
+// the flight's wire phase as it opens. Against in-process stores the
+// flight is pure bookkeeping; this helper proves attaching it changes
+// nothing the server could see.
+func tracedSMJFlight(t *testing.T) ([]storage.Access, string) {
+	t.Helper()
+	m := storage.NewMeter()
+	s1, s2, _, _ := storePair(t, []int64{1, 2, 2, 3, 5, 8, 8, 9}, []int64{1, 2, 2, 2, 8, 9}, m)
+	m.Reset()
+	m.SetTracing(true)
+	opts := testJoinOpts(t, m)
+	f := telemetry.NewFlight()
+	if f.Activate(0) == 0 {
+		t.Fatal("Activate returned zero trace ID")
+	}
+	root := telemetry.Start("query", m)
+	root.SetFlight(f)
+	opts.Span = root
+	if _, err := SortMergeJoin(s1, s2, "k", "k", opts); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	lastPhase := f.Phase()
+	f.Deactivate()
+	return m.Trace(), lastPhase
+}
+
+// TestInstrumentedWithFlightTraceIdentical extends the telemetry guard to
+// distributed tracing: activating a flight (trace ID allocation, span-ID
+// stamping, phase labels) must leave the access trace byte-identical to
+// the untraced run — trace context only annotates requests that would
+// have been sent anyway.
+func TestInstrumentedWithFlightTraceIdentical(t *testing.T) {
+	plain, _, _ := tracedSMJ(t, false)
+	flown, lastPhase := tracedSMJFlight(t)
+	if d := tracecheck.Diff(plain, flown); d != "" {
+		t.Fatalf("flight-traced run's access trace differs:\n%s", d)
+	}
+	// The flight really was exercised: the join's phases advanced the
+	// span-ID/phase state, so this wasn't a vacuous comparison.
+	if lastPhase == "" {
+		t.Fatal("flight phase never set — spans did not drive the flight")
+	}
+}
+
 // TestSpanAttribution verifies the phase tree fully accounts the query's
 // traffic: the root span's delta equals the meter snapshot, and the join
 // phases (load, merge, pad, filter, decode) partition the join's stats.

@@ -7,8 +7,10 @@ import (
 	"hash/crc32"
 	"os"
 	"sync"
+	"time"
 
 	"oblivjoin/internal/storage"
+	"oblivjoin/internal/telemetry"
 )
 
 const (
@@ -119,6 +121,10 @@ type Store struct {
 	unsynced  int
 	closed    bool
 	stats     Stats
+	// fsyncHist records WAL fsync durations on the commit and checkpoint
+	// paths — the durability component of server-side op latency
+	// (DESIGN.md §2.13).
+	fsyncHist *telemetry.Histogram
 }
 
 var (
@@ -140,7 +146,8 @@ func OpenStore(basePath, name string, slots int64, blockSize int, opts Options) 
 	if err != nil {
 		return nil, fmt.Errorf("diskstore: open segment: %w", err)
 	}
-	s := &Store{name: name, slots: slots, blockSize: blockSize, opts: opts, seg: seg}
+	s := &Store{name: name, slots: slots, blockSize: blockSize, opts: opts, seg: seg,
+		fsyncHist: telemetry.NewHistogram()}
 	size, err := seg.Size()
 	if err == nil {
 		if size == 0 {
@@ -340,6 +347,11 @@ func (s *Store) Stats() Stats {
 	return s.stats
 }
 
+// FsyncHistogram snapshots the serving-path WAL fsync latency histogram.
+func (s *Store) FsyncHistogram() telemetry.HistogramSnapshot {
+	return s.fsyncHist.Snapshot()
+}
+
 func (s *Store) slotOff(i int64) int64 {
 	return segHeaderSize + i*int64(s.slotSize)
 }
@@ -405,9 +417,11 @@ func (s *Store) commit(idxs []int64, data [][]byte) error {
 	s.stats.WALBytes += int64(len(rec))
 	s.unsynced++
 	if s.unsynced >= s.opts.syncEvery() {
+		fsyncStart := time.Now()
 		if err := s.wal.Sync(); err != nil {
 			return fmt.Errorf("diskstore: wal sync (%s): %w", s.name, err)
 		}
+		s.fsyncHist.Observe(time.Since(fsyncStart))
 		s.stats.WALFsyncs++
 		s.unsynced = 0
 	}
@@ -436,9 +450,11 @@ func (s *Store) checkpointLocked() error {
 		return fmt.Errorf("diskstore: wal truncate (%s): %w", s.name, err)
 	}
 	s.walSize = walHeaderSize
+	fsyncStart := time.Now()
 	if err := s.wal.Sync(); err != nil {
 		return fmt.Errorf("diskstore: wal sync (%s): %w", s.name, err)
 	}
+	s.fsyncHist.Observe(time.Since(fsyncStart))
 	s.stats.WALFsyncs++
 	s.stats.Checkpoints++
 	s.unsynced = 0

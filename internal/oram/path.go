@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"oblivjoin/internal/storage"
+	"oblivjoin/internal/telemetry"
 	"oblivjoin/internal/xcrypto"
 )
 
@@ -55,6 +56,14 @@ type PathConfig struct {
 	// protocol: every access writes its path back immediately. The setting
 	// propagates to recursive position-map ORAMs.
 	EvictionBatch int
+	// Flight, when non-nil, carries the distributed-trace context: the
+	// scheduler pushes the declared-public "oram.flush" phase around
+	// deferred write-backs so server spans attribute them separately from
+	// the engine phase that happened to trigger the flush. Phase labels
+	// are a function of public schedule state only (flush cadence is
+	// EvictionBatch, a config constant), so the annotation leaks nothing.
+	// Propagates to recursive position-map ORAMs.
+	Flight *telemetry.Flight
 }
 
 type stashEntry struct {

@@ -91,6 +91,7 @@ func newORAMPosMap(parent PathConfig, capacity, cutoff int64, rnd LeafSource) (*
 		RecurseCutoff: cutoff,
 		OpenStore:     parent.OpenStore,
 		EvictionBatch: parent.EvictionBatch,
+		Flight:        parent.Flight,
 	}
 	child, err := NewPathORAM(childCfg)
 	if err != nil {

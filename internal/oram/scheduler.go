@@ -155,6 +155,9 @@ func (s *scheduler) flushNow() error {
 		s.due = false
 		return nil
 	}
+	// The flush round belongs to the (public) eviction schedule, not to
+	// whichever engine phase triggered it — label its wire requests so.
+	defer s.o.cfg.Flight.PushPhase("oram.flush")()
 	es, err := s.sealEvictionSet()
 	if err != nil {
 		return err
@@ -189,7 +192,11 @@ func (s *scheduler) exchangeFetch(leaves []uint32) error {
 		return err
 	}
 	ridxs := s.unionNodes(leaves)
+	// The combined round carries the deferred write-back; label it as the
+	// flush it is (the ride-along fetch is what makes the round free).
+	restore := s.o.cfg.Flight.PushPhase("oram.flush")
 	sealed, err := s.o.exch.Exchange(es.idxs, es.data, ridxs)
+	restore()
 	if err != nil {
 		return err
 	}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"oblivjoin/internal/storage"
+	"oblivjoin/internal/telemetry"
 )
 
 // ClientOptions configures a Client.
@@ -128,6 +129,39 @@ type Client struct {
 	closed  bool
 	ctx     context.Context
 	session int64
+	flight  *telemetry.Flight
+}
+
+// SetFlight attaches a trace-context carrier: while a trace is active on
+// it, every store request is stamped with the trace ID, a fresh span ID,
+// and the current public phase label so the server's spans can be grafted
+// back into the client's span tree. A nil flight detaches. The stamps are
+// a function of public data only (see telemetry.Flight), so traced and
+// untraced runs issue byte-identical store access sequences apart from
+// the trace section itself.
+func (c *Client) SetFlight(f *telemetry.Flight) {
+	c.mu.Lock()
+	c.flight = f
+	c.mu.Unlock()
+}
+
+// stamp fills the request's trace section from the attached flight, if a
+// trace is active. Control ops (hello/bye/trace) stay unstamped: they are
+// not part of the data-access schedule a span tree describes.
+func (c *Client) stamp(req *Request) {
+	switch req.Op {
+	case OpHello, OpBye, OpTrace:
+		return
+	}
+	c.mu.Lock()
+	f := c.flight
+	c.mu.Unlock()
+	if f == nil || !f.Active() {
+		return
+	}
+	req.TraceID = f.TraceID()
+	req.SpanID = f.NextSpanID()
+	req.Phase = f.Phase()
 }
 
 // Dial connects to a block server, verifying reachability with one pooled
@@ -308,6 +342,10 @@ func (c *Client) call(req *Request) (*Response, error) {
 	if req.Session == 0 && req.Op != OpHello {
 		req.Session = c.sessionID()
 	}
+	// Stamp once, before the retry loop: a retried request is the same
+	// logical op, so it keeps its span ID and the server's ring holds one
+	// span per op regardless of transport luck.
+	c.stamp(req)
 	backoff := c.opts.retryBase()
 	var lastErr error
 	for attempt := 0; attempt <= c.opts.maxRetries(); attempt++ {
@@ -360,6 +398,21 @@ func (c *Client) call(req *Request) (*Response, error) {
 	}
 	return nil, fmt.Errorf("remote: %s %q failed after %d attempts: %w",
 		req.Op, req.Store, c.opts.maxRetries()+1, lastErr)
+}
+
+// FetchServerSpans retrieves the server's buffered spans for one trace
+// (0 = everything still in the ring) — the pull half of distributed
+// tracing, issued by Database.EndTrace after the join completes so the
+// telemetry read never interleaves with the oblivious access schedule.
+func (c *Client) FetchServerSpans(traceID uint64) ([]telemetry.ServerSpan, error) {
+	resp, err := c.call(&Request{Op: OpTrace, TraceID: traceID})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Blocks) != 1 {
+		return nil, fmt.Errorf("%w: trace response carries %d payloads", ErrMalformed, len(resp.Blocks))
+	}
+	return ParseSpans(resp.Blocks[0])
 }
 
 // Create provisions a named store on the server and returns a handle to it.

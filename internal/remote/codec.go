@@ -44,6 +44,10 @@ const DefaultMaxFrame = 64 << 20
 // maxStoreName bounds store-name lengths on the wire.
 const maxStoreName = 4096
 
+// maxPhase bounds trace phase labels on the wire (generous over
+// telemetry.MaxPhaseLen so the codec stays decoupled from the registry).
+const maxPhase = 128
+
 // Op identifies a request type.
 type Op uint8
 
@@ -70,6 +74,12 @@ const (
 	// OpBye ends the session named by Session, releasing its admission
 	// slot and checkpointing the stores it touched on a persistent server.
 	OpBye
+	// OpTrace fetches recent server spans for the trace named by TraceID
+	// (0 = all buffered) as a JSON batch in Response.Blocks[0]. It is a
+	// pure telemetry read: it addresses no store, touches no block, and is
+	// excluded from per-store counters and access traces, so fetching a
+	// trace cannot perturb the trace being fetched.
+	OpTrace
 )
 
 func (o Op) String() string {
@@ -92,6 +102,8 @@ func (o Op) String() string {
 		return "hello"
 	case OpBye:
 		return "bye"
+	case OpTrace:
+		return "trace"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}
@@ -139,6 +151,18 @@ type Request struct {
 	// WAN latency included — so a saturated or shaped server fails fast
 	// instead of wedging the session.
 	DeadlineMS int64
+	// TraceID and SpanID carry the distributed-trace context (0 = no
+	// trace): the server records a ServerSpan per traced op, and OpTrace
+	// fetches them back by TraceID. Encoded as an optional trailing
+	// section, so traceless requests stay byte-identical to the previous
+	// wire format.
+	TraceID uint64
+	SpanID  uint64
+	// Phase is the client phase label that caused this op. Labels are
+	// restricted to the declared-public alphabet
+	// (telemetry.DeclarePhases), so the annotation is a function of
+	// public data only.
+	Phase string
 }
 
 // Response is one server→client reply.
@@ -271,12 +295,22 @@ func EncodeRequest(req *Request) []byte {
 	}
 	// The session section is appended only when in use, so a sessionless
 	// request stays byte-identical to the pre-session wire format and an
-	// old server keeps decoding it.
-	if req.Tenant != "" || req.Session != 0 || req.DeadlineMS != 0 {
+	// old server keeps decoding it. A trace context forces the session
+	// section out too (zeroed if unused) because the trace section trails
+	// it positionally.
+	if req.Tenant != "" || req.Session != 0 || req.DeadlineMS != 0 || req.TraceID != 0 {
 		b = binary.AppendUvarint(b, uint64(len(req.Tenant)))
 		b = append(b, req.Tenant...)
 		b = binary.AppendUvarint(b, uint64(req.Session))
 		b = binary.AppendUvarint(b, uint64(req.DeadlineMS))
+	}
+	// The trace section is appended only when a trace is armed, so
+	// untraced requests stay byte-identical to the previous wire format.
+	if req.TraceID != 0 {
+		b = binary.AppendUvarint(b, req.TraceID)
+		b = binary.AppendUvarint(b, req.SpanID)
+		b = binary.AppendUvarint(b, uint64(len(req.Phase)))
+		b = append(b, req.Phase...)
 	}
 	return b
 }
@@ -290,7 +324,7 @@ func DecodeRequest(payload []byte) (*Request, error) {
 	}
 	op := Op(r.b[0])
 	r.b = r.b[1:]
-	if op < OpRead || op > OpBye {
+	if op < OpRead || op > OpTrace {
 		return nil, fmt.Errorf("%w: unknown op %d", ErrMalformed, op)
 	}
 	req := &Request{Op: op}
@@ -369,6 +403,30 @@ func DecodeRequest(payload []byte) (*Request, error) {
 		if req.DeadlineMS, err = r.int64(); err != nil {
 			return nil, err
 		}
+	}
+	// The trace section (trace ID, span ID, phase) trails the session
+	// section under the same skew rule: absent means an untraced request
+	// from any wire-format generation. A present section must carry a
+	// non-zero trace ID — zero means "no trace" and is never encoded, so
+	// accepting it would break the canonical re-encode round trip.
+	if len(r.b) > 0 {
+		if req.TraceID, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		if req.TraceID == 0 {
+			return nil, fmt.Errorf("%w: trace section without trace ID", ErrMalformed)
+		}
+		if req.SpanID, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		phase, err := r.bytes()
+		if err != nil {
+			return nil, err
+		}
+		if len(phase) > maxPhase {
+			return nil, fmt.Errorf("%w: phase label of %d bytes", ErrMalformed, len(phase))
+		}
+		req.Phase = string(phase)
 	}
 	if len(r.b) != 0 {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(r.b))

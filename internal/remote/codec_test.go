@@ -30,6 +30,16 @@ func TestRequestRoundTrip(t *testing.T) {
 		{Op: OpRead, Store: "t1.data", Indices: []int64{7}, Session: 3, DeadlineMS: 2500},
 		{Op: OpExchange, Store: "t1.data", Indices: []int64{0, 3},
 			WriteIndices: []int64{1}, Blocks: [][]byte{[]byte("w")}, Session: 9},
+		// Distributed-trace context rides an optional trailing section.
+		{Op: OpRead, Store: "t1.data", Indices: []int64{7}, TraceID: 0xDEAD, SpanID: 3, Phase: "join.smj"},
+		{Op: OpReadMany, Store: "x", Indices: []int64{0, 5}, Session: 4, DeadlineMS: 900,
+			TraceID: 1, SpanID: 99, Phase: "sort.runs"},
+		{Op: OpExchange, Store: "t1.data", Indices: []int64{0, 3}, WriteIndices: []int64{1},
+			Blocks: [][]byte{[]byte("w")}, TraceID: 7, SpanID: 1, Phase: "oram.flush"},
+		{Op: OpWriteMany, Store: "x", Indices: []int64{1}, Blocks: [][]byte{[]byte("a")},
+			TraceID: 12345678901234567890, SpanID: 2}, // no phase label
+		{Op: OpTrace, TraceID: 55},
+		{Op: OpTrace}, // fetch everything buffered
 	}
 	for _, req := range cases {
 		got, err := DecodeRequest(EncodeRequest(req))
@@ -162,6 +172,84 @@ func TestSessionlessWireCompat(t *testing.T) {
 	}
 }
 
+// TestTracelessWireCompat pins the trace protocol revision's skew rule: a
+// request without a trace context must encode byte-identically to the
+// pre-trace wire format (no trailing trace section), so untraced traffic —
+// including every legacy client's — is untouched by the revision.
+func TestTracelessWireCompat(t *testing.T) {
+	cases := []*Request{
+		{Op: OpReadMany, Store: "x", Indices: []int64{0, 5}},
+		{Op: OpRead, Store: "t1.data", Indices: []int64{7}, Session: 3, DeadlineMS: 2500},
+		{Op: OpHello, Tenant: "acme", Slots: 30_000},
+	}
+	for _, req := range cases {
+		b := EncodeRequest(req)
+		traced := *req
+		traced.TraceID, traced.SpanID, traced.Phase = 9, 1, "load"
+		tb := EncodeRequest(&traced)
+		if len(tb) <= len(b) {
+			t.Fatalf("%s: trace section did not grow the frame", req.Op)
+		}
+		// The untraced frame must be a strict prefix of the traced one up to
+		// the session section: for session-carrying requests the encodings
+		// before the trace section are identical.
+		if req.Session != 0 || req.Tenant != "" || req.DeadlineMS != 0 {
+			if !bytes.HasPrefix(tb, b) {
+				t.Fatalf("%s: traced frame is not untraced frame + trace section", req.Op)
+			}
+		}
+		got, err := DecodeRequest(b)
+		if err != nil || !reflect.DeepEqual(got, req) {
+			t.Fatalf("%s: untraced round trip: %+v, %v", req.Op, got, err)
+		}
+	}
+}
+
+// TestDecodeRequestLegacyTraceless pins tolerance from the other side: a
+// traced request whose trailing trace section is stripped — what an old
+// proxy or a pre-trace peer would have produced for the same op — must
+// still decode, with the trace fields zero. Version skew costs the peer
+// span attribution, never the operation.
+func TestDecodeRequestLegacyTraceless(t *testing.T) {
+	req := &Request{Op: OpRead, Store: "t1.data", Indices: []int64{7},
+		Session: 3, DeadlineMS: 100, TraceID: 77, SpanID: 5, Phase: "join.smj"}
+	full := EncodeRequest(req)
+	bare := *req
+	bare.TraceID, bare.SpanID, bare.Phase = 0, 0, ""
+	stripped := EncodeRequest(&bare)
+	if !bytes.HasPrefix(full, stripped) {
+		t.Fatal("traced frame must extend the traceless frame")
+	}
+	got, err := DecodeRequest(stripped)
+	if err != nil {
+		t.Fatalf("traceless frame rejected: %v", err)
+	}
+	if !reflect.DeepEqual(got, &bare) {
+		t.Fatalf("traceless decode %+v != %+v", got, &bare)
+	}
+}
+
+func TestDecodeRequestTraceMalformed(t *testing.T) {
+	base := EncodeRequest(&Request{Op: OpRead, Store: "s", Indices: []int64{1},
+		Session: 2, TraceID: 9, SpanID: 1, Phase: "load"})
+	longPhase := EncodeRequest(&Request{Op: OpRead, Store: "s", Indices: []int64{1},
+		TraceID: 9, SpanID: 1, Phase: string(bytes.Repeat([]byte{'p'}, 300))})
+	// A trace section whose trace ID is zero is never produced by the
+	// encoder; accepting it would break canonical re-encoding.
+	sess := EncodeRequest(&Request{Op: OpRead, Store: "s", Indices: []int64{1}, Session: 2})
+	zeroTrace := append(append([]byte{}, sess...), 0 /*traceID*/, 5 /*spanID*/, 0 /*phase len*/)
+	cases := map[string][]byte{
+		"truncated trace section": base[:len(base)-2],
+		"over-long phase":         longPhase,
+		"zero trace ID":           zeroTrace,
+	}
+	for name, payload := range cases {
+		if _, err := DecodeRequest(payload); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
 func TestDecodeRequestMalformed(t *testing.T) {
 	base := EncodeRequest(&Request{Op: OpWriteMany, Store: "s", Indices: []int64{1, 2}, Blocks: [][]byte{[]byte("aa"), []byte("bb")}})
 	cases := map[string][]byte{
@@ -215,6 +303,12 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(EncodeRequest(&Request{Op: OpRead, Store: "t", Indices: []int64{1}, Session: 5, DeadlineMS: 900}))
 	f.Add(EncodeResponse(&Response{Status: StatusBusy, Msg: "full"}))
 	f.Add(EncodeResponse(&Response{Status: StatusOK, Slots: 60_000, Session: 7}))
+	// Trace protocol revision: traced op, trace fetch, stripped trace section.
+	f.Add(EncodeRequest(&Request{Op: OpRead, Store: "t", Indices: []int64{1},
+		Session: 5, TraceID: 9, SpanID: 2, Phase: "join.smj"}))
+	f.Add(EncodeRequest(&Request{Op: OpTrace, TraceID: 9}))
+	f.Add(EncodeRequest(&Request{Op: OpExchange, Store: "t", Indices: []int64{0},
+		WriteIndices: []int64{1}, Blocks: [][]byte{[]byte("x")}, TraceID: 1, SpanID: 1, Phase: "oram.flush"}))
 	var framed bytes.Buffer
 	_ = WriteFrame(&framed, EncodeRequest(&Request{Op: OpStat, Store: "t"}))
 	f.Add(framed.Bytes())

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"sort"
 	"sync"
@@ -12,6 +13,7 @@ import (
 
 	"oblivjoin/internal/session"
 	"oblivjoin/internal/storage"
+	"oblivjoin/internal/telemetry"
 )
 
 // Counters is a per-store snapshot of server-side access accounting. Each
@@ -105,6 +107,16 @@ type ServerOptions struct {
 	// before closing connections and stores anyway; 0 means 5s. A server
 	// with no live sessions drains instantly.
 	DrainTimeout time.Duration
+	// TraceBuffer bounds the server-span ring buffer serving OpTrace and
+	// /debug/trace; 0 means telemetry.DefaultSpanRing.
+	TraceBuffer int
+	// SlowOpThreshold, when positive, emits one structured log line per
+	// store op slower than the threshold (rate-limited to one line per
+	// 100ms so a saturated server cannot flood its own log). Zero disables
+	// the slow-op log.
+	SlowOpThreshold time.Duration
+	// SlowLog receives slow-op lines; nil means slog.Default().
+	SlowLog *slog.Logger
 }
 
 func (o ServerOptions) maxFrame() int {
@@ -151,6 +163,18 @@ type Server struct {
 	sessions *session.Manager
 	broker   *session.Broker
 
+	// Latency histograms (fixed-boundary, lock-free observation): one per
+	// wire op, plus the broker queue-wait and store-I/O decomposition of
+	// every guarded round. opHists is built once and never mutated, so
+	// request handlers index it without a lock.
+	opHists   map[Op]*telemetry.Histogram
+	queueWait *telemetry.Histogram
+	storeIO   *telemetry.Histogram
+	// ring buffers recent per-op server spans for OpTrace / /debug/trace.
+	ring *telemetry.SpanRing
+	// slowLast is the UnixNano of the last slow-op line (rate limiting).
+	slowLast atomic.Int64
+
 	mu        sync.Mutex
 	stores    map[string]storage.Store
 	counts    map[string]*counterSet
@@ -164,17 +188,45 @@ type Server struct {
 
 // NewServer returns a server with no stores registered.
 func NewServer(opts ServerOptions) *Server {
+	opHists := make(map[Op]*telemetry.Histogram, 6)
+	for _, op := range []Op{OpRead, OpWrite, OpReadMany, OpWriteMany, OpStat, OpExchange} {
+		opHists[op] = telemetry.NewHistogram()
+	}
 	return &Server{
 		opts: opts,
 		sessions: session.NewManager(session.Options{
 			MaxSessions: opts.MaxSessions,
 			IdleTimeout: opts.SessionTimeout,
 		}),
-		broker: session.NewBroker(),
-		stores: make(map[string]storage.Store),
-		counts: make(map[string]*counterSet),
-		conns:  make(map[*connState]struct{}),
+		broker:    session.NewBroker(),
+		opHists:   opHists,
+		queueWait: telemetry.NewHistogram(),
+		storeIO:   telemetry.NewHistogram(),
+		ring:      telemetry.NewSpanRing(opts.TraceBuffer),
+		stores:    make(map[string]storage.Store),
+		counts:    make(map[string]*counterSet),
+		conns:     make(map[*connState]struct{}),
 	}
+}
+
+// HistogramSnapshots returns the server's latency histograms keyed by a
+// stable metric name: "op.<wire-op>" for per-op service time (fault
+// shaping included), "queue_wait" for broker queue wait, and "store_io"
+// for wrapped-store execution time.
+func (s *Server) HistogramSnapshots() map[string]telemetry.HistogramSnapshot {
+	out := make(map[string]telemetry.HistogramSnapshot, len(s.opHists)+2)
+	for op, h := range s.opHists {
+		out["op."+op.String()] = h.Snapshot()
+	}
+	out["queue_wait"] = s.queueWait.Snapshot()
+	out["store_io"] = s.storeIO.Snapshot()
+	return out
+}
+
+// TraceSpans returns the buffered server spans for a trace (0 = all),
+// oldest first.
+func (s *Server) TraceSpans(traceID uint64) []telemetry.ServerSpan {
+	return s.ring.Snapshot(traceID)
 }
 
 // Sessions exposes the admission table for metrics endpoints.
@@ -335,6 +387,7 @@ func (s *Server) serveConn(cs *connState) {
 // handle executes one request. The fault model runs first so injected
 // latency and transient failures shape every operation uniformly.
 func (s *Server) handle(req *Request) *Response {
+	start := time.Now()
 	if f := s.opts.Faults; f != nil {
 		delay, transient := f.Next(req)
 		// A client-declared deadline the injected latency alone would blow
@@ -355,16 +408,22 @@ func (s *Server) handle(req *Request) *Response {
 		return s.handleHello(req)
 	case OpBye:
 		return s.handleBye(req)
+	case OpTrace:
+		// Pure telemetry read: no store, no counters, no access trace —
+		// fetching a trace never perturbs the trace being fetched.
+		return s.handleTrace(req)
 	}
 	// Resolve the store name through the session layer: session-scoped
 	// requests are qualified into their tenant's namespace; sessionless
 	// requests may not address qualified names directly.
 	name := req.Store
+	tenant := ""
 	if req.Session != 0 {
 		sess, err := s.sessions.Get(req.Session)
 		if err != nil {
 			return &Response{Status: StatusError, Msg: err.Error()}
 		}
+		tenant = sess.Tenant()
 		name = sess.Qualify(req.Store)
 		sess.CountRequest(name)
 	} else if session.Reserved(name) {
@@ -382,6 +441,20 @@ func (s *Server) handle(req *Request) *Response {
 	}
 	c.count(req)
 
+	// Dispatch through a timed view of the broker guard so the round's
+	// cost decomposes into queue wait and store I/O. The view performs the
+	// exact same serialized rounds — instrumentation adds no accesses.
+	var tm session.Timing
+	if g, ok := st.(*session.Guard); ok {
+		st = g.Timed(&tm)
+	}
+	resp := s.dispatch(st, req)
+	s.observe(req, tenant, time.Since(start), tm)
+	return resp
+}
+
+// dispatch executes a store-scoped op against the (possibly timed) store.
+func (s *Server) dispatch(st storage.Store, req *Request) *Response {
 	fail := func(err error) *Response { return &Response{Status: StatusError, Msg: err.Error()} }
 	switch req.Op {
 	case OpRead:
@@ -429,6 +502,74 @@ func (s *Server) handle(req *Request) *Response {
 	default:
 		return fail(fmt.Errorf("remote: unsupported op %s", req.Op))
 	}
+}
+
+// observe records one served store op into the latency histograms, the
+// span ring (traced requests only), and the slow-op log. Everything here
+// is client-visible already — op kind, block count, wall time — so the
+// instrumentation records strictly less than the adversary observes.
+func (s *Server) observe(req *Request, tenant string, d time.Duration, tm session.Timing) {
+	if h := s.opHists[req.Op]; h != nil {
+		h.Observe(d)
+	}
+	s.queueWait.Observe(tm.QueueWait)
+	s.storeIO.Observe(tm.StoreIO)
+	blocks := len(req.Indices) + len(req.WriteIndices)
+	if req.TraceID != 0 {
+		s.ring.Append(telemetry.ServerSpan{
+			TraceID:     req.TraceID,
+			SpanID:      req.SpanID,
+			Phase:       req.Phase,
+			Tenant:      tenant,
+			Session:     req.Session,
+			Store:       req.Store,
+			Op:          req.Op.String(),
+			Blocks:      blocks,
+			QueueWaitNS: int64(tm.QueueWait),
+			StoreIONS:   int64(tm.StoreIO),
+			DurationNS:  int64(d),
+		})
+	}
+	if t := s.opts.SlowOpThreshold; t > 0 && d >= t {
+		s.logSlow(req, tenant, d, blocks)
+	}
+}
+
+// logSlow emits one structured line for an over-threshold op, rate-limited
+// to one line per 100ms so a saturated server cannot flood its own log.
+func (s *Server) logSlow(req *Request, tenant string, d time.Duration, blocks int) {
+	now := time.Now().UnixNano()
+	last := s.slowLast.Load()
+	if now-last < int64(100*time.Millisecond) || !s.slowLast.CompareAndSwap(last, now) {
+		return
+	}
+	lg := s.opts.SlowLog
+	if lg == nil {
+		lg = slog.Default()
+	}
+	var bytes int64
+	for _, b := range req.Blocks {
+		bytes += int64(len(b))
+	}
+	lg.Warn("slow op",
+		"tenant", tenant,
+		"session", req.Session,
+		"op", req.Op.String(),
+		"store", req.Store,
+		"duration", d,
+		"blocks", blocks,
+		"bytes", bytes,
+	)
+}
+
+// handleTrace serves the buffered server spans for req.TraceID (0 = all)
+// as a JSON batch in Blocks[0].
+func (s *Server) handleTrace(req *Request) *Response {
+	data, err := MarshalSpans(s.ring.Snapshot(req.TraceID))
+	if err != nil {
+		return &Response{Status: StatusError, Msg: fmt.Sprintf("remote: trace: %v", err)}
+	}
+	return &Response{Blocks: [][]byte{data}}
 }
 
 // readMany / writeMany prefer the hosted store's native batch support and

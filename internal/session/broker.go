@@ -3,8 +3,10 @@ package session
 import (
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"oblivjoin/internal/storage"
 )
@@ -71,6 +73,10 @@ type BrokerStats struct {
 	// session's round and had to wait — the broker's measure of
 	// cross-session interleaving pressure.
 	Contended int64
+	// WaitNS is the total time rounds spent queued behind other sessions'
+	// rounds, in nanoseconds (accumulated only on contended acquisitions,
+	// so the uncontended fast path stays clock-free).
+	WaitNS int64
 }
 
 // Stats snapshots the broker's aggregate counters.
@@ -85,8 +91,22 @@ func (b *Broker) Stats() BrokerStats {
 	for _, g := range guards {
 		st.Rounds += g.rounds.Load()
 		st.Contended += g.contended.Load()
+		st.WaitNS += g.waitNS.Load()
 	}
 	return st
+}
+
+// Guards returns every guard, sorted by store name — the stable iteration
+// order per-store metrics exports rely on.
+func (b *Broker) Guards() []*Guard {
+	b.mu.Lock()
+	guards := make([]*Guard, 0, len(b.guards))
+	for _, g := range b.guards {
+		guards = append(guards, g)
+	}
+	b.mu.Unlock()
+	sort.Slice(guards, func(i, j int) bool { return guards[i].name < guards[j].name })
+	return guards
 }
 
 // syncer is the optional checkpoint hook persistent stores expose
@@ -110,7 +130,7 @@ func (b *Broker) Checkpoint(names []string) error {
 		if !ok {
 			continue
 		}
-		g.lock()
+		g.lock(nil)
 		err := s.Sync()
 		g.mu.Unlock()
 		if err != nil && first == nil {
@@ -132,7 +152,7 @@ type Guard struct {
 	st   storage.Store
 	mu   sync.Mutex
 
-	rounds, contended atomic.Int64
+	rounds, contended, waitNS atomic.Int64
 }
 
 // Name returns the store name the guard was registered under.
@@ -142,12 +162,30 @@ func (g *Guard) Name() string { return g.name }
 // it directly — the accessor exists for capability checks and tests.
 func (g *Guard) Unwrap() storage.Store { return g.st }
 
+// Timing receives the cost decomposition of guarded rounds performed
+// through a Timed view: how long the round queued behind other sessions'
+// rounds, and how long the wrapped store took to execute it. Both are
+// public under Definition 1 — they are exactly the wall-clock gaps the
+// untrusted server observes anyway.
+type Timing struct {
+	QueueWait time.Duration
+	StoreIO   time.Duration
+}
+
 // lock acquires the round mutex, counting the acquisition and whether it
-// had to wait behind another session's round.
-func (g *Guard) lock() {
+// had to wait behind another session's round. The wait duration is
+// clocked only on contention, so the uncontended fast path costs no
+// time.Now call; t may be nil.
+func (g *Guard) lock(t *Timing) {
 	if !g.mu.TryLock() {
 		g.contended.Add(1)
+		start := time.Now()
 		g.mu.Lock()
+		w := time.Since(start)
+		g.waitNS.Add(int64(w))
+		if t != nil {
+			t.QueueWait += w
+		}
 	}
 	g.rounds.Add(1)
 }
@@ -156,10 +194,24 @@ func (g *Guard) lock() {
 func (g *Guard) Rounds() int64    { return g.rounds.Load() }
 func (g *Guard) Contended() int64 { return g.contended.Load() }
 
+// WaitNS exposes the total contended queue-wait accumulated on this
+// guard, in nanoseconds.
+func (g *Guard) WaitNS() int64 { return g.waitNS.Load() }
+
+// Timed returns a view of the guard that performs the same serialized
+// rounds but additionally decomposes each round's cost into t. The view
+// is cheap (two words) and single-use-friendly: the server builds one per
+// request around its dispatch. The underlying guard, counters, and lock
+// are shared with every other view of the same store.
+func (g *Guard) Timed(t *Timing) storage.ExchangeStore { return timedGuard{g: g, t: t} }
+
 // Len implements storage.Store.
-func (g *Guard) Len() int64 {
-	g.lock()
+func (g *Guard) Len() int64 { return g.len(nil) }
+
+func (g *Guard) len(t *Timing) int64 {
+	g.lock(t)
 	defer g.mu.Unlock()
+	defer clockIO(t)()
 	return g.st.Len()
 }
 
@@ -167,27 +219,46 @@ func (g *Guard) Len() int64 {
 // is taken.
 func (g *Guard) BlockSize() int { return g.st.BlockSize() }
 
+// clockIO starts the store-I/O clock for a round and returns its stop
+// function; a nil Timing costs a single pointer test.
+func clockIO(t *Timing) func() {
+	if t == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { t.StoreIO += time.Since(start) }
+}
+
 // Read implements storage.Store.
-func (g *Guard) Read(i int64) ([]byte, error) {
-	g.lock()
+func (g *Guard) Read(i int64) ([]byte, error) { return g.read(i, nil) }
+
+func (g *Guard) read(i int64, t *Timing) ([]byte, error) {
+	g.lock(t)
 	defer g.mu.Unlock()
+	defer clockIO(t)()
 	return g.st.Read(i)
 }
 
 // Write implements storage.Store.
-func (g *Guard) Write(i int64, data []byte) error {
-	g.lock()
+func (g *Guard) Write(i int64, data []byte) error { return g.write(i, data, nil) }
+
+func (g *Guard) write(i int64, data []byte, t *Timing) error {
+	g.lock(t)
 	defer g.mu.Unlock()
+	defer clockIO(t)()
 	return g.st.Write(i, data)
 }
 
 // ReadMany implements storage.BatchStore as one atomic round.
-func (g *Guard) ReadMany(idxs []int64) ([][]byte, error) {
+func (g *Guard) ReadMany(idxs []int64) ([][]byte, error) { return g.readMany(idxs, nil) }
+
+func (g *Guard) readMany(idxs []int64, t *Timing) ([][]byte, error) {
 	if len(idxs) == 0 {
 		return nil, nil
 	}
-	g.lock()
+	g.lock(t)
 	defer g.mu.Unlock()
+	defer clockIO(t)()
 	if b, ok := g.st.(storage.BatchStore); ok {
 		return b.ReadMany(idxs)
 	}
@@ -204,12 +275,15 @@ func (g *Guard) ReadMany(idxs []int64) ([][]byte, error) {
 
 // WriteMany implements storage.BatchStore as one atomic round, applying
 // positions in slice order so duplicate indices stay last-writer-wins.
-func (g *Guard) WriteMany(idxs []int64, data [][]byte) error {
+func (g *Guard) WriteMany(idxs []int64, data [][]byte) error { return g.writeMany(idxs, data, nil) }
+
+func (g *Guard) writeMany(idxs []int64, data [][]byte, t *Timing) error {
 	if len(idxs) == 0 && len(data) == 0 {
 		return nil
 	}
-	g.lock()
+	g.lock(t)
 	defer g.mu.Unlock()
+	defer clockIO(t)()
 	return g.writeManyLocked(idxs, data)
 }
 
@@ -232,11 +306,16 @@ func (g *Guard) writeManyLocked(idxs []int64, data [][]byte) error {
 // writes land, then the reads are served, with no other session's round
 // in between — exactly the ordering the deferred-eviction flush relies on.
 func (g *Guard) Exchange(writeIdxs []int64, writeData [][]byte, readIdxs []int64) ([][]byte, error) {
+	return g.exchange(writeIdxs, writeData, readIdxs, nil)
+}
+
+func (g *Guard) exchange(writeIdxs []int64, writeData [][]byte, readIdxs []int64, t *Timing) ([][]byte, error) {
 	if len(writeIdxs) == 0 && len(readIdxs) == 0 {
 		return nil, nil
 	}
-	g.lock()
+	g.lock(t)
 	defer g.mu.Unlock()
+	defer clockIO(t)()
 	if x, ok := g.st.(storage.ExchangeStore); ok {
 		return x.Exchange(writeIdxs, writeData, readIdxs)
 	}
@@ -272,7 +351,29 @@ func (g *Guard) Close() error {
 	return nil
 }
 
+// timedGuard is the view Timed returns: every round goes through the
+// shared guard with its cost decomposed into t.
+type timedGuard struct {
+	g *Guard
+	t *Timing
+}
+
+func (v timedGuard) Len() int64                       { return v.g.len(v.t) }
+func (v timedGuard) BlockSize() int                   { return v.g.BlockSize() }
+func (v timedGuard) Read(i int64) ([]byte, error)     { return v.g.read(i, v.t) }
+func (v timedGuard) Write(i int64, data []byte) error { return v.g.write(i, data, v.t) }
+func (v timedGuard) ReadMany(i []int64) ([][]byte, error) {
+	return v.g.readMany(i, v.t)
+}
+func (v timedGuard) WriteMany(i []int64, d [][]byte) error {
+	return v.g.writeMany(i, d, v.t)
+}
+func (v timedGuard) Exchange(wi []int64, wd [][]byte, ri []int64) ([][]byte, error) {
+	return v.g.exchange(wi, wd, ri, v.t)
+}
+
 var (
 	_ storage.ExchangeStore = (*Guard)(nil)
 	_ io.Closer             = (*Guard)(nil)
+	_ storage.ExchangeStore = timedGuard{}
 )

@@ -8,54 +8,106 @@ import (
 
 	"oblivjoin/internal/remote"
 	"oblivjoin/internal/storage"
+	"oblivjoin/internal/telemetry"
 )
 
 // Stat is one shard's cumulative fan-out traffic across every store of a
-// Pool: how many sub-batches it was sent and how many blocks they carried.
-// These are the quantities shard s observes on its own wire — a projection
-// of the global (already-public) schedule, so exposing them leaks nothing
-// beyond Definition 1.
+// Pool: how many sub-batches it was sent, how many blocks they carried,
+// and how long the sub-calls took (quantiles over the per-shard latency
+// histogram). These are the quantities shard s observes on its own wire —
+// a projection of the global (already-public) schedule plus timing the
+// untrusted shard controls anyway, so exposing them leaks nothing beyond
+// Definition 1.
 type Stat struct {
 	Addr    string `json:"addr,omitempty"`
 	Batches int64  `json:"batches"`
 	Blocks  int64  `json:"blocks"`
+	// Sub-call latency quantiles in milliseconds (0 when no batches yet).
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MeanMS float64 `json:"mean_ms"`
 }
 
-// Stats holds per-shard fan-out counters, shared by every Router a Pool
-// opens. Safe for concurrent use.
+// Stats holds per-shard fan-out counters and latency histograms, shared
+// by every Router a Pool opens. Safe for concurrent use.
 type Stats struct {
 	batches []atomic.Int64
 	blocks  []atomic.Int64
+	hists   []*telemetry.Histogram
 }
 
 // NewStats allocates counters for n shards.
 func NewStats(n int) *Stats {
-	return &Stats{batches: make([]atomic.Int64, n), blocks: make([]atomic.Int64, n)}
+	s := &Stats{
+		batches: make([]atomic.Int64, n),
+		blocks:  make([]atomic.Int64, n),
+		hists:   make([]*telemetry.Histogram, n),
+	}
+	for i := range s.hists {
+		s.hists[i] = telemetry.NewHistogram()
+	}
+	return s
 }
 
 // Shards returns the shard count the counters cover.
 func (s *Stats) Shards() int { return len(s.batches) }
 
-func (s *Stats) add(shard, blocks int) {
+func (s *Stats) add(shard, blocks int, d time.Duration) {
 	s.batches[shard].Add(1)
 	s.blocks[shard].Add(int64(blocks))
+	s.hists[shard].Observe(d)
 }
 
-// Snapshot returns one Stat per shard.
+// Histogram returns shard s's sub-call latency snapshot.
+func (s *Stats) Histogram(shard int) telemetry.HistogramSnapshot {
+	return s.hists[shard].Snapshot()
+}
+
+const msPerNS = 1e-6
+
+// Snapshot returns one Stat per shard, quantiles included.
 func (s *Stats) Snapshot() []Stat {
 	out := make([]Stat, len(s.batches))
 	for i := range out {
-		out[i] = Stat{Batches: s.batches[i].Load(), Blocks: s.blocks[i].Load()}
+		h := s.hists[i].Snapshot()
+		out[i] = Stat{
+			Batches: s.batches[i].Load(),
+			Blocks:  s.blocks[i].Load(),
+			P50MS:   float64(h.Quantile(0.50)) * msPerNS,
+			P95MS:   float64(h.Quantile(0.95)) * msPerNS,
+			P99MS:   float64(h.Quantile(0.99)) * msPerNS,
+			MeanMS:  float64(h.Mean()) * msPerNS,
+		}
 	}
 	return out
 }
 
-// Reset zeroes every counter (benchmarks reset after setup, mirroring
-// Meter.Reset: upload traffic is not query cost).
+// Skew returns the max/mean ratio of per-shard block counts — 1.0 is a
+// perfectly balanced stripe, higher means one shard carries dispropor-
+// tionate traffic. Returns 0 when no blocks have moved.
+func Skew(stats []Stat) float64 {
+	var total, max int64
+	for _, st := range stats {
+		total += st.Blocks
+		if st.Blocks > max {
+			max = st.Blocks
+		}
+	}
+	if total == 0 || len(stats) == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(len(stats))
+	return float64(max) / mean
+}
+
+// Reset zeroes every counter and histogram (benchmarks reset after setup,
+// mirroring Meter.Reset: upload traffic is not query cost).
 func (s *Stats) Reset() {
 	for i := range s.batches {
 		s.batches[i].Store(0)
 		s.blocks[i].Store(0)
+		s.hists[i].Reset()
 	}
 }
 
@@ -154,6 +206,34 @@ func (p *Pool) Opener() storage.Opener {
 	}
 }
 
+// SetFlight attaches a trace-context carrier to every per-shard client
+// (DialPool pools only; NewPool backends are in-process and carry no wire
+// trace). Store requests on every shard are then stamped from the same
+// flight, so one trace ID spans the whole fan-out.
+func (p *Pool) SetFlight(f *telemetry.Flight) {
+	for _, c := range p.clients {
+		c.SetFlight(f)
+	}
+}
+
+// FetchServerSpans retrieves each shard server's buffered spans for one
+// trace (0 = everything), indexed by shard. NewPool pools return nil —
+// there is no server to ask.
+func (p *Pool) FetchServerSpans(traceID uint64) ([][]telemetry.ServerSpan, error) {
+	if len(p.clients) == 0 {
+		return nil, nil
+	}
+	out := make([][]telemetry.ServerSpan, len(p.clients))
+	for s, c := range p.clients {
+		spans, err := c.FetchServerSpans(traceID)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", s, err)
+		}
+		out[s] = spans
+	}
+	return out, nil
+}
+
 // StartSessions opens one tenant session per shard server (DialPool pools
 // only), so the striped sub-stores live in the tenant's namespace on every
 // shard. Sessions are independent per server; a saturated shard reports
@@ -193,5 +273,12 @@ func (p *Pool) WriteMetrics(w io.Writer) {
 	fmt.Fprintf(w, "# HELP ojoin_shard_blocks_total Blocks carried by those sub-batches.\n# TYPE ojoin_shard_blocks_total counter\n")
 	for s, st := range stats {
 		fmt.Fprintf(w, "ojoin_shard_blocks_total{shard=\"%d\",addr=%q} %d\n", s, st.Addr, st.Blocks)
+	}
+	fmt.Fprintf(w, "# HELP ojoin_shard_skew_ratio Max/mean per-shard block traffic (1.0 = balanced stripe).\n# TYPE ojoin_shard_skew_ratio gauge\n")
+	fmt.Fprintf(w, "ojoin_shard_skew_ratio %.6f\n", Skew(stats))
+	fmt.Fprintf(w, "# HELP ojoin_shard_latency_seconds Sub-call latency per shard as seen by the router.\n# TYPE ojoin_shard_latency_seconds histogram\n")
+	for s, st := range stats {
+		telemetry.WriteHistogramText(w, "ojoin_shard_latency_seconds",
+			fmt.Sprintf("shard=\"%d\",addr=%q", s, st.Addr), p.stats.Histogram(s))
 	}
 }

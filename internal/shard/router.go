@@ -3,6 +3,7 @@ package shard
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"oblivjoin/internal/storage"
 )
@@ -112,9 +113,12 @@ func (r *Router) BlockSize() int { return r.blockSize }
 // Shards returns the shard count.
 func (r *Router) Shards() int { return len(r.subs) }
 
-func (r *Router) record(shard, blocks int) {
+// record accounts one sub-call against shard: batch and block counters
+// plus the per-shard latency histogram that feeds Pool.Stats quantiles
+// and the ojoin_shard_latency_seconds metric.
+func (r *Router) record(shard, blocks int, d time.Duration) {
 	if r.stats != nil {
-		r.stats.add(shard, blocks)
+		r.stats.add(shard, blocks, d)
 	}
 }
 
@@ -125,11 +129,12 @@ func (r *Router) Read(i int64) ([]byte, error) {
 		return nil, fmt.Errorf("%w: read %d of %d (%s)", storage.ErrOutOfRange, i, r.slots, r.name)
 	}
 	s := ShardOf(i, len(r.subs))
+	start := time.Now()
 	blk, err := r.subs[s].Read(LocalIndex(i, len(r.subs)))
 	if err != nil {
 		return nil, fmt.Errorf("shard %d: %w", s, err)
 	}
-	r.record(s, 1)
+	r.record(s, 1, time.Since(start))
 	if r.meter != nil {
 		r.meter.CountBatch(r.name, storage.KindRead, []int64{i}, r.blockSize)
 	}
@@ -145,10 +150,11 @@ func (r *Router) Write(i int64, data []byte) error {
 		return fmt.Errorf("shard: write of %d bytes to %d-byte block (%s)", len(data), r.blockSize, r.name)
 	}
 	s := ShardOf(i, len(r.subs))
+	start := time.Now()
 	if err := r.subs[s].Write(LocalIndex(i, len(r.subs)), data); err != nil {
 		return fmt.Errorf("shard %d: %w", s, err)
 	}
-	r.record(s, 1)
+	r.record(s, 1, time.Since(start))
 	if r.meter != nil {
 		r.meter.CountBatch(r.name, storage.KindWrite, []int64{i}, r.blockSize)
 	}
@@ -224,6 +230,7 @@ func (r *Router) ReadMany(idxs []int64) ([][]byte, error) {
 	locals, positions := r.split(idxs)
 	out := make([][]byte, len(idxs))
 	err := r.fanOut(involvedShards(locals), func(s int) error {
+		start := time.Now()
 		blks, err := r.subs[s].ReadMany(locals[s])
 		if err != nil {
 			return err
@@ -234,7 +241,7 @@ func (r *Router) ReadMany(idxs []int64) ([][]byte, error) {
 		for k, pos := range positions[s] {
 			out[pos] = blks[k]
 		}
-		r.record(s, len(locals[s]))
+		r.record(s, len(locals[s]), time.Since(start))
 		return nil
 	})
 	if err != nil {
@@ -271,10 +278,11 @@ func (r *Router) WriteMany(idxs []int64, data [][]byte) error {
 		for k, pos := range positions[s] {
 			sub[k] = data[pos]
 		}
+		start := time.Now()
 		if err := r.subs[s].WriteMany(locals[s], sub); err != nil {
 			return err
 		}
-		r.record(s, len(locals[s]))
+		r.record(s, len(locals[s]), time.Since(start))
 		return nil
 	})
 	if err != nil {
@@ -331,6 +339,7 @@ func (r *Router) Exchange(writeIdxs []int64, writeData [][]byte, readIdxs []int6
 		for k, pos := range wPositions[s] {
 			wSub[k] = writeData[pos]
 		}
+		start := time.Now()
 		blks, err := r.subExchange(s, wLocals[s], wSub, rLocals[s])
 		if err != nil {
 			return err
@@ -341,7 +350,7 @@ func (r *Router) Exchange(writeIdxs []int64, writeData [][]byte, readIdxs []int6
 		for k, pos := range rPositions[s] {
 			out[pos] = blks[k]
 		}
-		r.record(s, len(wLocals[s])+len(rLocals[s]))
+		r.record(s, len(wLocals[s])+len(rLocals[s]), time.Since(start))
 		return nil
 	})
 	if err != nil {

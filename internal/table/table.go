@@ -20,6 +20,7 @@ import (
 	"oblivjoin/internal/oram"
 	"oblivjoin/internal/relation"
 	"oblivjoin/internal/storage"
+	"oblivjoin/internal/telemetry"
 	"oblivjoin/internal/xcrypto"
 )
 
@@ -68,6 +69,10 @@ type Options struct {
 	// in the non-padded mode; see core.Options.PrefetchDepth for the
 	// leakage argument.
 	PrefetchDepth int
+	// Flight carries the distributed-trace context down to the Path-ORAM
+	// schedulers so deferred eviction flushes annotate their wire requests
+	// with the "oram.flush" phase; may be nil. See oram.PathConfig.Flight.
+	Flight *telemetry.Flight
 }
 
 // Scheme identifies an ORAM construction.
@@ -193,6 +198,7 @@ func StoreShared(rels []*relation.Relation, indexAttrs map[string][]string, opts
 		RecursePosMap: opts.RecursePosMap,
 		OpenStore:     opts.OpenStore,
 		EvictionBatch: opts.EvictionBatch,
+		Flight:        opts.Flight,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -329,6 +335,7 @@ func newStore(name string, capacity int64, opts Options) (oram.ORAM, error) {
 		RecursePosMap: opts.RecursePosMap,
 		OpenStore:     opts.OpenStore,
 		EvictionBatch: opts.EvictionBatch,
+		Flight:        opts.Flight,
 	})
 }
 

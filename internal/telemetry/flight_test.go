@@ -1,0 +1,179 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFlightLifecycle(t *testing.T) {
+	f := NewFlight()
+	if f.Active() || f.TraceID() != 0 {
+		t.Fatal("new flight must be inactive")
+	}
+	id := f.Activate(0)
+	if id == 0 || !f.Active() || f.TraceID() != id {
+		t.Fatalf("activate: id=%d active=%v", id, f.Active())
+	}
+	if got := f.Activate(42); got != 42 || f.TraceID() != 42 {
+		t.Fatalf("explicit activate: got %d", got)
+	}
+	a, b := f.NextSpanID(), f.NextSpanID()
+	if a == 0 || b == a {
+		t.Fatalf("span IDs must be fresh: %d, %d", a, b)
+	}
+	f.Deactivate()
+	if f.Active() || f.Phase() != "" {
+		t.Fatal("deactivate must clear trace and phase")
+	}
+}
+
+func TestFlightPhaseRegistry(t *testing.T) {
+	f := NewFlight()
+	f.SetPhase("join.smj")
+	if f.Phase() != "join.smj" {
+		t.Fatalf("declared phase rejected: %q", f.Phase())
+	}
+	// Undeclared labels must be dropped: an accidental data-derived string
+	// can never ride the wire.
+	f.SetPhase("secret-key-17")
+	if f.Phase() != "join.smj" {
+		t.Fatalf("undeclared phase accepted: %q", f.Phase())
+	}
+	if PublicPhase("secret-key-17") {
+		t.Fatal("undeclared label reported public")
+	}
+	long := make([]byte, MaxPhaseLen+1)
+	for i := range long {
+		long[i] = 'a'
+	}
+	DeclarePhases(string(long))
+	if PublicPhase(string(long)) {
+		t.Fatal("over-long phase label must not register")
+	}
+	DeclarePhases("custom.phase")
+	f.SetPhase("custom.phase")
+	if f.Phase() != "custom.phase" {
+		t.Fatal("declared custom phase rejected")
+	}
+}
+
+func TestFlightPushPhase(t *testing.T) {
+	f := NewFlight()
+	f.SetPhase("load")
+	restore := f.PushPhase("oram.flush")
+	if f.Phase() != "oram.flush" {
+		t.Fatalf("push: %q", f.Phase())
+	}
+	restore()
+	if f.Phase() != "load" {
+		t.Fatalf("restore: %q", f.Phase())
+	}
+}
+
+func TestFlightNilSafe(t *testing.T) {
+	var f *Flight
+	if f.Activate(7) != 0 || f.Active() || f.TraceID() != 0 || f.NextSpanID() != 0 || f.Phase() != "" {
+		t.Fatal("nil flight must no-op")
+	}
+	f.SetPhase("load")
+	f.PushPhase("load")()
+	f.Deactivate()
+}
+
+func TestSpanFlightPropagation(t *testing.T) {
+	f := NewFlight()
+	root := Start("ojoin", nil)
+	root.SetFlight(f)
+	c := root.Child("join.smj")
+	if c.Flight() != f {
+		t.Fatal("child must inherit parent flight")
+	}
+	if f.Phase() != "join.smj" {
+		t.Fatalf("opening a child must advance the flight phase: %q", f.Phase())
+	}
+	g := c.Child("sort.runs")
+	if g.Flight() != f || f.Phase() != "sort.runs" {
+		t.Fatalf("grandchild propagation: phase %q", f.Phase())
+	}
+	// Undeclared child names leave the phase at the last declared one.
+	c.Child("not-a-declared-phase")
+	if f.Phase() != "sort.runs" {
+		t.Fatalf("undeclared child name changed phase: %q", f.Phase())
+	}
+}
+
+func TestStaticSpanAdopt(t *testing.T) {
+	root := Start("root", nil)
+	srv := NewStatic("server.shard.0", 5*time.Millisecond)
+	srv.SetAttr("blocks", 12)
+	child := NewStatic("read-many", 2*time.Millisecond)
+	srv.Adopt(child)
+	root.Adopt(srv)
+	root.Adopt(nil)
+	root.End()
+	n := root.Export()
+	got := n.Find("server.shard.0")
+	if got == nil {
+		t.Fatal("adopted span missing from export")
+	}
+	if got.Duration() != 5*time.Millisecond {
+		t.Fatalf("static duration = %v", got.Duration())
+	}
+	if got.Attrs["blocks"] != 12 {
+		t.Fatalf("attrs = %v", got.Attrs)
+	}
+	if n.Find("read-many") == nil {
+		t.Fatal("nested adopted span missing")
+	}
+}
+
+func TestSpanRing(t *testing.T) {
+	r := NewSpanRing(4)
+	for i := 1; i <= 6; i++ {
+		r.Append(ServerSpan{TraceID: uint64(i % 2), SpanID: uint64(i)})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("len = %d, want 4", r.Len())
+	}
+	if r.Total() != 6 {
+		t.Fatalf("total = %d, want 6", r.Total())
+	}
+	all := r.Snapshot(0)
+	if len(all) != 4 || all[0].SpanID != 3 || all[3].SpanID != 6 {
+		t.Fatalf("snapshot order: %+v", all)
+	}
+	odd := r.Snapshot(1)
+	for _, s := range odd {
+		if s.TraceID != 1 {
+			t.Fatalf("filter leaked trace %d", s.TraceID)
+		}
+	}
+	if len(odd) != 2 {
+		t.Fatalf("filtered len = %d, want 2", len(odd))
+	}
+	var nilRing *SpanRing
+	nilRing.Append(ServerSpan{})
+	if nilRing.Snapshot(0) != nil || nilRing.Len() != 0 || nilRing.Total() != 0 {
+		t.Fatal("nil ring must no-op")
+	}
+}
+
+func TestSpanRingConcurrent(t *testing.T) {
+	r := NewSpanRing(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Append(ServerSpan{TraceID: uint64(g), SpanID: uint64(i)})
+				_ = r.Snapshot(uint64(g))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Total() != 1600 {
+		t.Fatalf("total = %d", r.Total())
+	}
+}

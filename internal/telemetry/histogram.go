@@ -1,0 +1,173 @@
+package telemetry
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// defaultBounds are the fixed histogram bucket upper bounds: exponential
+// from 1µs to ~8.4s (doubling), wide enough for an in-process store op on
+// one end and a WAN-shaped batched exchange on the other. Fixed boundaries
+// keep observation lock-free (one atomic add) and make histograms from
+// different processes mergeable bucket-by-bucket.
+var defaultBounds = func() []time.Duration {
+	b := make([]time.Duration, 0, 24)
+	for d := time.Microsecond; d <= 8*time.Second; d *= 2 {
+		b = append(b, d)
+	}
+	return b
+}()
+
+// Histogram is a fixed-boundary latency histogram safe for concurrent
+// observation: every bucket is an atomic counter, so Observe costs one
+// binary search plus one atomic add and never blocks the operation it
+// measures. Durations above the last bound land in an overflow bucket.
+// The zero value is NOT ready; use NewHistogram.
+type Histogram struct {
+	bounds []time.Duration
+	counts []atomic.Int64 // len(bounds)+1; last is overflow
+	sum    atomic.Int64   // nanoseconds
+	count  atomic.Int64
+}
+
+// NewHistogram returns a histogram over the default exponential bounds
+// (1µs .. ~8.4s, doubling).
+func NewHistogram() *Histogram {
+	return &Histogram{
+		bounds: defaultBounds,
+		counts: make([]atomic.Int64, len(defaultBounds)+1),
+	}
+}
+
+// Observe records one duration. Negative durations clamp to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	// Binary search for the first bound >= d.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < d {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	h.sum.Add(int64(d))
+	h.count.Add(1)
+}
+
+// HistogramSnapshot is a consistent-enough point-in-time copy of a
+// histogram (buckets are read individually, so a snapshot taken under
+// concurrent observation may be off by in-flight observations — fine for
+// telemetry, never used for control decisions).
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds in nanoseconds.
+	Bounds []int64 `json:"bounds_ns"`
+	// Counts has len(Bounds)+1 entries; the last is the overflow bucket.
+	Counts []int64 `json:"counts"`
+	// Sum is the total observed nanoseconds.
+	Sum int64 `json:"sum_ns"`
+	// Count is the number of observations.
+	Count int64 `json:"count"`
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Bounds: make([]int64, len(h.bounds)),
+		Counts: make([]int64, len(h.counts)),
+		Sum:    h.sum.Load(),
+		Count:  h.count.Load(),
+	}
+	for i, b := range h.bounds {
+		s.Bounds[i] = int64(b)
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Reset zeroes every bucket and the running totals. Concurrent observers
+// are never blocked (plain atomic stores), so a reset racing in-flight
+// observations may keep a straggler — fine for telemetry, which is the
+// same tolerance Snapshot has.
+func (h *Histogram) Reset() {
+	if h == nil {
+		return
+	}
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.sum.Store(0)
+	h.count.Store(0)
+}
+
+// Count returns the number of observations so far.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Quantile estimates the q-th quantile (0..1) by linear interpolation
+// within the containing bucket; observations in the overflow bucket report
+// the top bound. Returns 0 for an empty histogram.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		next := cum + float64(c)
+		if next >= rank && c > 0 {
+			if i >= len(s.Bounds) {
+				// Overflow: report the top finite bound.
+				return time.Duration(s.Bounds[len(s.Bounds)-1])
+			}
+			lower := int64(0)
+			if i > 0 {
+				lower = s.Bounds[i-1]
+			}
+			upper := s.Bounds[i]
+			frac := 0.0
+			if c > 0 {
+				frac = (rank - cum) / float64(c)
+			}
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return time.Duration(float64(lower) + frac*float64(upper-lower))
+		}
+		cum = next
+	}
+	return time.Duration(s.Bounds[len(s.Bounds)-1])
+}
+
+// Mean returns the average observed duration, or 0 when empty.
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.Sum / s.Count)
+}

@@ -1,0 +1,103 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramObserveAndQuantile(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if s.Sum != int64(100*time.Millisecond) {
+		t.Fatalf("sum = %d, want %d", s.Sum, int64(100*time.Millisecond))
+	}
+	// All observations are in the bucket whose bound is >= 1ms; the
+	// interpolated median must land within that bucket's range.
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		v := s.Quantile(q)
+		if v < 512*time.Microsecond || v > 2*time.Millisecond {
+			t.Fatalf("quantile(%v) = %v, want within (0.5ms, 2ms]", q, v)
+		}
+	}
+	if m := s.Mean(); m != time.Millisecond {
+		t.Fatalf("mean = %v, want 1ms", m)
+	}
+}
+
+func TestHistogramQuantileOrdering(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	p50, p95 := s.Quantile(0.5), s.Quantile(0.95)
+	if p50 >= p95 {
+		t.Fatalf("p50 %v >= p95 %v", p50, p95)
+	}
+	if p95 < 10*time.Millisecond {
+		t.Fatalf("p95 = %v, want >= 10ms (tail dominated)", p95)
+	}
+}
+
+func TestHistogramOverflowAndEdges(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(time.Hour) // beyond the top bound → overflow bucket
+	h.Observe(-time.Second)
+	s := h.Snapshot()
+	if s.Count != 2 {
+		t.Fatalf("count = %d, want 2", s.Count)
+	}
+	if s.Counts[len(s.Counts)-1] != 1 {
+		t.Fatalf("overflow bucket = %d, want 1", s.Counts[len(s.Counts)-1])
+	}
+	if s.Counts[0] != 1 {
+		t.Fatalf("first bucket = %d, want 1 (negative clamps to zero)", s.Counts[0])
+	}
+	top := time.Duration(s.Bounds[len(s.Bounds)-1])
+	if q := s.Quantile(1); q != top {
+		t.Fatalf("quantile(1) = %v, want top bound %v", q, top)
+	}
+	var empty HistogramSnapshot
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Fatal("empty snapshot must report zero quantile and mean")
+	}
+}
+
+func TestHistogramNilSafe(t *testing.T) {
+	var h *Histogram
+	h.Observe(time.Second)
+	if h.Count() != 0 {
+		t.Fatal("nil histogram count")
+	}
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Fatal("nil histogram snapshot")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(g+1) * time.Millisecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c := h.Count(); c != 8000 {
+		t.Fatalf("count = %d, want 8000", c)
+	}
+}

@@ -1,0 +1,68 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+)
+
+// Seconds formats nanoseconds as a decimal seconds string without float
+// drift — the Prometheus duration convention used by every histogram and
+// wait-time sample this module exports.
+func Seconds(ns int64) string {
+	return fmt.Sprintf("%d.%09d", ns/1e9, ns%1e9)
+}
+
+// WriteHistogramText renders one histogram snapshot in the Prometheus
+// text exposition format (cumulative _bucket{le=...} in seconds, _sum,
+// _count) under the given metric name and optional extra label set (e.g.
+// `op="read"`). HELP/TYPE headers are the caller's job so several
+// labeled series can share one family.
+func WriteHistogramText(w io.Writer, name, labels string, s HistogramSnapshot) {
+	sep := func(le string) string {
+		if labels == "" {
+			return fmt.Sprintf("{le=%q}", le)
+		}
+		return fmt.Sprintf("{%s,le=%q}", labels, le)
+	}
+	var cum int64
+	for i, b := range s.Bounds {
+		if i < len(s.Counts) {
+			cum += s.Counts[i]
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, sep(Seconds(b)), cum)
+	}
+	if len(s.Counts) > 0 {
+		cum += s.Counts[len(s.Counts)-1]
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, sep("+Inf"), cum)
+	suffix := ""
+	if labels != "" {
+		suffix = "{" + labels + "}"
+	}
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, suffix, Seconds(s.Sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, suffix, s.Count)
+}
+
+// Merge returns the bucket-wise sum of two snapshots over identical
+// bounds — how a directory of stores aggregates per-store histograms, or
+// a client merges per-shard ones. An empty snapshot merges as identity.
+func (s HistogramSnapshot) Merge(o HistogramSnapshot) HistogramSnapshot {
+	if s.Count == 0 && len(s.Bounds) == 0 {
+		return o
+	}
+	if o.Count == 0 && len(o.Bounds) == 0 {
+		return s
+	}
+	out := HistogramSnapshot{
+		Bounds: append([]int64(nil), s.Bounds...),
+		Counts: append([]int64(nil), s.Counts...),
+		Sum:    s.Sum + o.Sum,
+		Count:  s.Count + o.Count,
+	}
+	for i := range out.Counts {
+		if i < len(o.Counts) {
+			out.Counts[i] += o.Counts[i]
+		}
+	}
+	return out
+}

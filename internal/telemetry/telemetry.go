@@ -43,6 +43,7 @@ type Span struct {
 	mu         sync.Mutex
 	name       string
 	meter      *storage.Meter
+	flight     *Flight
 	start      time.Time
 	startStats storage.Stats
 	dur        time.Duration
@@ -83,16 +84,77 @@ func (s *Span) Child(name string) *Span {
 // ChildMeter opens a sub-span bound to an explicit meter — used when a
 // parent aggregates executions that each account to their own Meter (the
 // bench harness) or when a phase's traffic flows through a different
-// meter than its parent's.
+// meter than its parent's. The parent's flight (if any) propagates to the
+// child, and the flight's current phase label advances to the child's
+// name — that is the only hook distributed tracing needs in the engine:
+// every operator already opens a phase span, so every outgoing request is
+// stamped with the declared-public phase that caused it.
 func (s *Span) ChildMeter(name string, m *storage.Meter) *Span {
 	if s == nil {
 		return nil
 	}
 	c := Start(name, m)
 	s.mu.Lock()
+	f := s.flight
+	c.flight = f
 	s.children = append(s.children, c)
 	s.mu.Unlock()
+	f.SetPhase(name)
 	return c
+}
+
+// SetFlight attaches a trace-context carrier to the span; children opened
+// afterwards inherit it and advance its phase label as they open.
+func (s *Span) SetFlight(f *Flight) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.flight = f
+	s.mu.Unlock()
+}
+
+// Flight returns the span's attached trace-context carrier, or nil.
+func (s *Span) Flight() *Flight {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flight
+}
+
+// NewStatic builds an already-ended span with a fixed duration — the
+// grafting primitive Database.EndTrace uses to splice server-reported
+// spans into the client tree. Static spans carry no meter; their stats
+// stay zero unless children contribute on export.
+func NewStatic(name string, d time.Duration) *Span {
+	return &Span{name: name, dur: d, ended: true, start: time.Now()}
+}
+
+// Adopt attaches an existing span (typically a NewStatic subtree) as a
+// child. Nil children are ignored.
+func (s *Span) Adopt(c *Span) {
+	if s == nil || c == nil {
+		return
+	}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+}
+
+// SetDuration overrides an ended (static) span's duration — used when a
+// grafted group's total is only known after its children are attached.
+// No-op on a live span, whose duration End measures.
+func (s *Span) SetDuration(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.dur = d
+	}
+	s.mu.Unlock()
 }
 
 // SetAttr records a public-size annotation. Callers must only record

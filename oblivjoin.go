@@ -27,6 +27,8 @@ package oblivjoin
 import (
 	"fmt"
 	"io"
+	"sync"
+	"time"
 
 	"oblivjoin/internal/core"
 	"oblivjoin/internal/jointree"
@@ -155,6 +157,7 @@ type Database struct {
 	sealed     bool
 	setupStats storage.Stats
 	span       *telemetry.Span
+	flight     *telemetry.Flight
 	remote     *remote.Client
 	pool       *shard.Pool
 }
@@ -169,6 +172,7 @@ func NewDatabase(cfg Config) *Database {
 	return &Database{
 		cfg:    cfg,
 		meter:  storage.NewMeter(),
+		flight: telemetry.NewFlight(),
 		tables: make(map[string]*table.StoredTable),
 	}
 }
@@ -239,6 +243,7 @@ func (db *Database) Seal() error {
 		Raw:               db.cfg.Setting == Insecure,
 		EvictionBatch:     db.cfg.EvictionBatch,
 		PrefetchDepth:     db.cfg.PrefetchDepth,
+		Flight:            db.flight,
 	}
 	if db.remote != nil {
 		opts.OpenStore = db.remote.Opener()
@@ -318,6 +323,7 @@ func (db *Database) ConnectRemote(addr string) error {
 	if err != nil {
 		return err
 	}
+	c.SetFlight(db.flight)
 	db.remote = c
 	return nil
 }
@@ -341,6 +347,7 @@ func (db *Database) ConnectShards(addrs []string) error {
 	if err != nil {
 		return err
 	}
+	p.SetFlight(db.flight)
 	db.pool = p
 	return nil
 }
@@ -357,11 +364,52 @@ func (db *Database) ShardStats() []shard.Stat {
 }
 
 // WriteShardMetrics writes the shard router's ojoin_shard_* metrics
-// (shard count, per-shard batches and blocks) in Prometheus text format.
-// No-op without ConnectShards.
+// (shard count, per-shard batches, blocks, skew ratio, and sub-call
+// latency histograms) plus the client meter's trace-cap accounting in
+// Prometheus text format. No-op without ConnectShards.
 func (db *Database) WriteShardMetrics(w io.Writer) {
 	if db.pool != nil {
 		db.pool.WriteMetrics(w)
+		remote.WriteMeterMetrics(w, db.meter)
+	}
+}
+
+// WatchShards polls the per-shard stats every interval and renders the
+// ojoin_shard_* metrics (and meter trace accounting) to w until the
+// returned stop function is called — the engine behind ojoin -watch. Each
+// frame is one full Prometheus text exposition preceded by a comment line
+// with the frame index, so the output doubles as a scrape-format log.
+func (db *Database) WatchShards(w io.Writer, every time.Duration) (stop func()) {
+	if db.pool == nil {
+		return func() {}
+	}
+	if every <= 0 {
+		every = time.Second
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		// Frame 0 renders immediately so even a query shorter than the
+		// interval leaves one frame behind.
+		for frame := 0; ; frame++ {
+			fmt.Fprintf(w, "# frame %d\n", frame)
+			db.WriteShardMetrics(w)
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			<-finished
+		})
 	}
 }
 
@@ -382,8 +430,18 @@ func (db *Database) Close() error {
 // below) recording wall time, traffic deltas, worker counts, and public
 // sizes only. Telemetry performs no server accesses, so the server-visible
 // trace is identical with or without it (DESIGN.md §2.8).
+// When the database is connected to remote servers, StartTrace also
+// activates a distributed trace: every store request is stamped with the
+// trace ID, a fresh span ID, and the current public phase label, and
+// EndTrace pulls the servers' per-op spans back and grafts them into the
+// returned tree (one server.shard.<s> subtree per shard). The stamps are
+// functions of public data only, so the server-visible access trace is
+// unchanged apart from the trace section itself.
 func (db *Database) StartTrace(name string) *Span {
 	db.span = telemetry.Start(name, db.meter)
+	id := db.flight.Activate(0)
+	db.span.SetFlight(db.flight)
+	db.span.SetAttr("trace.id", int64(id))
 	return db.span
 }
 
@@ -398,9 +456,93 @@ func (db *Database) EndTrace() *Span {
 			sp.SetAttr(fmt.Sprintf("shard.%d.blocks", s), st.Blocks)
 		}
 	}
+	if sp != nil && db.flight.Active() {
+		db.graftServerSpans(sp)
+	}
+	db.flight.Deactivate()
 	sp.End()
 	db.span = nil
 	return sp
+}
+
+// graftServerSpans pulls the servers' buffered spans for the active trace
+// and splices them into the client tree: one server.shard.<s> subtree per
+// shard (shard 0 for a single ConnectRemote server), grouped by the public
+// phase label each op was stamped with, with one leaf per server op
+// carrying the queue-wait / store-I/O decomposition. Fetching happens
+// after the join completes (OpTrace is a pure telemetry read), so the
+// oblivious access schedule is long since fixed. Fetch errors degrade to
+// an attribute rather than failing the trace.
+func (db *Database) graftServerSpans(root *Span) {
+	traceID := db.flight.TraceID()
+	var perShard [][]telemetry.ServerSpan
+	var err error
+	switch {
+	case db.pool != nil:
+		perShard, err = db.pool.FetchServerSpans(traceID)
+	case db.remote != nil:
+		var spans []telemetry.ServerSpan
+		spans, err = db.remote.FetchServerSpans(traceID)
+		perShard = [][]telemetry.ServerSpan{spans}
+	default:
+		return
+	}
+	if err != nil {
+		root.SetAttr("server.spans.lost", 1)
+		return
+	}
+	for s, spans := range perShard {
+		if len(spans) == 0 {
+			continue
+		}
+		hist := telemetry.NewHistogram()
+		var total time.Duration
+		groups := make(map[string][]telemetry.ServerSpan)
+		var order []string
+		for _, sv := range spans {
+			ph := sv.Phase
+			if ph == "" {
+				ph = "unphased"
+			}
+			if _, ok := groups[ph]; !ok {
+				order = append(order, ph)
+			}
+			groups[ph] = append(groups[ph], sv)
+			total += time.Duration(sv.DurationNS)
+			hist.Observe(time.Duration(sv.DurationNS))
+		}
+		node := telemetry.NewStatic(fmt.Sprintf("server.shard.%d", s), total)
+		snap := hist.Snapshot()
+		node.SetAttr("span.count", int64(len(spans)))
+		node.SetAttr("latency.p50_ns", int64(snap.Quantile(0.50)))
+		node.SetAttr("latency.p95_ns", int64(snap.Quantile(0.95)))
+		node.SetAttr("latency.p99_ns", int64(snap.Quantile(0.99)))
+		for _, ph := range order {
+			g := groups[ph]
+			var phTotal time.Duration
+			var qw, io, blocks int64
+			pn := telemetry.NewStatic("phase."+ph, 0)
+			for _, sv := range g {
+				phTotal += time.Duration(sv.DurationNS)
+				qw += sv.QueueWaitNS
+				io += sv.StoreIONS
+				blocks += int64(sv.Blocks)
+				on := telemetry.NewStatic(sv.Op+"@"+sv.Store, time.Duration(sv.DurationNS))
+				on.SetAttr("span_id", int64(sv.SpanID))
+				on.SetAttr("blocks", int64(sv.Blocks))
+				on.SetAttr("queue_wait_ns", sv.QueueWaitNS)
+				on.SetAttr("store_io_ns", sv.StoreIONS)
+				pn.Adopt(on)
+			}
+			pn.SetDuration(phTotal)
+			pn.SetAttr("ops", int64(len(g)))
+			pn.SetAttr("blocks", blocks)
+			pn.SetAttr("queue_wait_ns", qw)
+			pn.SetAttr("store_io_ns", io)
+			node.Adopt(pn)
+		}
+		root.Adopt(node)
+	}
 }
 
 // MarshalTrace renders a span tree as indented JSON — the -trace-out file
