@@ -27,6 +27,7 @@ package main
 
 import (
 	"encoding/csv"
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"os"
@@ -57,6 +58,8 @@ func main() {
 	remoteAddr := flag.String("remote", "", "store sealed tables on a networked ojoinserver at this address")
 	shardAddrs := flag.String("shards", "", "comma-separated ojoinserver addresses: stripe sealed tables across them (mutually exclusive with -remote)")
 	watch := flag.Duration("watch", 0, "with -shards: poll and print live per-shard metrics at this interval while the query runs (0 = off)")
+	keyFile := flag.String("key-file", "", "read the 16-byte master key from this file (raw or hex; default: fresh random key)")
+	rotateEpoch := flag.Int("rotate-epoch", 0, "key-rotation epoch to seal new blocks under (0-255; older epochs stay readable)")
 	flag.Parse()
 
 	if len(tables) == 0 || (len(joins) == 0 && *band == "") {
@@ -86,7 +89,20 @@ func main() {
 	if *prefetch == 0 {
 		*prefetch = *evictBatch
 	}
+	if *rotateEpoch < 0 || *rotateEpoch > 255 {
+		fatal("-rotate-epoch %d out of range 0-255", *rotateEpoch)
+	}
+	var masterKey []byte
+	if *keyFile != "" {
+		var err error
+		masterKey, err = loadKeyFile(*keyFile)
+		if err != nil {
+			fatal("reading -key-file: %v", err)
+		}
+	}
 	db := oblivjoin.NewDatabase(oblivjoin.Config{
+		Key:            masterKey,
+		KeyEpoch:       uint8(*rotateEpoch),
 		Setting:        setting,
 		CacheIndexes:   *cache,
 		EnableMultiway: len(joins) > 1,
@@ -270,6 +286,24 @@ func loadCSV(name, path string) (*oblivjoin.Relation, error) {
 		rel.Tuples = append(rel.Tuples, tu)
 	}
 	return rel, nil
+}
+
+// loadKeyFile reads a 16-byte master key, accepting either the raw bytes or
+// their hex encoding (with optional trailing newline).
+func loadKeyFile(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) == 16 {
+		return data, nil
+	}
+	text := strings.TrimSpace(string(data))
+	key, err := hex.DecodeString(text)
+	if err != nil || len(key) != 16 {
+		return nil, fmt.Errorf("%s: want 16 raw bytes or 32 hex chars", path)
+	}
+	return key, nil
 }
 
 func fatal(format string, args ...any) {

@@ -1,0 +1,311 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"testing"
+	"time"
+
+	"oblivjoin/internal/remote"
+	"oblivjoin/internal/xcrypto"
+)
+
+// cryptoBlock is the sealed-payload size the crypto experiment measures:
+// the paper's 4 KB block (Section 9.1), which is also what a production
+// deployment moves per ORAM slot.
+const cryptoBlock = 4096
+
+// cryptoCodecBlocks is the batch size of the simulated wire round trip:
+// one Path-ORAM path read at tree height 4.
+const cryptoCodecBlocks = 4
+
+// CryptoSealerPoint is one (scheme, op) cell of the sealer comparison:
+// AES-GCM (the current format-2 construction) against the legacy
+// AES-CTR + HMAC-SHA256 stack it replaced. Allocations per op are
+// deterministic and belong in the snapshot; MB/s is wall-clock, so it is
+// only comparable between snapshots with compatible Host headers.
+type CryptoSealerPoint struct {
+	Scheme      string  `json:"scheme"` // "gcm" or "ctr-hmac"
+	Op          string  `json:"op"`     // "seal" or "open"
+	BlockBytes  int     `json:"block_bytes"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	MBPerSec    float64 `json:"mb_per_s"`
+}
+
+// CryptoCodecPoint is one side of the wire-codec comparison: a full framed
+// request/response round trip (encode, frame write, frame read, decode,
+// both directions) through the allocating Encode/ReadFrame path versus the
+// zero-copy Append/ReadFrameInto path the client and server actually run.
+// Decode cost is included on both sides, so the reduction understates the
+// pure encode/frame win.
+type CryptoCodecPoint struct {
+	Path        string  `json:"path"` // "encode" or "append"
+	Blocks      int     `json:"blocks"`
+	BlockBytes  int     `json:"block_bytes"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// NsPerOp is wall-clock and machine-dependent, printed but kept out of
+	// the checked-in snapshot.
+	NsPerOp float64 `json:"-"`
+}
+
+// CryptoReport is what the `crypto` experiment produces; BENCH_crypto.json
+// is one checked-in snapshot.
+type CryptoReport struct {
+	Host
+	Seed   int64               `json:"seed"`
+	Sealer []CryptoSealerPoint `json:"sealer"`
+	Codec  []CryptoCodecPoint  `json:"codec"`
+	// CodecAllocReduction pins the zero-copy codec win numerically:
+	// 1 - append_allocs/encode_allocs. CryptoBench fails if it drops
+	// below 0.5 rather than snapshot a regression.
+	CodecAllocReduction float64 `json:"codec_alloc_reduction"`
+}
+
+// benchRand is a deterministic nonce source (splitmix-style) so the sealer
+// micro-benchmark never blocks on or allocates in the system entropy pool.
+// Bench-only: real sealers keep crypto/rand.
+type benchRand struct{ state uint64 }
+
+func (r *benchRand) Read(p []byte) (int, error) {
+	for i := range p {
+		r.state += 0x9e3779b97f4a7c15
+		z := r.state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4b9b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		p[i] = byte(z ^ (z >> 31))
+	}
+	return len(p), nil
+}
+
+func (e *Env) benchSealer() (*xcrypto.Sealer, error) {
+	key := make([]byte, xcrypto.KeySize)
+	for i := range key {
+		key[i] = byte(e.Seed >> (8 * (i % 8)))
+	}
+	return xcrypto.NewSealer(key, &benchRand{state: uint64(e.Seed)*2 + 1})
+}
+
+// cryptoSealerPoint measures one (scheme, op) cell: allocations via
+// testing.AllocsPerRun, throughput via a timed loop over fresh plaintext.
+func cryptoSealerPoint(s *xcrypto.Sealer, scheme, op string) (CryptoSealerPoint, error) {
+	pt := CryptoSealerPoint{Scheme: scheme, Op: op, BlockBytes: cryptoBlock}
+	plain := bytes.Repeat([]byte{0x5a}, cryptoBlock)
+	var sealed []byte
+	var err error
+	switch scheme {
+	case "gcm":
+		sealed, err = s.Seal(plain)
+	case "ctr-hmac":
+		sealed, err = s.LegacySeal(plain)
+	default:
+		return pt, fmt.Errorf("bench: unknown crypto scheme %q", scheme)
+	}
+	if err != nil {
+		return pt, err
+	}
+
+	// The steady-state call the ORAM loops make: GCM through the
+	// buffer-reusing SealTo/OpenTo, the legacy construction through the
+	// allocating calls it always had.
+	buf := make([]byte, 0, xcrypto.SealedLen(cryptoBlock))
+	var fnErr error
+	var fn func()
+	switch op {
+	case "seal":
+		if scheme == "gcm" {
+			fn = func() { buf, fnErr = s.SealTo(buf[:0], plain) }
+		} else {
+			fn = func() { _, fnErr = s.LegacySeal(plain) }
+		}
+	case "open":
+		if scheme == "gcm" {
+			fn = func() { buf, fnErr = s.OpenTo(buf[:0], sealed) }
+		} else {
+			fn = func() { _, fnErr = s.Open(sealed) }
+		}
+	default:
+		return pt, fmt.Errorf("bench: unknown crypto op %q", op)
+	}
+	pt.AllocsPerOp = testing.AllocsPerRun(200, fn)
+	if fnErr != nil {
+		return pt, fnErr
+	}
+
+	const iters = 4096
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		fn()
+	}
+	elapsed := time.Since(start)
+	if fnErr != nil {
+		return pt, fnErr
+	}
+	if elapsed > 0 {
+		pt.MBPerSec = math.Round(float64(iters*cryptoBlock) / 1e6 / elapsed.Seconds())
+	}
+	return pt, nil
+}
+
+// cryptoCodecPoint measures one framed round trip — OpReadMany request out,
+// blocks-carrying response back — over an in-memory connection.
+func cryptoCodecPoint(zeroCopy bool) (CryptoCodecPoint, error) {
+	pt := CryptoCodecPoint{Path: "encode", Blocks: cryptoCodecBlocks, BlockBytes: cryptoBlock}
+	if zeroCopy {
+		pt.Path = "append"
+	}
+	req := &remote.Request{Op: remote.OpReadMany, Store: "bench"}
+	resp := &remote.Response{Status: remote.StatusOK}
+	for i := 0; i < cryptoCodecBlocks; i++ {
+		req.Indices = append(req.Indices, int64(i*7))
+		resp.Blocks = append(resp.Blocks, bytes.Repeat([]byte{byte(i)}, cryptoBlock))
+	}
+
+	var conn bytes.Buffer
+	var fnErr error
+	halfTrip := func(payload []byte, decode func([]byte) error) {
+		conn.Reset()
+		if err := remote.WriteFrame(&conn, payload); err != nil {
+			fnErr = err
+			return
+		}
+		frame, err := remote.ReadFrame(&conn, remote.DefaultMaxFrame)
+		if err != nil {
+			fnErr = err
+			return
+		}
+		if err := decode(frame); err != nil {
+			fnErr = err
+		}
+	}
+	halfTripInto := func(framed []byte, in []byte, decode func([]byte) error) []byte {
+		conn.Reset()
+		if _, err := conn.Write(framed); err != nil {
+			fnErr = err
+			return in
+		}
+		frame, err := remote.ReadFrameInto(&conn, remote.DefaultMaxFrame, in[:0])
+		if err != nil {
+			fnErr = err
+			return in
+		}
+		if err := decode(frame); err != nil {
+			fnErr = err
+		}
+		// Decode copied every payload out, so the frame buffer is free for
+		// reuse on the next trip.
+		return frame[:0]
+	}
+	decodeReq := func(b []byte) error { _, err := remote.DecodeRequest(b); return err }
+	decodeResp := func(b []byte) error { _, err := remote.DecodeResponse(b); return err }
+
+	var fn func()
+	if zeroCopy {
+		var out, in []byte
+		fn = func() {
+			out = remote.AppendFramedRequest(out[:0], req)
+			in = halfTripInto(out, in, decodeReq)
+			out = remote.AppendFramedResponse(out[:0], resp)
+			in = halfTripInto(out, in, decodeResp)
+		}
+	} else {
+		fn = func() {
+			halfTrip(remote.EncodeRequest(req), decodeReq)
+			halfTrip(remote.EncodeResponse(resp), decodeResp)
+		}
+	}
+	pt.AllocsPerOp = testing.AllocsPerRun(200, fn)
+	if fnErr != nil {
+		return pt, fnErr
+	}
+
+	const iters = 2048
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		fn()
+	}
+	elapsed := time.Since(start)
+	if fnErr != nil {
+		return pt, fnErr
+	}
+	pt.NsPerOp = float64(elapsed.Nanoseconds()) / float64(iters)
+	return pt, nil
+}
+
+// CryptoBench measures the authenticated-encryption refactor: AES-GCM vs
+// the legacy CTR+HMAC sealer on 4 KB blocks, and the zero-copy wire codec
+// against the allocating one on a 4-block batched round trip. The codec
+// allocation reduction is the refactor's headline claim, so the bench fails
+// loudly if it falls below 50% rather than snapshot a regression.
+func CryptoBench(e *Env) (*CryptoReport, error) {
+	rep := &CryptoReport{Host: CurrentHost(), Seed: e.Seed}
+	s, err := e.benchSealer()
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	for _, scheme := range []string{"gcm", "ctr-hmac"} {
+		for _, op := range []string{"seal", "open"} {
+			pt, err := cryptoSealerPoint(s, scheme, op)
+			if err != nil {
+				return nil, err
+			}
+			rep.Sealer = append(rep.Sealer, pt)
+		}
+	}
+	for _, zeroCopy := range []bool{false, true} {
+		pt, err := cryptoCodecPoint(zeroCopy)
+		if err != nil {
+			return nil, err
+		}
+		rep.Codec = append(rep.Codec, pt)
+	}
+	encode, appendPt := rep.Codec[0], rep.Codec[1]
+	if encode.AllocsPerOp > 0 {
+		rep.CodecAllocReduction = 1 - appendPt.AllocsPerOp/encode.AllocsPerOp
+	}
+	if rep.CodecAllocReduction < 0.5 {
+		return nil, fmt.Errorf("bench: zero-copy codec saves only %.0f%% allocs/op (%.1f vs %.1f), want >= 50%%",
+			rep.CodecAllocReduction*100, appendPt.AllocsPerOp, encode.AllocsPerOp)
+	}
+	return rep, nil
+}
+
+// WriteCryptoReport renders the sealer and codec comparison tables.
+func WriteCryptoReport(w io.Writer, rep *CryptoReport) {
+	fmt.Fprintln(w, "== CRYPTO: AES-GCM vs legacy CTR+HMAC sealer; zero-copy vs allocating codec (DESIGN.md §2.14)")
+	fmt.Fprintf(w, "%-10s %6s %8s %10s %10s\n", "scheme", "op", "block", "allocs/op", "MB/s")
+	for _, p := range rep.Sealer {
+		fmt.Fprintf(w, "%-10s %6s %8d %10.1f %10.0f\n",
+			p.Scheme, p.Op, p.BlockBytes, p.AllocsPerOp, p.MBPerSec)
+	}
+	fmt.Fprintf(w, "%-10s %6s %8s %10s %10s\n", "codec", "blks", "block", "allocs/op", "ns/op")
+	for _, p := range rep.Codec {
+		fmt.Fprintf(w, "%-10s %6d %8d %10.1f %10.0f\n",
+			p.Path, p.Blocks, p.BlockBytes, p.AllocsPerOp, p.NsPerOp)
+	}
+	fmt.Fprintf(w, "codec allocs/op reduction: %.0f%%\n\n", rep.CodecAllocReduction*100)
+}
+
+// RunCrypto executes the crypto experiment and writes the tables; the
+// report is returned for snapshotting (BENCH_crypto.json).
+func RunCrypto(w io.Writer, e *Env) (*CryptoReport, error) {
+	rep, err := CryptoBench(e)
+	if err != nil {
+		return nil, err
+	}
+	WriteCryptoReport(w, rep)
+	return rep, nil
+}
+
+// MarshalCryptoReport renders a CryptoReport as the BENCH_crypto.json
+// snapshot format (indented, trailing newline).
+func MarshalCryptoReport(rep *CryptoReport) ([]byte, error) {
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

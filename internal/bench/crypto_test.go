@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestCryptoBenchSmoke runs the crypto experiment end to end: both sealer
+// schemes at both ops, the zero-copy codec saving at least half the
+// allocations of the allocating path (CryptoBench itself enforces the 50%
+// floor), and the snapshot JSON round-tripping with allocs/op intact.
+func TestCryptoBenchSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	rep, err := RunCrypto(&buf, Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Sealer) != 4 {
+		t.Fatalf("sealer points: %d, want 4", len(rep.Sealer))
+	}
+	for _, p := range rep.Sealer {
+		if p.BlockBytes != cryptoBlock || p.MBPerSec <= 0 {
+			t.Fatalf("sealer point measured nothing: %+v", p)
+		}
+	}
+	if len(rep.Codec) != 2 {
+		t.Fatalf("codec points: %d, want 2", len(rep.Codec))
+	}
+	encode, appendPt := rep.Codec[0], rep.Codec[1]
+	if encode.Path != "encode" || appendPt.Path != "append" {
+		t.Fatalf("unexpected codec lineup: %+v", rep.Codec)
+	}
+	if appendPt.AllocsPerOp > encode.AllocsPerOp/2 {
+		t.Fatalf("zero-copy codec allocs/op %.1f not <= half of %.1f",
+			appendPt.AllocsPerOp, encode.AllocsPerOp)
+	}
+	if rep.CodecAllocReduction < 0.5 {
+		t.Fatalf("codec alloc reduction %.2f < 0.5", rep.CodecAllocReduction)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("no table written")
+	}
+	out, err := MarshalCryptoReport(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back CryptoReport
+	if err := json.Unmarshal(out, &back); err != nil {
+		t.Fatalf("snapshot does not round-trip: %v", err)
+	}
+	if len(back.Sealer) != 4 || len(back.Codec) != 2 {
+		t.Fatalf("snapshot dropped points: %+v", back)
+	}
+	if back.Codec[0].AllocsPerOp != encode.AllocsPerOp {
+		t.Fatalf("snapshot lost allocs/op: %+v", back.Codec)
+	}
+}

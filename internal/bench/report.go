@@ -157,8 +157,9 @@ func WriteTable1(w io.Writer, rows []Table1Row) {
 // the deferred-eviction round-trip comparison ("rounds"), the mem-vs-disk
 // backend invariance check ("disk"), the multi-session serving-layer
 // throughput sweep ("concurrency"), the striped-store fan-out scaling
-// sweep ("shard"), and the per-op server-side latency-histogram profile
-// ("latency").
+// sweep ("shard"), the per-op server-side latency-histogram profile
+// ("latency"), and the authenticated-crypto/zero-copy-codec micro-bench
+// ("crypto").
 func Experiments() []string {
 	ids := []string{"table1"}
 	for i := 7; i <= 21; i++ {
@@ -167,7 +168,7 @@ func Experiments() []string {
 	return append(ids,
 		"ablation-blocksize", "ablation-z", "ablation-posmap",
 		"ablation-writeback", "ablation-scheme", "ablation-chained", "ablation-dppad",
-		"sort", "phases", "rounds", "disk", "concurrency", "shard", "latency")
+		"sort", "phases", "rounds", "disk", "concurrency", "shard", "latency", "crypto")
 }
 
 // Run executes one experiment by ID and writes its report.
@@ -198,6 +199,10 @@ func Run(w io.Writer, e *Env, id string) error {
 	}
 	if id == "latency" {
 		_, err := RunLatency(w, e)
+		return err
+	}
+	if id == "crypto" {
+		_, err := RunCrypto(w, e)
 		return err
 	}
 	if id == "table1" {

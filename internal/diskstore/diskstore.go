@@ -17,8 +17,16 @@ const (
 	segSuffix = ".seg"
 	walSuffix = ".wal"
 
-	segMagic      = 0x4F4A5347 // "OJSG"
-	segVersion    = 1
+	segMagic = 0x4F4A5347 // "OJSG"
+	// segVersionCRC (v1) prefixes every slot with a CRC32-C of its contents.
+	// That predates the authenticated sealer: blocks are AEAD-sealed before
+	// they reach the store, so the per-slot checksum duplicated the GCM tag's
+	// integrity check at 4 bytes and one CRC pass per transfer. segVersion
+	// (v2) stores bare slots; torn in-place writes are still caught, by the
+	// WAL record CRC during replay (the only path that repairs them anyway).
+	// v1 segments remain fully readable and writable.
+	segVersionCRC = 1
+	segVersion    = 2
 	segHeaderSize = 4096
 	maxNameLen    = 4000
 
@@ -112,6 +120,7 @@ type Store struct {
 	name      string
 	slots     int64
 	blockSize int
+	ver       uint32
 	slotSize  int
 	zeroCRC   uint32
 	seg, wal  File
@@ -160,8 +169,6 @@ func OpenStore(basePath, name string, slots int64, blockSize int, opts Options) 
 		seg.Close()
 		return nil, err
 	}
-	s.slotSize = 4 + s.blockSize
-	s.zeroCRC = crc32.Checksum(make([]byte, s.blockSize), crcTable)
 	wal, err := fs.OpenFile(basePath+walSuffix, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		seg.Close()
@@ -176,8 +183,20 @@ func OpenStore(basePath, name string, slots int64, blockSize int, opts Options) 
 	return s, nil
 }
 
+// initGeom derives the slot layout from the segment version: v1 slots carry
+// a 4-byte CRC32-C prefix (all-zero slots validate against the XORed zero
+// CRC), v2 slots are the bare block.
+func (s *Store) initGeom() {
+	if s.ver == segVersionCRC {
+		s.slotSize = 4 + s.blockSize
+		s.zeroCRC = crc32.Checksum(make([]byte, s.blockSize), crcTable)
+	} else {
+		s.slotSize = s.blockSize
+	}
+}
+
 // create initializes a fresh segment: header first, then a sparse truncate
-// to the full slot region (all-zero slots validate against the XORed CRC),
+// to the full slot region (all-zero slots read back as valid empty blocks),
 // then fsync so the geometry is durable before any commit can reference it.
 func (s *Store) create() error {
 	if s.slots < 0 {
@@ -189,9 +208,11 @@ func (s *Store) create() error {
 	if len(s.name) > maxNameLen {
 		return fmt.Errorf("diskstore: store name of %d bytes exceeds %d", len(s.name), maxNameLen)
 	}
+	s.ver = segVersion
+	s.initGeom()
 	hdr := make([]byte, segHeaderSize)
 	binary.LittleEndian.PutUint32(hdr[0:4], segMagic)
-	binary.LittleEndian.PutUint32(hdr[4:8], segVersion)
+	binary.LittleEndian.PutUint32(hdr[4:8], s.ver)
 	binary.LittleEndian.PutUint64(hdr[8:16], uint64(s.slots))
 	binary.LittleEndian.PutUint32(hdr[16:20], uint32(s.blockSize))
 	binary.LittleEndian.PutUint32(hdr[20:24], uint32(len(s.name)))
@@ -224,9 +245,11 @@ func (s *Store) openExisting() error {
 	if m := binary.LittleEndian.Uint32(hdr[0:4]); m != segMagic {
 		return fmt.Errorf("diskstore: bad segment magic %#x", m)
 	}
-	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != segVersion {
+	v := binary.LittleEndian.Uint32(hdr[4:8])
+	if v != segVersionCRC && v != segVersion {
 		return fmt.Errorf("diskstore: unsupported segment version %d", v)
 	}
+	s.ver = v
 	slots := int64(binary.LittleEndian.Uint64(hdr[8:16]))
 	blockSize := int(binary.LittleEndian.Uint32(hdr[16:20]))
 	nameLen := int(binary.LittleEndian.Uint32(hdr[20:24]))
@@ -248,6 +271,7 @@ func (s *Store) openExisting() error {
 		return fmt.Errorf("diskstore: store %q has %d-byte blocks, not %d", name, blockSize, s.blockSize)
 	}
 	s.name, s.slots, s.blockSize = name, slots, blockSize
+	s.initGeom()
 	// A crash between the header write and the sizing truncate can leave the
 	// slot region short; re-extend it (sparse zeros are valid empty slots).
 	if size, err := s.seg.Size(); err != nil {
@@ -261,7 +285,7 @@ func (s *Store) openExisting() error {
 }
 
 func (s *Store) fullSize() int64 {
-	return segHeaderSize + s.slots*int64(4+s.blockSize)
+	return segHeaderSize + s.slots*int64(s.slotSize)
 }
 
 // recover replays the WAL into the segment. Complete records re-apply in
@@ -356,26 +380,34 @@ func (s *Store) slotOff(i int64) int64 {
 	return segHeaderSize + i*int64(s.slotSize)
 }
 
-// readSlot reads and checksum-verifies one slot. Callers hold s.mu.
+// readSlot reads one slot (checksum-verified on v1 segments). Callers hold
+// s.mu.
 func (s *Store) readSlot(i int64) ([]byte, error) {
 	buf := make([]byte, s.slotSize)
 	if _, err := s.seg.ReadAt(buf, s.slotOff(i)); err != nil {
 		return nil, fmt.Errorf("diskstore: read slot %d (%s): %w", i, s.name, err)
 	}
-	stored := binary.LittleEndian.Uint32(buf[:4])
-	if got := crc32.Checksum(buf[4:], crcTable) ^ s.zeroCRC; got != stored {
-		return nil, fmt.Errorf("%w: slot %d of %s (crc %#x, want %#x)", ErrCorrupt, i, s.name, got, stored)
+	if s.ver == segVersionCRC {
+		stored := binary.LittleEndian.Uint32(buf[:4])
+		if got := crc32.Checksum(buf[4:], crcTable) ^ s.zeroCRC; got != stored {
+			return nil, fmt.Errorf("%w: slot %d of %s (crc %#x, want %#x)", ErrCorrupt, i, s.name, got, stored)
+		}
+		buf = buf[4:]
 	}
 	s.stats.BlocksRead++
-	return buf[4:], nil
+	return buf, nil
 }
 
-// writeSlot writes one slot with its checksum. Callers hold s.mu.
+// writeSlot writes one slot (checksum-prefixed on v1 segments). Callers hold
+// s.mu and guarantee len(data) == blockSize.
 func (s *Store) writeSlot(i int64, data []byte) error {
-	buf := make([]byte, s.slotSize)
-	binary.LittleEndian.PutUint32(buf[:4], crc32.Checksum(data, crcTable)^s.zeroCRC)
-	copy(buf[4:], data)
-	if _, err := s.seg.WriteAt(buf, s.slotOff(i)); err != nil {
+	if s.ver == segVersionCRC {
+		buf := make([]byte, s.slotSize)
+		binary.LittleEndian.PutUint32(buf[:4], crc32.Checksum(data, crcTable)^s.zeroCRC)
+		copy(buf[4:], data)
+		data = buf
+	}
+	if _, err := s.seg.WriteAt(data, s.slotOff(i)); err != nil {
 		return fmt.Errorf("diskstore: write slot %d (%s): %w", i, s.name, err)
 	}
 	return nil
@@ -482,8 +514,9 @@ func (s *Store) Read(i int64) ([]byte, error) {
 }
 
 // Write implements storage.Store. Even a single-block write goes through
-// the WAL: an in-place slot update could tear mid-block, and while the CRC
-// would detect that, only the log can repair it to a whole value.
+// the WAL: an in-place slot update could tear mid-block, and only the log
+// (whose record CRC detects its own torn tail) can repair it to a whole
+// value on replay.
 func (s *Store) Write(i int64, data []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -2,7 +2,9 @@ package diskstore
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"testing"
@@ -102,10 +104,73 @@ func TestGeometryMismatchRejected(t *testing.T) {
 	}
 }
 
-// TestCorruptSlotDetected flips one payload byte behind the store's back
-// and expects ErrCorrupt on read.
+// writeV1Segment crafts a version-1 (CRC-prefixed-slot) segment file by
+// hand, as the pre-v2 code wrote them: sparse all-zero slot region, which
+// the XOR-masked checksum validates without initialization.
+func writeV1Segment(t *testing.T, path, name string, slots int64, blockSize int) {
+	t.Helper()
+	hdr := make([]byte, segHeaderSize)
+	binary.LittleEndian.PutUint32(hdr[0:4], segMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], segVersionCRC)
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(slots))
+	binary.LittleEndian.PutUint32(hdr[16:20], uint32(blockSize))
+	binary.LittleEndian.PutUint32(hdr[20:24], uint32(len(name)))
+	copy(hdr[24:], name)
+	crc := crc32.Checksum(hdr[:24+len(name)], crcTable)
+	binary.LittleEndian.PutUint32(hdr[24+len(name):], crc)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.WriteAt(hdr, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(segHeaderSize + slots*int64(4+blockSize)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLegacyV1SegmentOpens checks the on-disk compatibility promise: a
+// segment written by the version-1 (per-slot CRC) code opens, serves reads
+// and CRC-maintained writes, and keeps its version across reopens.
+func TestLegacyV1SegmentOpens(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "s")
+	writeV1Segment(t, base+segSuffix, "s", 8, 32)
+	s, err := OpenStore(base, "s", 8, 32, Options{})
+	if err != nil {
+		t.Fatalf("opening v1 segment: %v", err)
+	}
+	if s.ver != segVersionCRC {
+		t.Fatalf("opened as version %d, want %d", s.ver, segVersionCRC)
+	}
+	if blk, err := s.Read(5); err != nil || blk[0] != 0 {
+		t.Fatalf("fresh v1 slot: %v, %v", blk, err)
+	}
+	if err := s.Write(3, block(32, 9)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	r, err := OpenStore(base, "", 0, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.ver != segVersionCRC {
+		t.Fatalf("reopened as version %d, want %d", r.ver, segVersionCRC)
+	}
+	if blk, err := r.Read(3); err != nil || blk[0] != 9 {
+		t.Fatalf("v1 slot after reopen: %v, %v", blk, err)
+	}
+}
+
+// TestCorruptSlotDetected flips one payload byte behind a version-1 store's
+// back and expects ErrCorrupt on read. (Version-2 slots carry no store-level
+// checksum: bit rot there is caught by the GCM tag when the sealer opens the
+// block, which is why the v1 check could be retired.)
 func TestCorruptSlotDetected(t *testing.T) {
 	base := filepath.Join(t.TempDir(), "s")
+	writeV1Segment(t, base+segSuffix, "s", 8, 32)
 	s, err := OpenStore(base, "s", 8, 32, Options{})
 	if err != nil {
 		t.Fatal(err)

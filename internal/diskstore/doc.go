@@ -12,12 +12,18 @@
 //
 // Layout (one store = two files, <escaped-name>.seg and <escaped-name>.wal):
 //
-//	segment: 4 KiB versioned header | slots × (crc u32 | block[blockSize])
-//	wal:     16 B header | records (see wal.go)
+//	segment v2: 4 KiB versioned header | slots × block[blockSize]
+//	segment v1: 4 KiB versioned header | slots × (crc u32 | block[blockSize])
+//	wal:        16 B header | records (see wal.go)
 //
-// Each slot carries a CRC32-Castagnoli checksum — the sealer's AES-CTR
-// provides confidentiality but no integrity, so the store must detect its
-// own torn or bit-rotted writes. The stored value is crc(block) XOR
+// Version-2 segments store bare slots: blocks arrive already sealed under
+// AES-GCM, whose tag authenticates every byte end-to-end, so a per-slot
+// checksum would duplicate that check (DESIGN.md §2.14). Torn in-place slot
+// writes are still caught — by the WAL record CRC during replay, which is
+// the only mechanism that can repair them anyway. Version-1 segments (from
+// the CRC32-Castagnoli era, when the sealer's AES-CTR provided
+// confidentiality but integrity lived in a separate HMAC) remain fully
+// readable and writable; their stored value is crc(block) XOR
 // crc(zero block), so the sparsely created (all-zero) file validates
 // everywhere without a full initialization pass.
 //

@@ -37,7 +37,8 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 // Codec errors. errTornTail marks an incomplete or corrupt record at the
 // end of the log — the expected shape after a crash, handled by discarding
 // the tail. ErrCorrupt marks integrity failures that recovery cannot
-// attribute to a torn tail (a bad block CRC in the segment file).
+// attribute to a torn tail (a bad header CRC, or a bad slot CRC in a
+// version-1 segment file).
 var (
 	errTornTail = errors.New("diskstore: torn WAL tail")
 	// ErrCorrupt is returned when stored data fails its checksum.

@@ -277,7 +277,11 @@ func (v *BlockVector) readBlock(blk int) ([]byte, error) {
 	if v.meter != nil {
 		v.meter.CountRound()
 	}
-	return v.sealer.Open(sealed)
+	plain, err := v.sealer.Open(sealed)
+	if err != nil {
+		return nil, fmt.Errorf("obliv: store %q block %d: %w", v.store.Name(), blk, err)
+	}
+	return plain, nil
 }
 
 // LoadRange implements Vector. It fetches each covered block once. Blocks

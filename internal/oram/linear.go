@@ -18,10 +18,16 @@ import (
 // just slower.
 type LinearORAM struct {
 	store   *storage.MemStore
+	name    string
 	sealer  *xcrypto.Sealer
 	meter   *storage.Meter
 	payload int
 	n       int64
+
+	// Scratch reused by the scan loop (one access re-seals every block, so
+	// per-block allocations dominate without it).
+	openBuf []byte
+	sealBuf []byte
 }
 
 // blocks are stored as valid(1) || payload, sealed.
@@ -35,11 +41,13 @@ func NewLinearORAM(cfg PathConfig) (*LinearORAM, error) {
 	if cfg.PayloadSize <= 0 {
 		return nil, fmt.Errorf("oram: payload size must be positive, got %d", cfg.PayloadSize)
 	}
-	if cfg.Sealer == nil {
-		return nil, fmt.Errorf("oram: sealer is required")
+	sealer, err := resolveSealer(cfg)
+	if err != nil {
+		return nil, err
 	}
 	o := &LinearORAM{
-		sealer:  cfg.Sealer,
+		name:    cfg.Name,
+		sealer:  sealer,
 		meter:   cfg.Meter,
 		payload: cfg.PayloadSize,
 		n:       cfg.Capacity,
@@ -47,10 +55,11 @@ func NewLinearORAM(cfg PathConfig) (*LinearORAM, error) {
 	o.store = storage.NewMemStore(cfg.Name, cfg.Capacity, xcrypto.SealedLen(linearSlot(cfg.PayloadSize)), cfg.Meter)
 	empty := make([]byte, linearSlot(cfg.PayloadSize))
 	for i := int64(0); i < cfg.Capacity; i++ {
-		sealed, err := cfg.Sealer.Seal(empty)
+		sealed, err := sealer.SealTo(o.sealBuf[:0], empty)
 		if err != nil {
 			return nil, err
 		}
+		o.sealBuf = sealed[:0]
 		if err := o.store.Write(i, sealed); err != nil {
 			return nil, err
 		}
@@ -72,10 +81,11 @@ func (o *LinearORAM) access(key uint64, newData []byte, update func([]byte) erro
 		if rerr != nil {
 			return nil, rerr
 		}
-		plain, oerr := o.sealer.Open(sealed)
+		plain, oerr := o.sealer.OpenTo(o.openBuf[:0], sealed)
 		if oerr != nil {
-			return nil, fmt.Errorf("oram: block %d: %w", i, oerr)
+			return nil, fmt.Errorf("oram: store %q block %d: %w", o.name, i, oerr)
 		}
+		o.openBuf = plain[:0]
 		if !dummy && uint64(i) == key {
 			found = plain[0] == 1
 			switch {
@@ -94,10 +104,11 @@ func (o *LinearORAM) access(key uint64, newData []byte, update func([]byte) erro
 				result = append([]byte(nil), plain[1:]...)
 			}
 		}
-		resealed, serr := o.sealer.Seal(plain)
+		resealed, serr := o.sealer.SealTo(o.sealBuf[:0], plain)
 		if serr != nil {
 			return nil, serr
 		}
+		o.sealBuf = resealed[:0]
 		if werr := o.store.Write(i, resealed); werr != nil {
 			return nil, werr
 		}

@@ -33,8 +33,15 @@ type PathConfig struct {
 	Z int
 	// Meter receives traffic accounting; may be nil.
 	Meter *storage.Meter
-	// Sealer encrypts buckets; required.
+	// Sealer encrypts buckets; required unless Keyring is set.
 	Sealer *xcrypto.Sealer
+	// Keyring, when non-nil, supplies the bucket sealer instead: the store's
+	// sealer is HKDF-derived from Name, so every ORAM tree (and each
+	// recursive position-map level, via the ".pos" name suffix) is sealed
+	// under an independent subkey, and an epoch rotation on the ring applies
+	// to this ORAM's write-backs from the next access on. Takes precedence
+	// over Sealer.
+	Keyring *xcrypto.Keyring
 	// Rand supplies leaf randomness; nil means a crypto/rand source.
 	Rand LeafSource
 	// RecursePosMap outsources the position map to recursively built
@@ -77,6 +84,7 @@ type stashEntry struct {
 // to the leaf the position map assigns it.
 type PathORAM struct {
 	cfg        PathConfig
+	sealer     *xcrypto.Sealer // resolved from cfg.Keyring (per store name) or cfg.Sealer
 	store      storage.Store
 	batch      storage.BatchStore    // non-nil when store supports batched paths
 	exch       storage.ExchangeStore // non-nil when store supports write+read exchanges
@@ -91,6 +99,15 @@ type PathORAM struct {
 	maxStash int
 	rand     LeafSource
 	sched    *scheduler
+
+	// Scratch buffers reused by the seal/open hot loops so a steady-state
+	// access allocates nothing per bucket. Safe because a PathORAM serves
+	// one access at a time and every store implementation consumes batch
+	// payloads before returning (storage.BatchStore contract).
+	openBuf  []byte   // OpenTo target for path downloads
+	plainBuf []byte   // one plaintext bucket, reused per level
+	sealBuf  []byte   // SealTo target for a whole path write-back
+	sealView [][]byte // per-level views into sealBuf
 
 	// Client-side telemetry counters (see Telemetry); never server-visible.
 	accesses       int64
@@ -111,8 +128,9 @@ func NewPathORAM(cfg PathConfig) (*PathORAM, error) {
 	if cfg.PayloadSize <= 0 {
 		return nil, fmt.Errorf("oram: payload size must be positive, got %d", cfg.PayloadSize)
 	}
-	if cfg.Sealer == nil {
-		return nil, fmt.Errorf("oram: sealer is required")
+	sealer, err := resolveSealer(cfg)
+	if err != nil {
+		return nil, err
 	}
 	z := cfg.Z
 	if z == 0 {
@@ -135,6 +153,7 @@ func NewPathORAM(cfg PathConfig) (*PathORAM, error) {
 	nodes := 2*leaves - 1
 	o := &PathORAM{
 		cfg:        cfg,
+		sealer:     sealer,
 		leaves:     leaves,
 		levels:     levels,
 		z:          z,
@@ -164,11 +183,7 @@ func NewPathORAM(cfg PathConfig) (*PathORAM, error) {
 	empty := make([]byte, bucketSize)
 	up := newUploader(o)
 	for i := int64(0); i < nodes; i++ {
-		sealed, err := cfg.Sealer.Seal(empty)
-		if err != nil {
-			return nil, err
-		}
-		if err := up.add(i, sealed); err != nil {
+		if err := up.add(i, empty); err != nil {
 			return nil, err
 		}
 	}
@@ -191,6 +206,23 @@ func NewPathORAM(cfg PathConfig) (*PathORAM, error) {
 	return o, nil
 }
 
+// resolveSealer picks the bucket sealer for a config: the keyring's
+// per-store-name subkey sealer when a ring is set, the explicit Sealer
+// otherwise.
+func resolveSealer(cfg PathConfig) (*xcrypto.Sealer, error) {
+	if cfg.Keyring != nil {
+		s, err := cfg.Keyring.Sealer(cfg.Name)
+		if err != nil {
+			return nil, fmt.Errorf("oram: deriving sealer for store %q: %w", cfg.Name, err)
+		}
+		return s, nil
+	}
+	if cfg.Sealer == nil {
+		return nil, fmt.Errorf("oram: sealer or keyring is required")
+	}
+	return cfg.Sealer, nil
+}
+
 func nextPow2(n int64) int64 {
 	p := int64(1)
 	for p < n {
@@ -202,23 +234,36 @@ func nextPow2(n int64) int64 {
 // uploadChunk bounds the client memory held by one bulk-upload batch.
 const uploadChunk = 256
 
-// uploader streams sealed buckets to the server in bounded batches, using
-// one round per batch when the store supports it. Only the preprocessing
-// paths (construction, BulkLoad) use it; query-time accesses always move
-// exactly one path per batch.
+// uploader seals plaintext buckets into one reusable batch buffer and
+// streams them to the server in bounded batches, using one round per batch
+// when the store supports it. Only the preprocessing paths (construction,
+// BulkLoad) use it; query-time accesses always move exactly one path per
+// batch.
 type uploader struct {
 	o    *PathORAM
 	idxs []int64
-	data [][]byte
+	buf  []byte   // sealed buckets, appended back to back
+	data [][]byte // per-bucket views into buf
 }
 
 func newUploader(o *PathORAM) *uploader {
-	return &uploader{o: o, idxs: make([]int64, 0, uploadChunk), data: make([][]byte, 0, uploadChunk)}
+	return &uploader{
+		o:    o,
+		idxs: make([]int64, 0, uploadChunk),
+		buf:  make([]byte, 0, uploadChunk*xcrypto.SealedLen(o.bucketSize)),
+		data: make([][]byte, 0, uploadChunk),
+	}
 }
 
-func (u *uploader) add(i int64, sealed []byte) error {
+func (u *uploader) add(i int64, plain []byte) error {
+	off := len(u.buf)
+	buf, err := u.o.sealer.SealTo(u.buf, plain)
+	if err != nil {
+		return err
+	}
+	u.buf = buf
 	u.idxs = append(u.idxs, i)
-	u.data = append(u.data, sealed)
+	u.data = append(u.data, buf[off:])
 	if len(u.idxs) >= uploadChunk {
 		return u.flush()
 	}
@@ -243,6 +288,7 @@ func (u *uploader) flush() error {
 		}
 	}
 	u.idxs = u.idxs[:0]
+	u.buf = u.buf[:0]
 	u.data = u.data[:0]
 	return err
 }
@@ -448,10 +494,11 @@ func (o *PathORAM) readPath(path []int64) error {
 		}
 	}
 	for k, sealed := range sealedBuckets {
-		plain, err := o.cfg.Sealer.Open(sealed)
+		plain, err := o.sealer.OpenTo(o.openBuf[:0], sealed)
 		if err != nil {
-			return fmt.Errorf("oram: bucket %d: %w", path[k], err)
+			return fmt.Errorf("oram: store %q bucket %d: %w", o.cfg.Name, path[k], err)
 		}
+		o.openBuf = plain[:0]
 		o.parseBucketInto(plain)
 	}
 	return nil
@@ -508,13 +555,35 @@ func (o *PathORAM) parseBucketInto(plain []byte) {
 	}
 }
 
+// bucketScratch returns a zeroed plaintext bucket, reusing the instance
+// scratch.
+func (o *PathORAM) bucketScratch() []byte {
+	if cap(o.plainBuf) < o.bucketSize {
+		o.plainBuf = make([]byte, o.bucketSize)
+		return o.plainBuf
+	}
+	bucket := o.plainBuf[:o.bucketSize]
+	clear(bucket)
+	return bucket
+}
+
 func (o *PathORAM) writePath(leaf uint32, path []int64) error {
 	// Fill bottom-up (deepest bucket first) so blocks sink as far as
-	// allowed, then upload the whole path in one write-back round.
+	// allowed, then upload the whole path in one write-back round. Buckets
+	// are sealed back to back into the reusable path scratch, so a
+	// steady-state write-back allocates nothing.
 	o.bucketsWritten += int64(o.levels)
-	sealedBuckets := make([][]byte, o.levels)
+	need := o.levels * xcrypto.SealedLen(o.bucketSize)
+	if cap(o.sealBuf) < need {
+		o.sealBuf = make([]byte, 0, need)
+	}
+	if cap(o.sealView) < o.levels {
+		o.sealView = make([][]byte, o.levels)
+	}
+	seal := o.sealBuf[:0]
+	sealedBuckets := o.sealView[:o.levels]
 	for lvl := o.levels - 1; lvl >= 0; lvl-- {
-		bucket := make([]byte, o.bucketSize)
+		bucket := o.bucketScratch()
 		filled := 0
 		for key, entry := range o.stash {
 			if filled == o.z {
@@ -531,11 +600,13 @@ func (o *PathORAM) writePath(leaf uint32, path []int64) error {
 			filled++
 		}
 		o.levelPlaced[lvl] += int64(filled)
-		sealed, err := o.cfg.Sealer.Seal(bucket)
+		off := len(seal)
+		var err error
+		seal, err = o.sealer.SealTo(seal, bucket)
 		if err != nil {
 			return err
 		}
-		sealedBuckets[lvl] = sealed
+		sealedBuckets[lvl] = seal[off:]
 	}
 	if o.batch != nil {
 		return o.batch.WriteMany(path, sealedBuckets)
@@ -591,10 +662,11 @@ func (o *PathORAM) BulkLoad(payloads [][]byte) error {
 			o.stash[key] = stashEntry{leaf: leaf, payload: buf}
 		}
 	}
-	// Serialize and upload every bucket once, in batched rounds.
+	// Serialize and upload every bucket once, in batched rounds; the
+	// uploader seals each bucket into its batch buffer.
 	up := newUploader(o)
 	for n := int64(0); n < 2*o.leaves-1; n++ {
-		bucket := make([]byte, o.bucketSize)
+		bucket := o.bucketScratch()
 		for s, pl := range buckets[n] {
 			slot := bucket[s*o.slotSize:]
 			slot[0] = 1
@@ -602,11 +674,7 @@ func (o *PathORAM) BulkLoad(payloads [][]byte) error {
 			binary.LittleEndian.PutUint32(slot[9:13], pl.leaf)
 			copy(slot[slotHeader:], payloads[pl.key])
 		}
-		sealed, err := o.cfg.Sealer.Seal(bucket)
-		if err != nil {
-			return err
-		}
-		if err := up.add(n, sealed); err != nil {
+		if err := up.add(n, bucket); err != nil {
 			return err
 		}
 	}

@@ -86,6 +86,7 @@ func newORAMPosMap(parent PathConfig, capacity, cutoff int64, rnd LeafSource) (*
 		Z:             parent.Z,
 		Meter:         parent.Meter,
 		Sealer:        parent.Sealer,
+		Keyring:       parent.Keyring,
 		Rand:          rnd,
 		RecursePosMap: numBlocks > cutoff,
 		RecurseCutoff: cutoff,

@@ -17,6 +17,7 @@ import (
 // the rest on the fly during descents.
 type PosORAM struct {
 	cfg        PathConfig
+	sealer     *xcrypto.Sealer
 	store      *storage.MemStore
 	leaves     int64
 	levels     int
@@ -36,8 +37,9 @@ func NewPosORAM(cfg PathConfig) (*PosORAM, error) {
 	if cfg.PayloadSize <= 0 {
 		return nil, fmt.Errorf("oram: payload size must be positive, got %d", cfg.PayloadSize)
 	}
-	if cfg.Sealer == nil {
-		return nil, fmt.Errorf("oram: sealer is required")
+	sealer, err := resolveSealer(cfg)
+	if err != nil {
+		return nil, err
 	}
 	z := cfg.Z
 	if z == 0 {
@@ -55,6 +57,7 @@ func NewPosORAM(cfg PathConfig) (*PosORAM, error) {
 	slotSize := slotHeader + cfg.PayloadSize
 	o := &PosORAM{
 		cfg:        cfg,
+		sealer:     sealer,
 		leaves:     leaves,
 		levels:     levels,
 		z:          z,
@@ -67,7 +70,7 @@ func NewPosORAM(cfg PathConfig) (*PosORAM, error) {
 	o.store = storage.NewMemStore(cfg.Name, nodes, xcrypto.SealedLen(o.bucketSize), cfg.Meter)
 	empty := make([]byte, o.bucketSize)
 	for i := int64(0); i < nodes; i++ {
-		sealed, err := cfg.Sealer.Seal(empty)
+		sealed, err := sealer.Seal(empty)
 		if err != nil {
 			return nil, err
 		}
@@ -122,9 +125,9 @@ func (o *PosORAM) Access(key uint64, oldPos, newPos uint32, update func([]byte) 
 		if err != nil {
 			return nil, err
 		}
-		plain, err := o.cfg.Sealer.Open(sealed)
+		plain, err := o.sealer.Open(sealed)
 		if err != nil {
-			return nil, fmt.Errorf("oram: bucket %d: %w", node, err)
+			return nil, fmt.Errorf("oram: store %q bucket %d: %w", o.cfg.Name, node, err)
 		}
 		o.parseBucketInto(plain)
 	}
@@ -175,9 +178,9 @@ func (o *PosORAM) Insert(key uint64, pos uint32, payload []byte) error {
 		if err != nil {
 			return err
 		}
-		plain, err := o.cfg.Sealer.Open(sealed)
+		plain, err := o.sealer.Open(sealed)
 		if err != nil {
-			return err
+			return fmt.Errorf("oram: store %q bucket %d: %w", o.cfg.Name, node, err)
 		}
 		o.parseBucketInto(plain)
 	}
@@ -203,9 +206,9 @@ func (o *PosORAM) DummyAccess() error {
 		if err != nil {
 			return err
 		}
-		plain, err := o.cfg.Sealer.Open(sealed)
+		plain, err := o.sealer.Open(sealed)
 		if err != nil {
-			return err
+			return fmt.Errorf("oram: store %q bucket %d: %w", o.cfg.Name, node, err)
 		}
 		o.parseBucketInto(plain)
 	}
@@ -282,7 +285,7 @@ func (o *PosORAM) BulkLoadAt(payloads [][]byte, positions []uint32) error {
 			binary.LittleEndian.PutUint32(slot[9:13], pl.leaf)
 			copy(slot[slotHeader:], payloads[pl.key])
 		}
-		sealed, err := o.cfg.Sealer.Seal(bucket)
+		sealed, err := o.sealer.Seal(bucket)
 		if err != nil {
 			return err
 		}
@@ -349,7 +352,7 @@ func (o *PosORAM) writePath(leaf uint32, path []int64) error {
 			delete(o.stash, key)
 			filled++
 		}
-		sealed, err := o.cfg.Sealer.Seal(bucket)
+		sealed, err := o.sealer.Seal(bucket)
 		if err != nil {
 			return err
 		}

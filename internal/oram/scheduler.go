@@ -3,6 +3,8 @@ package oram
 import (
 	"fmt"
 	"sort"
+
+	"oblivjoin/internal/xcrypto"
 )
 
 // scheduler is the staged data path in front of a PathORAM's fetch and
@@ -50,6 +52,11 @@ type scheduler struct {
 
 	pending []uint32 // leaves of fetched paths awaiting write-back
 	due     bool     // flush has reached the threshold and should ride the next fetch
+
+	// sealBuf is the reusable SealTo target for a flush's eviction set; the
+	// staged views into it stay valid until the store accepts the round, and
+	// a failed flush simply re-seals over it on retry.
+	sealBuf []byte
 
 	// Telemetry (client-side only).
 	flushes         int64
@@ -211,10 +218,11 @@ func (s *scheduler) exchangeFetch(leaves []uint32) error {
 	}
 	s.o.bucketsRead += int64(len(ridxs))
 	for k, sb := range sealed {
-		plain, err := s.o.cfg.Sealer.Open(sb)
+		plain, err := s.o.sealer.OpenTo(s.o.openBuf[:0], sb)
 		if err != nil {
-			return fmt.Errorf("oram: bucket %d: %w", ridxs[k], err)
+			return fmt.Errorf("oram: store %q bucket %d: %w", s.o.cfg.Name, ridxs[k], err)
 		}
+		s.o.openBuf = plain[:0]
 		s.o.parseBucketInto(plain)
 	}
 	return nil
@@ -270,8 +278,12 @@ func (s *scheduler) sealEvictionSet() (*evictionSet, error) {
 	})
 	taken := make(map[uint64]bool)
 	sealedByIdx := make(map[int64][]byte, len(nodes))
+	if need := len(nodes) * xcrypto.SealedLen(o.bucketSize); cap(s.sealBuf) < need {
+		s.sealBuf = make([]byte, 0, need)
+	}
+	seal := s.sealBuf[:0]
 	for _, n := range nodes {
-		bucket := make([]byte, o.bucketSize)
+		bucket := o.bucketScratch()
 		filled := 0
 		for key, entry := range o.stash {
 			if filled == o.z {
@@ -289,12 +301,15 @@ func (s *scheduler) sealEvictionSet() (*evictionSet, error) {
 			filled++
 		}
 		es.levelPlaced[n.lvl] += int64(filled)
-		sealed, serr := o.cfg.Sealer.Seal(bucket)
+		off := len(seal)
+		var serr error
+		seal, serr = o.sealer.SealTo(seal, bucket)
 		if serr != nil {
 			return nil, serr
 		}
-		sealedByIdx[n.idx] = sealed
+		sealedByIdx[n.idx] = seal[off:]
 	}
+	s.sealBuf = seal
 	// Write in ascending store-index order: for a single path this is the
 	// same root-to-leaf order writePath uses.
 	es.idxs = make([]int64, 0, len(nodes))

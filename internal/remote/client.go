@@ -114,6 +114,14 @@ type errTransient struct{ err error }
 func (e *errTransient) Error() string { return e.err.Error() }
 func (e *errTransient) Unwrap() error { return e.err }
 
+// frame is a reusable request/response buffer pair. One frame serves one
+// round trip; pooling them makes steady-state encoding and frame reads
+// allocation-free — decode still copies block payloads out, so nothing
+// returned to a caller aliases pooled memory.
+type frame struct{ out, in []byte }
+
+var framePool = sync.Pool{New: func() any { return &frame{} }}
+
 // Client is a connection-pooled handle to a remote block server. It is safe
 // for concurrent use; each in-flight request holds one pooled connection.
 //
@@ -322,13 +330,17 @@ func (c *Client) roundTrip(ctx context.Context, conn net.Conn, req *Request) (*R
 	if err := conn.SetDeadline(deadline); err != nil {
 		return nil, &errTransient{err}
 	}
-	if err := WriteFrame(conn, EncodeRequest(req)); err != nil {
+	f := framePool.Get().(*frame)
+	defer framePool.Put(f)
+	f.out = AppendFramedRequest(f.out[:0], req)
+	if _, err := conn.Write(f.out); err != nil {
 		return nil, &errTransient{err}
 	}
-	payload, err := ReadFrame(conn, c.opts.MaxFrame)
+	payload, err := ReadFrameInto(conn, c.opts.MaxFrame, f.in[:0])
 	if err != nil {
 		return nil, &errTransient{err}
 	}
+	f.in = payload[:0]
 	return DecodeResponse(payload)
 }
 

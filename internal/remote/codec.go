@@ -188,6 +188,25 @@ var (
 	ErrMalformed     = errors.New("remote: malformed message")
 )
 
+// AppendFramedRequest appends req's complete wire frame — length prefix
+// included — to b. It is the single-buffer equivalent of EncodeRequest +
+// WriteFrame: one conn.Write sends the whole frame (one syscall, no
+// header-array allocation), and the bytes on the wire are identical.
+func AppendFramedRequest(b []byte, req *Request) []byte {
+	return fixupFrame(AppendRequest(append(b, 0, 0, 0, 0), req), len(b))
+}
+
+// AppendFramedResponse is AppendFramedRequest for responses.
+func AppendFramedResponse(b []byte, resp *Response) []byte {
+	return fixupFrame(AppendResponse(append(b, 0, 0, 0, 0), resp), len(b))
+}
+
+// fixupFrame back-patches the 4-byte length prefix reserved at off.
+func fixupFrame(b []byte, off int) []byte {
+	binary.BigEndian.PutUint32(b[off:off+4], uint32(len(b)-off-4))
+	return b
+}
+
 // WriteFrame writes a length-prefixed payload.
 func WriteFrame(w io.Writer, payload []byte) error {
 	var hdr [4]byte
@@ -202,22 +221,40 @@ func WriteFrame(w io.Writer, payload []byte) error {
 // ReadFrame reads one length-prefixed payload, rejecting frames larger than
 // max (0 means DefaultMaxFrame) before allocating anything.
 func ReadFrame(r io.Reader, max int) ([]byte, error) {
+	return ReadFrameInto(r, max, nil)
+}
+
+// ReadFrameInto is ReadFrame reading into buf's capacity, allocating only
+// when the frame outgrows it — the steady-state zero-allocation read path.
+// The returned slice aliases buf (when it fit), so callers reusing a buffer
+// must finish consuming one frame before reading the next.
+func ReadFrameInto(r io.Reader, max int, buf []byte) ([]byte, error) {
 	if max <= 0 {
 		max = DefaultMaxFrame
 	}
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	// The length prefix is read into buf's own spare capacity so the
+	// steady state allocates nothing (a stack [4]byte would escape through
+	// the io.Reader interface and cost one heap allocation per frame).
+	if cap(buf) < 4 {
+		buf = make([]byte, 4, 512)
+	}
+	hdr := buf[:4]
+	if _, err := io.ReadFull(r, hdr); err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := binary.BigEndian.Uint32(hdr)
 	if n > uint32(max) {
 		return nil, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, max)
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	} else {
+		buf = buf[:n]
+	}
+	if _, err := io.ReadFull(r, buf); err != nil {
 		return nil, err
 	}
-	return payload, nil
+	return buf, nil
 }
 
 // appendUvarint / reader helpers ---------------------------------------------
@@ -261,6 +298,24 @@ func (r *reader) bytes() ([]byte, error) {
 	return out, nil
 }
 
+// bytesSlab copies the next length-prefixed field into slab and returns
+// the carved full-capacity subslice. slab must be pre-sized to at least
+// the remaining payload so it never reallocates (earlier carvings would
+// dangle otherwise); the decode loops guarantee that by sizing it to
+// len(r.b). One slab per block batch means one allocation instead of one
+// per block — the blocks share a backing array, so retaining any one of
+// them retains the batch, which is how ORAM path payloads live anyway.
+func (r *reader) bytesSlab(slab *[]byte) ([]byte, error) {
+	n, err := r.length(1)
+	if err != nil {
+		return nil, err
+	}
+	start := len(*slab)
+	*slab = append(*slab, r.b[:n]...)
+	r.b = r.b[n:]
+	return (*slab)[start : start+n : start+n], nil
+}
+
 func (r *reader) int64() (int64, error) {
 	v, err := r.uvarint()
 	if err != nil {
@@ -272,9 +327,16 @@ func (r *reader) int64() (int64, error) {
 	return int64(v), nil
 }
 
-// EncodeRequest serializes a request into a frame payload.
+// EncodeRequest serializes a request into a fresh frame payload.
 func EncodeRequest(req *Request) []byte {
-	b := make([]byte, 0, 64)
+	return AppendRequest(make([]byte, 0, 64), req)
+}
+
+// AppendRequest serializes a request, appending to b — the zero-copy
+// variant EncodeRequest wraps. The hot path (client.roundTrip) passes a
+// reused frame buffer so steady-state encoding allocates nothing; the
+// encoded bytes are identical either way.
+func AppendRequest(b []byte, req *Request) []byte {
 	b = append(b, byte(req.Op))
 	b = binary.AppendUvarint(b, uint64(len(req.Store)))
 	b = append(b, req.Store...)
@@ -360,8 +422,9 @@ func DecodeRequest(payload []byte) (*Request, error) {
 	}
 	if nBlk > 0 {
 		req.Blocks = make([][]byte, nBlk)
+		slab := make([]byte, 0, len(r.b))
 		for k := range req.Blocks {
-			if req.Blocks[k], err = r.bytes(); err != nil {
+			if req.Blocks[k], err = r.bytesSlab(&slab); err != nil {
 				return nil, err
 			}
 		}
@@ -434,9 +497,15 @@ func DecodeRequest(payload []byte) (*Request, error) {
 	return req, nil
 }
 
-// EncodeResponse serializes a response into a frame payload.
+// EncodeResponse serializes a response into a fresh frame payload.
 func EncodeResponse(resp *Response) []byte {
-	b := make([]byte, 0, 64)
+	return AppendResponse(make([]byte, 0, 64), resp)
+}
+
+// AppendResponse serializes a response, appending to b — the zero-copy
+// variant EncodeResponse wraps, used by the server's per-connection frame
+// buffer. The encoded bytes are identical either way.
+func AppendResponse(b []byte, resp *Response) []byte {
 	b = append(b, byte(resp.Status))
 	b = binary.AppendUvarint(b, uint64(len(resp.Msg)))
 	b = append(b, resp.Msg...)
@@ -479,8 +548,9 @@ func DecodeResponse(payload []byte) (*Response, error) {
 	}
 	if nBlk > 0 {
 		resp.Blocks = make([][]byte, nBlk)
+		slab := make([]byte, 0, len(r.b))
 		for k := range resp.Blocks {
-			if resp.Blocks[k], err = r.bytes(); err != nil {
+			if resp.Blocks[k], err = r.bytesSlab(&slab); err != nil {
 				return nil, err
 			}
 		}

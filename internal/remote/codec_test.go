@@ -339,3 +339,126 @@ func FuzzDecodeFrame(f *testing.F) {
 		}
 	})
 }
+
+// TestAppendCodecMatchesEncode pins the zero-copy append variants to the
+// allocating encoders byte for byte, including when appending after an
+// existing prefix (the reused-buffer case).
+func TestAppendCodecMatchesEncode(t *testing.T) {
+	req := &Request{Op: OpExchange, Store: "t1.data", Indices: []int64{0, 3, 7},
+		WriteIndices: []int64{1, 2}, Blocks: [][]byte{[]byte("wa"), []byte("wb")},
+		Session: 9, DeadlineMS: 500, TraceID: 3, SpanID: 8, Phase: "oram.flush"}
+	want := EncodeRequest(req)
+	if got := AppendRequest(nil, req); !bytes.Equal(got, want) {
+		t.Fatalf("AppendRequest(nil) = %x, want %x", got, want)
+	}
+	buf := append([]byte(nil), "prefix"...)
+	if got := AppendRequest(buf, req); !bytes.Equal(got, append([]byte("prefix"), want...)) {
+		t.Fatal("AppendRequest after prefix diverges from EncodeRequest")
+	}
+	resp := &Response{Status: StatusOK, Blocks: [][]byte{[]byte("blk"), []byte("blk2")}, Slots: 7, Session: 42}
+	wantR := EncodeResponse(resp)
+	if got := AppendResponse(nil, resp); !bytes.Equal(got, wantR) {
+		t.Fatalf("AppendResponse(nil) = %x, want %x", got, wantR)
+	}
+}
+
+// TestAppendCodecReusesCapacity checks the hot-path property the client and
+// server frame buffers rely on: encoding into a buffer with enough capacity
+// allocates nothing.
+func TestAppendCodecReusesCapacity(t *testing.T) {
+	req := &Request{Op: OpWriteMany, Store: "t1.data", Indices: []int64{1, 2},
+		Blocks: [][]byte{make([]byte, 4096), make([]byte, 4096)}}
+	buf := make([]byte, 0, len(EncodeRequest(req))+64)
+	if n := testing.AllocsPerRun(50, func() {
+		buf = AppendRequest(buf[:0], req)
+	}); n != 0 {
+		t.Fatalf("AppendRequest into sized buffer: %.1f allocs/op, want 0", n)
+	}
+	resp := &Response{Blocks: [][]byte{make([]byte, 4096)}}
+	rbuf := make([]byte, 0, len(EncodeResponse(resp))+64)
+	if n := testing.AllocsPerRun(50, func() {
+		rbuf = AppendResponse(rbuf[:0], resp)
+	}); n != 0 {
+		t.Fatalf("AppendResponse into sized buffer: %.1f allocs/op, want 0", n)
+	}
+}
+
+// TestReadFrameIntoReuse checks that a sized buffer is reused (same backing
+// array) and an undersized one grows without corrupting the payload.
+func TestReadFrameIntoReuse(t *testing.T) {
+	payload := bytes.Repeat([]byte{0xAB}, 256)
+	var stream bytes.Buffer
+	for i := 0; i < 3; i++ {
+		if err := WriteFrame(&stream, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, 0, 512)
+	for i := 0; i < 3; i++ {
+		got, err := ReadFrameInto(&stream, 0, buf[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("frame %d corrupted", i)
+		}
+		if &got[0] != &buf[:1][0] {
+			t.Fatalf("frame %d did not reuse the buffer", i)
+		}
+	}
+	var small bytes.Buffer
+	if err := WriteFrame(&small, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrameInto(&small, 0, make([]byte, 0, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("grown read corrupted the payload")
+	}
+}
+
+// TestAppendFramedMatchesWriteFrame checks the single-write framed-append
+// path (what client.roundTrip and server.serveConn send) puts exactly the
+// same bytes on the wire as EncodeRequest/EncodeResponse + WriteFrame, and
+// that a slab-decoded batch round-trips the payload contents intact.
+func TestAppendFramedMatchesWriteFrame(t *testing.T) {
+	req := &Request{Op: OpWriteMany, Store: "t1.data", Indices: []int64{4, 9},
+		Blocks: [][]byte{[]byte("payload-a"), []byte("payload-b")}}
+	var want bytes.Buffer
+	if err := WriteFrame(&want, EncodeRequest(req)); err != nil {
+		t.Fatal(err)
+	}
+	if got := AppendFramedRequest(nil, req); !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("AppendFramedRequest = %x, want %x", got, want.Bytes())
+	}
+	if got := AppendFramedRequest([]byte("pre"), req); !bytes.Equal(got, append([]byte("pre"), want.Bytes()...)) {
+		t.Fatal("AppendFramedRequest after prefix diverges")
+	}
+	resp := &Response{Status: StatusOK, Blocks: [][]byte{[]byte("ra"), []byte("rbb")}, Slots: 3}
+	var wantR bytes.Buffer
+	if err := WriteFrame(&wantR, EncodeResponse(resp)); err != nil {
+		t.Fatal(err)
+	}
+	framed := AppendFramedResponse(nil, resp)
+	if !bytes.Equal(framed, wantR.Bytes()) {
+		t.Fatalf("AppendFramedResponse = %x, want %x", framed, wantR.Bytes())
+	}
+	payload, err := ReadFrame(bytes.NewReader(framed), DefaultMaxFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeResponse(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Blocks) != 2 || string(back.Blocks[0]) != "ra" || string(back.Blocks[1]) != "rbb" {
+		t.Fatalf("slab decode corrupted blocks: %q", back.Blocks)
+	}
+	// The slab must be immune to later appends through one carved block.
+	_ = append(back.Blocks[0], 'X')
+	if string(back.Blocks[1]) != "rbb" {
+		t.Fatalf("append through block 0 corrupted block 1: %q", back.Blocks[1])
+	}
+}

@@ -356,11 +356,16 @@ func (s *Server) serveConn(cs *connState) {
 		s.mu.Unlock()
 		cs.c.Close()
 	}()
+	// Per-connection frame buffers: one goroutine serves the connection, so
+	// reuse across iterations is race-free, and DecodeRequest copies block
+	// payloads out of inBuf before the handler runs.
+	var inBuf, outBuf []byte
 	for {
-		payload, err := ReadFrame(cs.c, s.opts.maxFrame())
+		payload, err := ReadFrameInto(cs.c, s.opts.maxFrame(), inBuf[:0])
 		if err != nil {
 			return
 		}
+		inBuf = payload[:0]
 		s.mu.Lock()
 		cs.busy = true
 		s.mu.Unlock()
@@ -372,7 +377,8 @@ func (s *Server) serveConn(cs *connState) {
 		} else {
 			resp = s.handle(req)
 		}
-		werr := WriteFrame(cs.c, EncodeResponse(resp))
+		outBuf = AppendFramedResponse(outBuf[:0], resp)
+		_, werr := cs.c.Write(outBuf)
 
 		s.mu.Lock()
 		cs.busy = false

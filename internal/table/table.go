@@ -35,8 +35,14 @@ type Options struct {
 	BlockPayload int
 	// Meter receives all traffic accounting; may be nil.
 	Meter *storage.Meter
-	// Sealer encrypts blocks; required unless Raw.
+	// Sealer encrypts blocks; required unless Raw or Keyring is set.
 	Sealer *xcrypto.Sealer
+	// Keyring, when non-nil, supplies per-store sealers instead of Sealer:
+	// every ORAM store ("T.data", "T.idx.attr", "shared", and recursive
+	// ".pos" position maps) gets an independent HKDF-derived subkey, and an
+	// epoch rotation on the ring migrates all of them lazily. Takes
+	// precedence over Sealer.
+	Keyring *xcrypto.Keyring
 	// Rand supplies ORAM randomness; nil means crypto/rand.
 	Rand oram.LeafSource
 	// CacheIndex enables the paper's "+Cache" mode: all index levels above
@@ -194,6 +200,7 @@ func StoreShared(rels []*relation.Relation, indexAttrs map[string][]string, opts
 		Z:             opts.Z,
 		Meter:         opts.Meter,
 		Sealer:        opts.Sealer,
+		Keyring:       opts.Keyring,
 		Rand:          opts.Rand,
 		RecursePosMap: opts.RecursePosMap,
 		OpenStore:     opts.OpenStore,
@@ -241,8 +248,8 @@ func prepare(rel *relation.Relation, indexAttrs []string, opts Options) (*Stored
 	if rel == nil {
 		return nil, nil, fmt.Errorf("table: nil relation")
 	}
-	if !opts.Raw && opts.Sealer == nil {
-		return nil, nil, fmt.Errorf("table: sealer required unless Raw")
+	if !opts.Raw && opts.Sealer == nil && opts.Keyring == nil {
+		return nil, nil, fmt.Errorf("table: sealer or keyring required unless Raw")
 	}
 	payload := opts.payload()
 	ts := rel.Schema.TupleSize()
@@ -322,6 +329,7 @@ func newStore(name string, capacity int64, opts Options) (oram.ORAM, error) {
 			PayloadSize: opts.payload(),
 			Meter:       opts.Meter,
 			Sealer:      opts.Sealer,
+			Keyring:     opts.Keyring,
 		})
 	}
 	return oram.NewPathORAM(oram.PathConfig{
@@ -331,6 +339,7 @@ func newStore(name string, capacity int64, opts Options) (oram.ORAM, error) {
 		Z:             opts.Z,
 		Meter:         opts.Meter,
 		Sealer:        opts.Sealer,
+		Keyring:       opts.Keyring,
 		Rand:          opts.Rand,
 		RecursePosMap: opts.RecursePosMap,
 		OpenStore:     opts.OpenStore,

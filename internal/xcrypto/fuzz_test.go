@@ -20,6 +20,29 @@ func FuzzOpen(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(make([]byte, Overhead))
 	f.Add(make([]byte, Overhead+100))
+	// GCM-format seeds: a genuine current-format block, one with the epoch
+	// byte flipped, and a bare GCM-looking header over junk.
+	if err := s.SetEpoch(3); err != nil {
+		f.Fatal(err)
+	}
+	epochBlock, err := s.Seal([]byte("epoch-tagged block"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(epochBlock)
+	flipped := append([]byte(nil), epochBlock...)
+	flipped[1] ^= 0xFF
+	f.Add(flipped)
+	junk := make([]byte, Overhead+32)
+	junk[0] = FormatGCM
+	f.Add(junk)
+	// Legacy-format seeds: a genuine CTR+HMAC block and a truncated one.
+	legacy, err := s.LegacySeal([]byte("legacy block"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(legacy)
+	f.Add(legacy[:len(legacy)-1])
 	f.Fuzz(func(t *testing.T, data []byte) {
 		pt, err := s.Open(data)
 		if err == nil {
@@ -32,6 +55,48 @@ func FuzzOpen(f *testing.F) {
 			if _, err3 := s.Open(ct2); err3 != nil {
 				t.Fatal(err3)
 			}
+		}
+	})
+}
+
+// FuzzCrossVersion round-trips arbitrary plaintexts through both sealed
+// formats: seal current → open, seal legacy → open via the compat path, on
+// the same sealer. Both must return the exact plaintext, and the two sealed
+// layouts must cost the same Overhead so block geometry stays
+// format-independent.
+func FuzzCrossVersion(f *testing.F) {
+	s, err := NewSealer(bytes.Repeat([]byte{3}, KeySize), nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("tuple data"))
+	f.Add(bytes.Repeat([]byte{0xAB}, 512))
+	f.Fuzz(func(t *testing.T, pt []byte) {
+		gcm, err := s.Seal(pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		legacy, err := s.LegacySeal(pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(gcm) != len(legacy) || len(gcm) != SealedLen(len(pt)) {
+			t.Fatalf("layout sizes diverge: gcm %d legacy %d want %d", len(gcm), len(legacy), SealedLen(len(pt)))
+		}
+		got, err := s.Open(gcm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, pt) {
+			t.Fatal("gcm round trip mismatch")
+		}
+		got, err = s.Open(legacy)
+		if err != nil {
+			t.Fatalf("legacy compat open: %v", err)
+		}
+		if !bytes.Equal(got, pt) {
+			t.Fatal("legacy round trip mismatch")
 		}
 	})
 }

@@ -147,6 +147,195 @@ func TestSealOpenQuick(t *testing.T) {
 	}
 }
 
+func TestSealedLayoutHeader(t *testing.T) {
+	s := newTestSealer(t)
+	ct, err := s.Seal([]byte("block"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct[0] != FormatGCM {
+		t.Errorf("format byte = %d, want %d", ct[0], FormatGCM)
+	}
+	if ct[1] != 0 {
+		t.Errorf("epoch byte = %d, want 0", ct[1])
+	}
+	if ct[2] != 0 || ct[3] != 0 {
+		t.Errorf("reserved bytes = %d,%d, want 0,0", ct[2], ct[3])
+	}
+}
+
+func TestSealToOpenToAppend(t *testing.T) {
+	s := newTestSealer(t)
+	prefix := []byte("frame-header")
+	sealed, err := s.SealTo(append([]byte(nil), prefix...), []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(sealed, prefix) {
+		t.Fatal("SealTo must append after the existing bytes")
+	}
+	if len(sealed) != len(prefix)+SealedLen(len("payload")) {
+		t.Fatalf("sealed length %d", len(sealed))
+	}
+	got, err := s.OpenTo([]byte("pt-prefix"), sealed[len(prefix):])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "pt-prefix"+"payload" {
+		t.Fatalf("OpenTo result %q", got)
+	}
+}
+
+func TestSealToReusesCapacity(t *testing.T) {
+	s := newTestSealer(t)
+	pt := make([]byte, 512)
+	scratch := make([]byte, 0, SealedLen(len(pt)))
+	allocs := testing.AllocsPerRun(100, func() {
+		out, err := s.SealTo(scratch[:0], pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scratch = out[:0]
+	})
+	if allocs > 0 {
+		t.Errorf("SealTo into sized scratch allocated %.1f/op, want 0", allocs)
+	}
+	sealed, err := s.Seal(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	open := make([]byte, 0, len(pt))
+	allocs = testing.AllocsPerRun(100, func() {
+		out, err := s.OpenTo(open[:0], sealed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		open = out[:0]
+	})
+	if allocs > 0 {
+		t.Errorf("OpenTo into sized scratch allocated %.1f/op, want 0", allocs)
+	}
+}
+
+func TestOpenAcceptsLegacyFormat(t *testing.T) {
+	key := bytes.Repeat([]byte{0x42}, KeySize)
+	s, err := NewSealer(key, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := s.LegacySeal([]byte("ctr+hmac era block"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(legacy) != SealedLen(len("ctr+hmac era block")) {
+		t.Fatalf("legacy layout must cost the same Overhead, got %d", len(legacy))
+	}
+	// A different sealer instance over the same key (a restart) opens it.
+	s2, err := NewSealer(key, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := s2.Open(legacy)
+	if err != nil {
+		t.Fatalf("open legacy: %v", err)
+	}
+	if string(pt) != "ctr+hmac era block" {
+		t.Fatalf("got %q", pt)
+	}
+	// Tampered legacy blocks still fail closed.
+	bad := append([]byte(nil), legacy...)
+	bad[len(bad)/2] ^= 1
+	if _, err := s2.Open(bad); err != ErrAuthFailed {
+		t.Errorf("tampered legacy: got %v, want ErrAuthFailed", err)
+	}
+}
+
+func TestOpenLegacyCollidingWithGCMHeader(t *testing.T) {
+	// A legacy block whose random IV happens to start with the GCM header
+	// pattern (format byte, any epoch, two zero bytes) must still open via
+	// the fall-through trial.
+	s := newTestSealer(t)
+	iv := make([]byte, IVSize)
+	iv[0], iv[1], iv[2], iv[3] = FormatGCM, 0x05, 0, 0
+	for i := 4; i < IVSize; i++ {
+		iv[i] = byte(i)
+	}
+	fixed, err := NewSealer(bytes.Repeat([]byte{0x42}, KeySize), bytes.NewReader(iv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := fixed.LegacySeal([]byte("unlucky IV"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy[0] != FormatGCM || legacy[2] != 0 || legacy[3] != 0 {
+		t.Fatal("fixture IV did not produce the colliding header")
+	}
+	pt, err := s.Open(legacy)
+	if err != nil {
+		t.Fatalf("open colliding legacy block: %v", err)
+	}
+	if string(pt) != "unlucky IV" {
+		t.Fatalf("got %q", pt)
+	}
+}
+
+func TestSetEpochCrossOpen(t *testing.T) {
+	s := newTestSealer(t)
+	ct0, err := s.Seal([]byte("epoch 0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetEpoch(7); err != nil {
+		t.Fatal(err)
+	}
+	if s.Epoch() != 7 {
+		t.Fatalf("Epoch() = %d", s.Epoch())
+	}
+	ct7, err := s.Seal([]byte("epoch 7"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct7[1] != 7 {
+		t.Fatalf("epoch byte = %d, want 7", ct7[1])
+	}
+	for _, ct := range [][]byte{ct0, ct7} {
+		if _, err := s.Open(ct); err != nil {
+			t.Errorf("open epoch-%d block after rotation: %v", ct[1], err)
+		}
+	}
+	// Flipping the (authenticated) epoch byte must fail, not decrypt under
+	// the wrong subkey.
+	bad := append([]byte(nil), ct7...)
+	bad[1] = 0
+	if _, err := s.Open(bad); err != ErrAuthFailed {
+		t.Errorf("epoch-byte tamper: got %v, want ErrAuthFailed", err)
+	}
+}
+
+func TestSealerClose(t *testing.T) {
+	s := newTestSealer(t)
+	ct, err := s.Seal([]byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close must be idempotent: %v", err)
+	}
+	if _, err := s.Seal([]byte("y")); err != ErrSealerClosed {
+		t.Errorf("Seal after Close: got %v, want ErrSealerClosed", err)
+	}
+	if _, err := s.Open(ct); err != ErrSealerClosed {
+		t.Errorf("Open after Close: got %v, want ErrSealerClosed", err)
+	}
+	if _, err := s.LegacySeal([]byte("z")); err != ErrSealerClosed {
+		t.Errorf("LegacySeal after Close: got %v, want ErrSealerClosed", err)
+	}
+}
+
 func BenchmarkSeal4KB(b *testing.B) {
 	s, _, err := NewRandomSealer()
 	if err != nil {

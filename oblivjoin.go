@@ -25,6 +25,7 @@
 package oblivjoin
 
 import (
+	"crypto/rand"
 	"fmt"
 	"io"
 	"sync"
@@ -106,8 +107,15 @@ type Config struct {
 	// BlockPayload is the usable bytes per encrypted block (0 = 4096, the
 	// paper's B = 4 KB).
 	BlockPayload int
-	// Key is the 16-byte master key; nil generates a fresh random key.
+	// Key is the 16-byte master key; nil generates a fresh random key. The
+	// database derives per-store subkeys from it via an HKDF keyring
+	// (xcrypto.Keyring) and does not retain the master itself.
 	Key []byte
+	// KeyEpoch is the key-rotation epoch new blocks are sealed under (the
+	// -rotate-epoch flag of cmd/ojoin). A client restarting after rotations
+	// passes the deployment's current epoch; blocks sealed under earlier
+	// epochs stay readable and migrate lazily on write-back. See RotateKeys.
+	KeyEpoch uint8
 	// Setting selects SepORAM (default), OneORAM, or Insecure.
 	Setting Setting
 	// CacheIndexes keeps all index levels above the leaves client-side —
@@ -150,6 +158,7 @@ type Config struct {
 type Database struct {
 	cfg        Config
 	meter      *storage.Meter
+	keyring    *xcrypto.Keyring
 	sealer     *xcrypto.Sealer
 	pending    []pendingTable
 	tables     map[string]*table.StoredTable
@@ -224,12 +233,21 @@ func (db *Database) Seal() error {
 		return fmt.Errorf("oblivjoin: no tables added")
 	}
 	if db.cfg.Setting != Insecure {
-		var err error
-		if db.cfg.Key != nil {
-			db.sealer, err = xcrypto.NewSealer(db.cfg.Key, nil)
-		} else {
-			db.sealer, _, err = xcrypto.NewRandomSealer()
+		key := db.cfg.Key
+		if key == nil {
+			key = make([]byte, xcrypto.KeySize)
+			if _, err := rand.Read(key); err != nil {
+				return err
+			}
 		}
+		var err error
+		db.keyring, err = xcrypto.NewKeyring(key, db.cfg.KeyEpoch, nil)
+		if err != nil {
+			return err
+		}
+		// The query-output path (core's oblivious filter) seals transient
+		// result blocks under its own subkey, separate from every table store.
+		db.sealer, err = db.keyring.Sealer("query")
 		if err != nil {
 			return err
 		}
@@ -237,7 +255,7 @@ func (db *Database) Seal() error {
 	opts := table.Options{
 		BlockPayload:      db.blockPayload(),
 		Meter:             db.meter,
-		Sealer:            db.sealer,
+		Keyring:           db.keyring,
 		CacheIndex:        db.cfg.CacheIndexes,
 		WriteBackDescents: db.cfg.EnableMultiway,
 		Raw:               db.cfg.Setting == Insecure,
@@ -413,8 +431,35 @@ func (db *Database) WatchShards(w io.Writer, every time.Duration) (stop func()) 
 	}
 }
 
-// Close releases the remote connection pool, if any.
+// RotateKeys advances the keyring to the next epoch: blocks written from now
+// on are sealed under the new epoch's subkey, while blocks sealed under every
+// earlier epoch (and under the pre-keyring format) remain readable and
+// migrate lazily as ORAM write-back re-seals them. Rotation changes only key
+// material, never the access schedule, so the server-visible trace is
+// byte-identical with or without it (see the oram trace-identity test).
+// Returns the new epoch.
+func (db *Database) RotateKeys() (uint8, error) {
+	if db.keyring == nil {
+		return 0, fmt.Errorf("oblivjoin: no keyring (Insecure setting or not sealed)")
+	}
+	return db.keyring.Rotate()
+}
+
+// KeyEpoch reports the epoch new blocks are currently sealed under (0 when
+// running Insecure or before Seal).
+func (db *Database) KeyEpoch() uint8 {
+	if db.keyring == nil {
+		return 0
+	}
+	return db.keyring.Epoch()
+}
+
+// Close releases the remote connection pool, if any, and zeroizes the
+// keyring's derived key material.
 func (db *Database) Close() error {
+	if db.keyring != nil {
+		db.keyring.Close()
+	}
 	if db.remote != nil {
 		return db.remote.Close()
 	}
