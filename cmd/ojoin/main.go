@@ -13,6 +13,14 @@
 //	ojoin -table a=a.csv -table b=b.csv -table c=c.csv \
 //	      -join 'a.x=b.x' -join 'b.y=c.y'          # multiway
 //
+// With -where the selection is pushed below the join obliviously and the
+// query runs through the cost-based planner; -explain prints the chosen
+// plan — enumerated candidates, predicted block-access counts, and the
+// pushdown decisions — without executing it:
+//
+//	ojoin -table people=people.csv -table depts=depts.csv \
+//	      -join 'people.dept=depts.id' -where 'people.age>=30' -explain
+//
 // The tool prints the join result, the padded step count, and the
 // simulated query cost. With -trace-out it also writes a phase-attributed
 // span-tree trace (JSON) of the query; with -remote the sealed tables live
@@ -43,11 +51,13 @@ func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
 func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
 func main() {
-	var tables, joins multiFlag
+	var tables, joins, wheres multiFlag
 	flag.Var(&tables, "table", "name=path.csv (repeatable)")
 	flag.Var(&joins, "join", "t1.attr=t2.attr equi-join predicate (repeatable; >1 runs a multiway join)")
+	flag.Var(&wheres, "where", "t.col OP value selection (OP one of = != < <= > >=), pushed below the join obliviously; routes the query through the planner (repeatable)")
 	band := flag.String("band", "", "t1.attr<t2.attr band predicate (one of < <= > >=)")
-	alg := flag.String("alg", "inlj", "binary algorithm: inlj or smj")
+	explain := flag.Bool("explain", false, "print the cost-based plan (candidates, predicted blocks, pushdown) instead of running the query")
+	alg := flag.String("alg", "inlj", "binary algorithm: inlj or smj (ignored with -where/-explain: the planner picks)")
 	cache := flag.Bool("cache", false, "cache index levels above the leaves (+Cache mode)")
 	one := flag.Bool("oneoram", false, "store all tables in a single shared ORAM (Section 7)")
 	workers := flag.Int("workers", 1, "oblivious sort worker pool size (1 = serial)")
@@ -141,6 +151,29 @@ func main() {
 		}
 	}
 
+	var filters []oblivjoin.Filter
+	for _, w := range wheres {
+		f, err := parseWhere(w)
+		if err != nil {
+			fatal("%v", err)
+		}
+		filters = append(filters, f)
+	}
+	var planQuery *oblivjoin.Query
+	if *explain || len(filters) > 0 {
+		q := oblivjoin.Query{Tables: order, Filters: filters}
+		for _, p := range preds {
+			if p.band {
+				q.Band = &oblivjoin.BandPred{Left: p.lt, LeftAttr: p.la, Op: p.op, Right: p.rt, RightAttr: p.ra}
+			} else {
+				q.Preds = append(q.Preds, oblivjoin.Pred{
+					Left: p.lt, LeftAttr: p.la, Right: p.rt, RightAttr: p.ra,
+				})
+			}
+		}
+		planQuery = &q
+	}
+
 	// Index every probed attribute.
 	indexAttrs := map[string]map[string]bool{}
 	addIdx := func(t, a string) {
@@ -181,6 +214,15 @@ func main() {
 	fmt.Printf("sealed %d tables: %.2f MB on server, %.1f KB client state\n",
 		len(order), float64(db.CloudBytes())/1e6, float64(db.ClientBytes())/1e3)
 
+	if *explain {
+		plan, err := db.Explain(*planQuery)
+		if err != nil {
+			fatal("explain: %v", err)
+		}
+		fmt.Print(plan)
+		return
+	}
+
 	if *traceOut != "" {
 		db.StartTrace("ojoin")
 	}
@@ -192,6 +234,15 @@ func main() {
 	var res *oblivjoin.Result
 	var err error
 	switch {
+	case planQuery != nil:
+		var out *oblivjoin.QueryOutput
+		out, err = db.Run(*planQuery)
+		if err == nil {
+			res = out.Result
+			best := out.Plan.Best()
+			fmt.Printf("plan: %s (%d candidates, predicted %d blocks; %d cache hits)\n",
+				best.Desc, len(out.Plan.Candidates), best.Cost.Blocks, out.CacheHits)
+		}
 	case len(preds) == 1 && preds[0].band:
 		p := preds[0]
 		res, err = db.BandJoin(p.lt, p.la, p.op, p.rt, p.ra)
@@ -255,6 +306,37 @@ func parsePred(s, op string) (lt, la, rt, ra, opStr string, err error) {
 		return "", "", "", "", "", fmt.Errorf("bad predicate side %q (want table.attr)", right)
 	}
 	return lt, la, rt, ra, op, nil
+}
+
+// parseWhere parses one "-where table.col OP value" selection, matching the
+// two-character comparison operators before their one-character prefixes.
+func parseWhere(s string) (oblivjoin.Filter, error) {
+	ops := []struct {
+		tok string
+		op  oblivjoin.CompareOp
+	}{
+		{"<=", oblivjoin.LE}, {">=", oblivjoin.GE}, {"!=", oblivjoin.NE},
+		{"=", oblivjoin.EQ}, {"<", oblivjoin.LT}, {">", oblivjoin.GT},
+	}
+	for _, o := range ops {
+		left, right, ok := strings.Cut(s, o.tok)
+		if !ok {
+			continue
+		}
+		tbl, col, ok := strings.Cut(strings.TrimSpace(left), ".")
+		if !ok {
+			return oblivjoin.Filter{}, fmt.Errorf("bad -where side %q (want table.col)", left)
+		}
+		v, err := strconv.ParseInt(strings.TrimSpace(right), 10, 64)
+		if err != nil {
+			return oblivjoin.Filter{}, fmt.Errorf("bad -where value %q: %v", right, err)
+		}
+		return oblivjoin.Filter{
+			Table: tbl,
+			Preds: []oblivjoin.SelectPred{{Column: col, Op: o.op, Value: v}},
+		}, nil
+	}
+	return oblivjoin.Filter{}, fmt.Errorf("bad -where %q (want table.col OP value)", s)
 }
 
 func loadCSV(name, path string) (*oblivjoin.Relation, error) {

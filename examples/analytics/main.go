@@ -1,14 +1,23 @@
-// Analytics runs a small end-to-end oblivious query plan over TPC-H-like
-// data — selection, join, and grouping aggregation — showing how the
-// operator substrate composes around the oblivious join:
+// Analytics runs a multi-query oblivious analytics session through the
+// cost-based query planner — logical queries with selection pushdown,
+// cost-based operator choice, plan-cache reuse across queries, and a
+// grouping aggregation over the decoded output:
 //
-//	SELECT s_nationkey, COUNT(*)
-//	FROM   supplier, customer
-//	WHERE  s_nationkey = c_nationkey AND s_acctbal >= 3000
-//	GROUP  BY s_nationkey
+//	Q1: SELECT s_nationkey, COUNT(*)
+//	    FROM   supplier, customer
+//	    WHERE  s_nationkey = c_nationkey AND s_acctbal >= 3000
+//	    GROUP  BY s_nationkey
 //
-// Every stage touches the server with a size-only access pattern; the plan
-// reveals exactly the sizes of its inputs and intermediates.
+//	Q2: SELECT *
+//	    FROM   supplier, nation
+//	    WHERE  s_nationkey = n_nationkey AND s_acctbal >= 3000
+//
+// The planner explains each query before running it (the enumerated
+// candidates with predicted block-access counts, and which inputs come
+// from the plan cache). Planning prepares the pushed-down inputs, so the
+// EXPLAIN's work is not wasted: Q1's Run reuses what its Explain built,
+// and Q2 — a different join — reuses the same filtered supplier input,
+// moving zero prepare blocks.
 package main
 
 import (
@@ -23,44 +32,55 @@ import (
 )
 
 func main() {
-	db := tpch.Generate(tpch.Config{Suppliers: 15, Seed: 3})
+	data := tpch.Generate(tpch.Config{Suppliers: 15, Seed: 3})
+	db := oblivjoin.NewDatabase(oblivjoin.Config{BlockPayload: 1024})
+	if err := db.AddTable(data.Supplier, "s_nationkey"); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.AddTable(data.Customer, "c_nationkey"); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.AddTable(data.Nation, "n_nationkey"); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Seal(); err != nil {
+		log.Fatal(err)
+	}
+
+	goodStanding := oblivjoin.Filter{Table: "supplier", Preds: []oblivjoin.SelectPred{
+		{Column: "s_acctbal", Op: oblivjoin.GE, Value: 300_000},
+	}}
+
+	// Q1: filtered suppliers joined with customers. Explain first — the
+	// plan is a function of public metadata only, so printing it leaks
+	// nothing beyond what the execution trace already reveals.
+	q1 := oblivjoin.Query{
+		Tables:  []string{"supplier", "customer"},
+		Preds:   []oblivjoin.Pred{{Left: "supplier", LeftAttr: "s_nationkey", Right: "customer", RightAttr: "c_nationkey"}},
+		Filters: []oblivjoin.Filter{goodStanding},
+	}
+	plan, err := db.Explain(q1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print("-- EXPLAIN Q1\n", plan)
+	out1, err := db.Run(q1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("-- Q1: %d records (prepare moved %d blocks, %d cache hits)\n\n",
+		len(out1.Tuples), out1.PrepareStats.BlocksMoved(), out1.CacheHits)
+
+	// COUNT(*) GROUP BY nationkey over the decoded join output, using the
+	// oblivious aggregation operator directly.
 	meter := storage.NewMeter()
 	sealer, _, err := xcrypto.NewRandomSealer()
 	if err != nil {
 		log.Fatal(err)
 	}
-	opOpts := operators.Options{BlockSize: 1024, Meter: meter, Sealer: sealer}
-
-	// Stage 1: oblivious selection — suppliers in good standing.
-	sel, err := operators.Select(db.Supplier,
-		[]operators.Pred{{Column: "s_acctbal", Op: operators.GE, Value: 300_000}}, opOpts)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("σ(s_acctbal >= 3000.00): %d of %d suppliers kept\n", sel.RealCount, db.Supplier.Len())
-
-	// Stage 2: oblivious join of the selected suppliers with customers.
-	selected := &oblivjoin.Relation{Schema: db.Supplier.Schema, Tuples: sel.Tuples}
-	jdb := oblivjoin.NewDatabase(oblivjoin.Config{BlockPayload: 1024})
-	if err := jdb.AddTable(selected, "s_nationkey"); err != nil {
-		log.Fatal(err)
-	}
-	if err := jdb.AddTable(db.Customer, "c_nationkey"); err != nil {
-		log.Fatal(err)
-	}
-	if err := jdb.Seal(); err != nil {
-		log.Fatal(err)
-	}
-	joined, err := jdb.IndexNestedLoopJoin("supplier", "s_nationkey", "customer", "c_nationkey")
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("⋈ on nationkey: %d records (steps padded to %d)\n",
-		joined.RealCount, joined.PaddedSteps)
-
-	// Stage 3: oblivious COUNT(*) GROUP BY nationkey over the join output.
-	joinedRel := &oblivjoin.Relation{Schema: joined.Schema, Tuples: joined.Tuples}
-	agg, err := operators.GroupAggregate(joinedRel, "supplier.s_nationkey", "", operators.Count, opOpts)
+	joined := &oblivjoin.Relation{Schema: out1.Result.Schema, Tuples: out1.Result.Tuples}
+	agg, err := operators.GroupAggregate(joined, "supplier.s_nationkey", "", operators.Count,
+		operators.Options{BlockSize: 1024, Meter: meter, Sealer: sealer})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -72,7 +92,28 @@ func main() {
 		}
 		fmt.Printf("  nation %2d: %d supplier-customer pairs\n", tu.Values[0], tu.Values[1])
 	}
-	fmt.Printf("total plan traffic: %.2f MB (select/aggregate) + %.2f MB (join)\n",
-		float64(sel.Stats.BytesMoved()+agg.Stats.BytesMoved())/1e6,
-		float64(joined.Stats.BytesMoved())/1e6)
+	fmt.Println()
+
+	// Q2: a different join over the same filtered suppliers. The plan
+	// cache recognizes the prepared input by signature — no pushdown or
+	// upload traffic the second time.
+	q2 := oblivjoin.Query{
+		Tables:  []string{"supplier", "nation"},
+		Preds:   []oblivjoin.Pred{{Left: "supplier", LeftAttr: "s_nationkey", Right: "nation", RightAttr: "n_nationkey"}},
+		Filters: []oblivjoin.Filter{goodStanding},
+	}
+	plan, err = db.Explain(q2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print("-- EXPLAIN Q2\n", plan)
+	out2, err := db.Run(q2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("-- Q2: %d records (prepare moved %d blocks, %d cache hits)\n\n",
+		len(out2.Tuples), out2.PrepareStats.BlocksMoved(), out2.CacheHits)
+
+	stats := db.PlanCacheStats()
+	fmt.Printf("plan cache: %d entries, %d hits, %d misses\n", stats.Entries, stats.Hits, stats.Misses)
 }

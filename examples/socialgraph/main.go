@@ -38,7 +38,7 @@ func main() {
 	}
 
 	sm1 := graph.SM1()
-	res, err := db.MultiwayJoin(sm1.Query)
+	res, err := db.MultiwayJoin(oblivjoin.Query{Tables: sm1.Query.Tables, Preds: sm1.Query.Preds})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -56,7 +56,7 @@ func main() {
 		log.Fatal(err)
 	}
 	tm1 := db.TM1()
-	res, err := multi.MultiwayJoin(tm1.Query)
+	res, err := multi.MultiwayJoin(oblivjoin.Query{Tables: tm1.Query.Tables, Preds: tm1.Query.Preds})
 	if err != nil {
 		log.Fatal(err)
 	}

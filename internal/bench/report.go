@@ -158,8 +158,9 @@ func WriteTable1(w io.Writer, rows []Table1Row) {
 // backend invariance check ("disk"), the multi-session serving-layer
 // throughput sweep ("concurrency"), the striped-store fan-out scaling
 // sweep ("shard"), the per-op server-side latency-histogram profile
-// ("latency"), and the authenticated-crypto/zero-copy-codec micro-bench
-// ("crypto").
+// ("latency"), the authenticated-crypto/zero-copy-codec micro-bench
+// ("crypto"), and the cost-based planner's multi-query cache-reuse session
+// ("planner").
 func Experiments() []string {
 	ids := []string{"table1"}
 	for i := 7; i <= 21; i++ {
@@ -168,7 +169,7 @@ func Experiments() []string {
 	return append(ids,
 		"ablation-blocksize", "ablation-z", "ablation-posmap",
 		"ablation-writeback", "ablation-scheme", "ablation-chained", "ablation-dppad",
-		"sort", "phases", "rounds", "disk", "concurrency", "shard", "latency", "crypto")
+		"sort", "phases", "rounds", "disk", "concurrency", "shard", "latency", "crypto", "planner")
 }
 
 // Run executes one experiment by ID and writes its report.
@@ -203,6 +204,10 @@ func Run(w io.Writer, e *Env, id string) error {
 	}
 	if id == "crypto" {
 		_, err := RunCrypto(w, e)
+		return err
+	}
+	if id == "planner" {
+		_, err := RunPlanner(w, e)
 		return err
 	}
 	if id == "table1" {

@@ -81,11 +81,19 @@ func (w *outWriter) finish(opts Options, cartesian int64, join *telemetry.Span) 
 		return nil, 0, 0, err
 	}
 	filter.End()
-	// Decode the real prefix client-side for the caller.
+	// Decode the output client-side for the caller. Under PadNone the real
+	// count is declared leakage, so only the real prefix is read; every
+	// padding mode exists to hide it, so there the read-back covers the
+	// whole padded prefix — otherwise the decode reads would mark the real
+	// size at block granularity, exactly the boundary padding hides.
+	read := w.real
+	if opts.Padding != PadNone {
+		read = int(padded)
+	}
 	decode := join.Child("decode")
 	defer decode.End()
-	if w.real > 0 {
-		recs, err := w.vec.LoadRange(0, w.real)
+	if read > 0 {
+		recs, err := w.vec.LoadRange(0, read)
 		if err != nil {
 			return nil, 0, 0, err
 		}
@@ -96,7 +104,10 @@ func (w *outWriter) finish(opts Options, cartesian int64, join *telemetry.Span) 
 				return nil, 0, 0, err
 			}
 			if !ok {
-				return nil, 0, 0, fmt.Errorf("core: dummy record at output position %d of %d real", i, w.real)
+				if i < w.real {
+					return nil, 0, 0, fmt.Errorf("core: dummy record at output position %d of %d real", i, w.real)
+				}
+				continue // padding dummy past the real prefix
 			}
 			tuples = append(tuples, tu)
 		}

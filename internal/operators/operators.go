@@ -150,9 +150,13 @@ type Pred struct {
 type Result struct {
 	Schema relation.Schema
 	Tuples []relation.Tuple
-	// RealCount is the output size (public under Definition 1's leakage).
+	// RealCount is the output size (public under Definition 1's leakage,
+	// except through SelectPadded, which declares only PaddedCount).
 	RealCount int
-	Stats     storage.Stats
+	// PaddedCount is the server-visible output size: equal to RealCount for
+	// the plain operators, and the padding target for SelectPadded.
+	PaddedCount int
+	Stats       storage.Stats
 }
 
 func start(o Options) storage.Stats {
@@ -174,6 +178,26 @@ func finishStats(o Options, s storage.Stats) storage.Stats {
 // an encrypted output vector, then dummies are compacted away. The server
 // learns only the input and output sizes.
 func Select(rel *relation.Relation, preds []Pred, opts Options) (*Result, error) {
+	return selectPadded(rel, preds, nil, opts)
+}
+
+// SelectPadded is Select with the server-visible output size held at a
+// padding target instead of the real count: padTo receives the real match
+// count (client-side knowledge) and returns the declared size to reveal,
+// real ≤ padTo(real) ≤ len(rel.Tuples). The scan and compaction traces are
+// functions of the input size alone; the only size-dependent accesses — the
+// final read-back of the compacted prefix — cover exactly padTo(real)
+// records, so selectivity leaks no further than the declared padding
+// policy. The query layer's selection pushdown runs every pre-join filter
+// through this entry point with padTo = core.Options.PadSize.
+func SelectPadded(rel *relation.Relation, preds []Pred, padTo func(real int) int, opts Options) (*Result, error) {
+	if padTo == nil {
+		return nil, fmt.Errorf("operators: SelectPadded requires a padding target")
+	}
+	return selectPadded(rel, preds, padTo, opts)
+}
+
+func selectPadded(rel *relation.Relation, preds []Pred, padTo func(real int) int, opts Options) (*Result, error) {
 	if opts.Sealer == nil {
 		return nil, fmt.Errorf("operators: sealer required")
 	}
@@ -218,20 +242,33 @@ func Select(rel *relation.Relation, preds []Pred, opts Options) (*Result, error)
 		return nil, err
 	}
 	scan.End()
+	declared := real
+	if padTo != nil {
+		declared = padTo(real)
+		if declared < real {
+			return nil, fmt.Errorf("operators: padding target %d below real count %d", declared, real)
+		}
+	}
 	dummy := make([]byte, recSize)
-	if err := opts.sorter(sp).CompactReal(vec, opts.mem(recSize), relation.IsDummy, real, dummy); err != nil {
+	if err := opts.sorter(sp).CompactReal(vec, opts.mem(recSize), relation.IsDummy, declared, dummy); err != nil {
 		return nil, err
 	}
-	out := &Result{Schema: rel.Schema, RealCount: real}
-	if real > 0 {
-		recs, err := vec.LoadRange(0, real)
+	out := &Result{Schema: rel.Schema, RealCount: real, PaddedCount: declared}
+	if declared > 0 {
+		recs, err := vec.LoadRange(0, declared)
 		if err != nil {
 			return nil, err
 		}
-		for _, rec := range recs {
+		for i, rec := range recs {
 			tu, ok, err := relation.Decode(rel.Schema, rec)
-			if err != nil || !ok {
+			if err != nil {
 				return nil, fmt.Errorf("operators: bad selected record (%v)", err)
+			}
+			if !ok {
+				if i < real {
+					return nil, fmt.Errorf("operators: dummy record at position %d of %d real", i, real)
+				}
+				continue // padding dummy past the real prefix
 			}
 			out.Tuples = append(out.Tuples, tu)
 		}

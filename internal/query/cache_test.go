@@ -1,0 +1,63 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"oblivjoin/internal/operators"
+	"oblivjoin/internal/relation"
+	"oblivjoin/internal/session"
+)
+
+func TestSignatureCoversInputDescription(t *testing.T) {
+	schema := relation.Schema{Table: "a", Columns: []string{"k", "id"}}
+	base := func() string {
+		return signature(schema, 100, 256, []operators.Pred{{Column: "k", Op: operators.LE, Value: 5}}, []string{"k"}, "none/b0/e0")
+	}
+	sig := base()
+	if sig != base() {
+		t.Fatal("signature is not deterministic")
+	}
+	variants := []string{
+		signature(schema, 101, 256, []operators.Pred{{Column: "k", Op: operators.LE, Value: 5}}, []string{"k"}, "none/b0/e0"),
+		signature(schema, 100, 512, []operators.Pred{{Column: "k", Op: operators.LE, Value: 5}}, []string{"k"}, "none/b0/e0"),
+		signature(schema, 100, 256, []operators.Pred{{Column: "k", Op: operators.LE, Value: 6}}, []string{"k"}, "none/b0/e0"),
+		signature(schema, 100, 256, []operators.Pred{{Column: "k", Op: operators.LT, Value: 5}}, []string{"k"}, "none/b0/e0"),
+		signature(schema, 100, 256, []operators.Pred{{Column: "k", Op: operators.LE, Value: 5}}, []string{"id", "k"}, "none/b0/e0"),
+		signature(schema, 100, 256, []operators.Pred{{Column: "k", Op: operators.LE, Value: 5}}, []string{"k"}, "cart/b0/e0"),
+	}
+	seen := map[string]bool{sig: true}
+	for i, v := range variants {
+		if seen[v] {
+			t.Errorf("variant %d collides with an earlier signature", i)
+		}
+		seen[v] = true
+	}
+}
+
+func TestCacheStorePrefixIsReserved(t *testing.T) {
+	p := cacheStorePrefix("deadbeef01234567")
+	if !strings.HasPrefix(p, session.PlanCachePrefix) {
+		t.Fatalf("prefix %q does not start with the reserved namespace %q", p, session.PlanCachePrefix)
+	}
+	// Every store a prepared input provisions must be refused to
+	// sessionless/foreign-tenant access by the session layer.
+	if !session.Reserved(session.Qualify("tenant", p+"a.data")) {
+		t.Fatalf("qualified plan-cache store %q is not in a reserved namespace", session.Qualify("tenant", p+"a.data"))
+	}
+}
+
+func TestCacheCountsHitsAndMisses(t *testing.T) {
+	c := NewCache()
+	if _, ok := c.lookup("x"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.put("x", nil)
+	if _, ok := c.lookup("x"); !ok {
+		t.Fatal("miss after put")
+	}
+	s := c.Stats()
+	if s.Entries != 1 || s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 entry, 1 hit, 1 miss", s)
+	}
+}

@@ -1,0 +1,153 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"oblivjoin/internal/core"
+	"oblivjoin/internal/jointree"
+)
+
+// Cost is a candidate plan's predicted input-side access cost, derived from
+// the Theorem 1–4 retrieval bounds and the catalog's fixed per-access ORAM
+// costs. It covers the join's input-table traffic only: the output vector
+// (write, oblivious filter, decode) costs the same for every candidate at a
+// given padded result size, so it cancels out of operator choice and is
+// excluded to keep the per-store predictions exactly checkable.
+type Cost struct {
+	// Steps is the padded join-step count (the theorem bound at the padded
+	// result size) — Result.PaddedSteps when the prediction is exact.
+	Steps int64
+	// ORAMOps is the total number of ORAM accesses across input stores.
+	ORAMOps int64
+	// Blocks is the total predicted server block operations (reads+writes).
+	Blocks int64
+	// Rounds is the classic worst-case network rounds: two per ORAM access
+	// (one read round, one write-back round). Deferred eviction and dummy
+	// coalescing only lower it.
+	Rounds int64
+	// PerStore maps store name to predicted block operations — the exact
+	// counts the predicted-vs-measured guard checks against the Meter's
+	// trace, store by store.
+	PerStore map[string]int64
+}
+
+func (c *Cost) add(store string, oramOps int64, accessesPerOp int) {
+	if c.PerStore == nil {
+		c.PerStore = make(map[string]int64)
+	}
+	blocks := oramOps * int64(accessesPerOp)
+	c.PerStore[store] += blocks
+	c.ORAMOps += oramOps
+	c.Blocks += blocks
+	c.Rounds += 2 * oramOps
+}
+
+// smjCost prices the sort-merge equi-join t1.a1 = t2.a2: Numtr1 = |T1| +
+// |T2| + |R̂| + 1 retrievals per table, each one leaf-level index access
+// plus one data access (LeafCursor).
+func smjCost(cat Catalog, t1, a1, t2, a2 string, paddedR int64) (Cost, error) {
+	m1, err := cat.lookup(t1)
+	if err != nil {
+		return Cost{}, err
+	}
+	m2, err := cat.lookup(t2)
+	if err != nil {
+		return Cost{}, err
+	}
+	i1, ok := m1.Index(a1)
+	if !ok {
+		return Cost{}, fmt.Errorf("no index on %s.%s", t1, a1)
+	}
+	i2, ok := m2.Index(a2)
+	if !ok {
+		return Cost{}, fmt.Errorf("no index on %s.%s", t2, a2)
+	}
+	n := core.NumtrSortMerge(m1.Rows, m2.Rows, paddedR)
+	c := Cost{Steps: n}
+	c.add(i1.Store, n, i1.OramAccessesPerOp)
+	c.add(m1.DataStore, n, m1.DataAccessesPerOp)
+	c.add(i2.Store, n, i2.OramAccessesPerOp)
+	c.add(m2.DataStore, n, m2.DataAccessesPerOp)
+	return c, nil
+}
+
+// inljCost prices the index nested-loop join with the given outer/inner
+// roles (equi and band joins share the bound: Numtr = |outer| + |R̂|). Each
+// step is one outer data access plus one full index descent
+// (AccessesPerRetrieval index accesses) and one data access on the inner.
+func inljCost(cat Catalog, outer, inner, innerAttr string, paddedR int64) (Cost, error) {
+	mo, err := cat.lookup(outer)
+	if err != nil {
+		return Cost{}, err
+	}
+	mi, err := cat.lookup(inner)
+	if err != nil {
+		return Cost{}, err
+	}
+	idx, ok := mi.Index(innerAttr)
+	if !ok {
+		return Cost{}, fmt.Errorf("no index on %s.%s", inner, innerAttr)
+	}
+	n := core.NumtrINLJ(mo.Rows, paddedR)
+	c := Cost{Steps: n}
+	c.add(mo.DataStore, n, mo.DataAccessesPerOp)
+	c.add(idx.Store, n*int64(idx.AccessesPerRetrieval), idx.OramAccessesPerOp)
+	c.add(mi.DataStore, n, mi.DataAccessesPerOp)
+	return c, nil
+}
+
+// multiwayCost prices the acyclic multiway join over the given join tree:
+// Numtr4 = |root| + 2·Σ_{j≥2}|Tj| + |R̂| steps, each retrieving one tuple
+// from every table (root by scan, non-roots by index descent), plus the
+// post-query Reset pass over every index of every non-root table (one ORAM
+// access per non-cached node).
+func multiwayCost(cat Catalog, tree *jointree.Tree, paddedR int64) (Cost, error) {
+	sizes := make([]int64, tree.Len())
+	metas := make([]TableMeta, tree.Len())
+	for i, node := range tree.Order {
+		m, err := cat.lookup(node.Table)
+		if err != nil {
+			return Cost{}, err
+		}
+		metas[i], sizes[i] = m, m.Rows
+	}
+	n := core.NumtrMultiway(sizes, paddedR)
+	c := Cost{Steps: n}
+	c.add(metas[0].DataStore, n, metas[0].DataAccessesPerOp)
+	for i, node := range tree.Order {
+		if i == 0 {
+			continue
+		}
+		idx, ok := metas[i].Index(node.Attr)
+		if !ok {
+			return Cost{}, fmt.Errorf("no index on %s.%s", node.Table, node.Attr)
+		}
+		c.add(idx.Store, n*int64(idx.AccessesPerRetrieval), idx.OramAccessesPerOp)
+		c.add(metas[i].DataStore, n, metas[i].DataAccessesPerOp)
+		// Reset pass: ResetIndexes walks every index of the table.
+		for _, im := range sortedIndexes(metas[i]) {
+			c.add(im.Store, im.ResetNodes, im.OramAccessesPerOp)
+		}
+	}
+	return c, nil
+}
+
+// sortedIndexes returns a table's index metadata in attribute order, so
+// cost accumulation (and any float-free arithmetic on it) is deterministic.
+func sortedIndexes(m TableMeta) []IndexMeta {
+	out := make([]IndexMeta, 0, len(m.Indexes))
+	for _, attr := range sortedKeys(m.Indexes) {
+		out = append(out, m.Indexes[attr])
+	}
+	return out
+}
+
+func sortedKeys(m map[string]IndexMeta) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,136 @@
+package query
+
+import (
+	"testing"
+
+	"oblivjoin/internal/core"
+	"oblivjoin/internal/jointree"
+	"oblivjoin/internal/relation"
+	"oblivjoin/internal/storage"
+)
+
+// perStoreCounts folds a trace into block-operation counts per store (each
+// Access record is one block read or written).
+func perStoreCounts(trace []storage.Access) map[string]int64 {
+	out := map[string]int64{}
+	for _, a := range trace {
+		out[a.Store]++
+	}
+	return out
+}
+
+// checkPredicted compares a cost prediction against the measured trace:
+// every store the formula prices must match its measured block count
+// exactly (the Theorem 1–4 bounds are exact once the result size is fixed,
+// and the per-op ORAM costs are deterministic with in-process stores).
+// Stores the formula does not price (the output vector) are ignored.
+func checkPredicted(t *testing.T, predicted Cost, trace []storage.Access, steps int64) {
+	t.Helper()
+	if predicted.Steps != steps {
+		t.Errorf("predicted %d steps, executed %d", predicted.Steps, steps)
+	}
+	measured := perStoreCounts(trace)
+	for store, want := range predicted.PerStore {
+		if got := measured[store]; got != want {
+			t.Errorf("store %s: predicted %d block ops, measured %d", store, want, got)
+		}
+	}
+}
+
+// guardEnv builds tables, clears the setup traffic, and turns tracing on.
+func guardEnv(t *testing.T, multiway bool, rels map[string]*relation.Relation, idx map[string][]string) *testEnv {
+	t.Helper()
+	env := newEnv(t, envConfig{multiway: multiway}, rels, idx)
+	env.meter.Reset()
+	env.meter.SetTracing(true)
+	return env
+}
+
+// TestPredictedCostSMJ: the Theorem 1 formula evaluated at the actual
+// padded result size must equal the Meter's per-store counts exactly.
+func TestPredictedCostSMJ(t *testing.T) {
+	rels := map[string]*relation.Relation{
+		"a": makeRel("a", []int64{1, 2, 2, 3}),
+		"b": makeRel("b", []int64{1, 2, 2, 2}),
+	}
+	env := guardEnv(t, false, rels, map[string][]string{"a": {"k"}, "b": {"k"}})
+	res, err := core.SortMergeJoin(env.ex.Tables["a"], env.ex.Tables["b"], "k", "k", env.ex.JoinOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, err := smjCost(Describe(env.ex.Tables), "a", "k", "b", "k", int64(res.PaddedCount))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPredicted(t, cost, env.meter.Trace(), res.PaddedSteps)
+}
+
+// TestPredictedCostINLJ: Theorem 2, with the inner's full index descents.
+func TestPredictedCostINLJ(t *testing.T) {
+	rels := map[string]*relation.Relation{
+		"a": makeRel("a", []int64{1, 2, 2, 3}),
+		"b": makeRel("b", []int64{1, 2, 2, 2, 5, 7, 9, 11, 13, 15, 17, 19}),
+	}
+	env := guardEnv(t, false, rels, map[string][]string{"a": {"k"}, "b": {"k"}})
+	res, err := core.IndexNestedLoopJoin(env.ex.Tables["a"], env.ex.Tables["b"], "k", "k", env.ex.JoinOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, err := inljCost(Describe(env.ex.Tables), "a", "b", "k", int64(res.PaddedCount))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPredicted(t, cost, env.meter.Trace(), res.PaddedSteps)
+}
+
+// TestPredictedCostBand: Theorem 3 shares the INLJ formula.
+func TestPredictedCostBand(t *testing.T) {
+	rels := map[string]*relation.Relation{
+		"a": makeRel("a", []int64{1, 4, 7}),
+		"b": makeRel("b", []int64{2, 5, 6, 8}),
+	}
+	env := guardEnv(t, false, rels, map[string][]string{"a": {"k"}, "b": {"k"}})
+	res, err := core.BandJoin(env.ex.Tables["a"], env.ex.Tables["b"], "k", "k", core.BandLess, env.ex.JoinOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, err := inljCost(Describe(env.ex.Tables), "a", "b", "k", int64(res.PaddedCount))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPredicted(t, cost, env.meter.Trace(), res.PaddedSteps)
+}
+
+// TestPredictedCostMultiway: Theorem 4 plus the post-query index reset.
+func TestPredictedCostMultiway(t *testing.T) {
+	rels := map[string]*relation.Relation{
+		"a": makeRel("a", []int64{1, 2, 3}),
+		"b": makeRel("b", []int64{2, 2, 3, 4}),
+		"c": makeRel("c", []int64{3, 3, 2}),
+	}
+	env := guardEnv(t, true, rels, map[string][]string{"a": {"k"}, "b": {"k"}, "c": {"k"}})
+	q := jointree.Query{
+		Tables: []string{"a", "b", "c"},
+		Preds: []jointree.Pred{
+			{Left: "a", LeftAttr: "k", Right: "b", RightAttr: "k"},
+			{Left: "b", LeftAttr: "k", Right: "c", RightAttr: "k"},
+		},
+	}
+	tree, err := jointree.Build(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := core.MultiwayInput{Tree: tree}
+	for _, n := range tree.Order {
+		in.Tables = append(in.Tables, env.ex.Tables[n.Table])
+	}
+	res, err := core.MultiwayJoin(in, env.ex.JoinOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, err := multiwayCost(Describe(env.ex.Tables), tree, int64(res.PaddedCount))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPredicted(t, cost, env.meter.Trace(), res.PaddedSteps)
+}

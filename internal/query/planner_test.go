@@ -1,0 +1,226 @@
+package query
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"oblivjoin/internal/core"
+	"oblivjoin/internal/jointree"
+)
+
+// synthCatalog builds a catalog by hand: every table costs data=10 blocks
+// per ORAM op, every index idx=10 per op with the given descent depth.
+func synthCatalog(depth int, rows map[string]int64, indexed map[string][]string) Catalog {
+	cat := make(Catalog)
+	for name, n := range rows {
+		tm := TableMeta{
+			Name: name, Rows: n,
+			DataAccessesPerOp: 10,
+			DataStore:         name + ".data",
+			Indexes:           map[string]IndexMeta{},
+		}
+		for _, attr := range indexed[name] {
+			tm.Indexes[attr] = IndexMeta{
+				Attr:                 attr,
+				AccessesPerRetrieval: depth,
+				OramAccessesPerOp:    10,
+				ResetNodes:           n,
+				Store:                name + ".idx." + attr,
+			}
+		}
+		cat[name] = tm
+	}
+	return cat
+}
+
+func equiSpec(t1, t2 string) Spec {
+	return Spec{
+		Tables: []string{t1, t2},
+		Preds:  []jointree.Pred{{Left: t1, LeftAttr: "k", Right: t2, RightAttr: "k"}},
+	}
+}
+
+// TestOperatorChoiceCrossover pins the SMJ/INLJ crossover on index depth:
+// with equal table sizes, a shallow index (Δ=2) makes INLJ cheaper
+// (Numtr2 = t+R̂ steps at Δ+2 ops each beats Numtr1 = 2t+R̂+1 at 2 ops per
+// table), while a deep index (Δ=6) tips the choice back to SMJ, whose
+// leaf-level cursors never pay the descent.
+func TestOperatorChoiceCrossover(t *testing.T) {
+	rows := map[string]int64{"a": 1000, "b": 1000}
+	idx := map[string][]string{"a": {"k"}, "b": {"k"}}
+	spec := equiSpec("a", "b")
+	spec.EstimatedResult = 1000
+
+	for _, tc := range []struct {
+		depth int
+		want  OpKind
+	}{
+		{depth: 2, want: OpINLJ},
+		{depth: 6, want: OpSMJ},
+	} {
+		p, err := planSpec(synthCatalog(tc.depth, rows, idx), spec, PlanOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := p.Best().Kind; got != tc.want {
+			t.Errorf("depth %d: chose %s, want %s\n%s", tc.depth, got, tc.want, p.Explain())
+		}
+	}
+}
+
+// TestINLJOrientation: with one tiny and one huge table, the planner must
+// scan the tiny table as the outer (Numtr2 grows with the outer size only).
+func TestINLJOrientation(t *testing.T) {
+	rows := map[string]int64{"tiny": 10, "huge": 100000}
+	idx := map[string][]string{"tiny": {"k"}, "huge": {"k"}}
+	spec := equiSpec("huge", "tiny") // spec lists huge first; planner must flip
+	spec.EstimatedResult = 10
+
+	p, err := planSpec(synthCatalog(3, rows, idx), spec, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := p.Best()
+	if best.Kind != OpINLJ || best.Outer != "tiny" {
+		t.Fatalf("chose %s outer=%s, want inlj outer=tiny\n%s", best.Kind, best.Outer, p.Explain())
+	}
+}
+
+// TestChosenIsArgmin: whatever the geometry, the chosen candidate must be
+// block-minimal among viable ones.
+func TestChosenIsArgmin(t *testing.T) {
+	rows := map[string]int64{"a": 64, "b": 640, "c": 6400}
+	idx := map[string][]string{"a": {"k", "j"}, "b": {"k", "j"}, "c": {"k", "j"}}
+	spec := Spec{
+		Tables: []string{"a", "b", "c"},
+		Preds: []jointree.Pred{
+			{Left: "a", LeftAttr: "k", Right: "b", RightAttr: "k"},
+			{Left: "b", LeftAttr: "j", Right: "c", RightAttr: "j"},
+		},
+		EstimatedResult: 6400,
+	}
+	p, err := planSpec(synthCatalog(3, rows, idx), spec, PlanOptions{EnableMultiway: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Candidates) != 3 { // one multiway candidate per root
+		t.Fatalf("expected 3 root candidates, got %d", len(p.Candidates))
+	}
+	best := p.Best()
+	for _, c := range p.Candidates {
+		if c.Viable && c.Cost.Blocks < best.Cost.Blocks {
+			t.Fatalf("chose %s (%d blocks) but %s costs %d", best.Desc, best.Cost.Blocks, c.Desc, c.Cost.Blocks)
+		}
+	}
+}
+
+// TestMultiwayNeedsEnable: without EnableMultiway every multiway candidate
+// is non-viable and planning a 3-table query fails with the reasons listed.
+func TestMultiwayNeedsEnable(t *testing.T) {
+	rows := map[string]int64{"a": 4, "b": 4, "c": 4}
+	idx := map[string][]string{"a": {"k", "j"}, "b": {"k", "j"}, "c": {"k", "j"}}
+	spec := Spec{
+		Tables: []string{"a", "b", "c"},
+		Preds: []jointree.Pred{
+			{Left: "a", LeftAttr: "k", Right: "b", RightAttr: "k"},
+			{Left: "b", LeftAttr: "j", Right: "c", RightAttr: "j"},
+		},
+	}
+	_, err := planSpec(synthCatalog(3, rows, idx), spec, PlanOptions{})
+	if err == nil || !strings.Contains(err.Error(), "EnableMultiway") {
+		t.Fatalf("want EnableMultiway failure, got %v", err)
+	}
+}
+
+// TestMissingIndexFallsBack: with no index on one side, the INLJ
+// orientation probing it is non-viable, but the other orientation (and SMJ
+// when both leaf levels exist) still plans.
+func TestMissingIndexFallsBack(t *testing.T) {
+	rows := map[string]int64{"a": 100, "b": 100}
+	idx := map[string][]string{"a": {"k"}} // b unindexed
+	spec := equiSpec("a", "b")
+	p, err := planSpec(synthCatalog(3, rows, idx), spec, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := p.Best()
+	if best.Kind != OpINLJ || best.Inner != "a" {
+		t.Fatalf("want inlj probing a (the only index), got %s inner=%s", best.Kind, best.Inner)
+	}
+	viable := 0
+	for _, c := range p.Candidates {
+		if c.Viable {
+			viable++
+		}
+	}
+	if viable != 1 {
+		t.Fatalf("want exactly 1 viable candidate, got %d\n%s", viable, p.Explain())
+	}
+}
+
+func TestEstimateHeuristics(t *testing.T) {
+	eq := equiSpec("a", "b")
+	if got := estimateResult(eq, []int64{10, 400}, 4000); got != 400 {
+		t.Errorf("equi estimate %d, want max size 400", got)
+	}
+	band := Spec{Tables: []string{"a", "b"}, Band: &Band{Left: "a", LeftAttr: "k", Op: core.BandLess, Right: "b", RightAttr: "k"}}
+	if got := estimateResult(band, []int64{10, 400}, 4000); got != 2000 {
+		t.Errorf("band estimate %d, want cart/2 = 2000", got)
+	}
+}
+
+func TestPlannedPad(t *testing.T) {
+	cases := []struct {
+		po   PlanOptions
+		est  int64
+		cart int64
+		want int64
+	}{
+		{PlanOptions{Padding: core.PadNone}, 5, 100, 5},
+		{PlanOptions{Padding: core.PadClosestPower}, 5, 100, 8},
+		{PlanOptions{Padding: core.PadClosestPower, PadBase: 10}, 5, 100, 10},
+		{PlanOptions{Padding: core.PadCartesian}, 5, 100, 100},
+		{PlanOptions{Padding: core.PadDP, DPEpsilon: 0.5}, 5, 100, 8}, // 5 + ceil(1/0.5) + 1
+		{PlanOptions{Padding: core.PadClosestPower}, 90, 100, 100},    // capped at cart
+	}
+	for i, c := range cases {
+		if got := plannedPad(c.po, c.est, c.cart); got != c.want {
+			t.Errorf("case %d: plannedPad = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestSaturatingProduct(t *testing.T) {
+	if got := saturatingProduct([]int64{1 << 40, 1 << 40}); got != math.MaxInt64 {
+		t.Errorf("overflow product = %d, want MaxInt64", got)
+	}
+	if got := saturatingProduct([]int64{3, 4}); got != 12 {
+		t.Errorf("product = %d, want 12", got)
+	}
+}
+
+// TestExplainDeterministic: the same catalog and spec must render the same
+// plan text, twice in one process and across candidate maps.
+func TestExplainDeterministic(t *testing.T) {
+	rows := map[string]int64{"a": 100, "b": 200}
+	idx := map[string][]string{"a": {"k"}, "b": {"k"}}
+	spec := equiSpec("a", "b")
+	var prev string
+	for i := 0; i < 5; i++ {
+		p, err := planSpec(synthCatalog(3, rows, idx), spec, PlanOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := p.Explain()
+		if i > 0 && s != prev {
+			t.Fatalf("explain output changed between runs:\n%s\nvs\n%s", prev, s)
+		}
+		prev = s
+	}
+	for _, want := range []string{"query:", "plan:", "candidates:", "predicted:"} {
+		if !strings.Contains(prev, want) {
+			t.Errorf("explain output missing %q:\n%s", want, prev)
+		}
+	}
+}

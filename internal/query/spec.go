@@ -1,0 +1,196 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"oblivjoin/internal/core"
+	"oblivjoin/internal/jointree"
+	"oblivjoin/internal/operators"
+)
+
+// Filter is a conjunction of per-column selection predicates on one input
+// table, applied obliviously below the join (selection pushdown).
+type Filter struct {
+	// Table names the input the predicates apply to.
+	Table string
+	// Preds are ANDed column comparisons.
+	Preds []operators.Pred
+}
+
+// Band is a band-join predicate Left.LeftAttr OP Right.RightAttr. A banded
+// Spec has exactly two tables and no equi predicates.
+type Band struct {
+	Left      string
+	LeftAttr  string
+	Op        core.BandOp
+	Right     string
+	RightAttr string
+}
+
+// Spec is the logical query the planner compiles: the listed tables joined
+// under the equi predicates (or the single band predicate), each input
+// optionally filtered first, and the output optionally projected. The
+// zero-value extension fields keep Spec literal-compatible with the
+// pre-planner multiway Query{Tables, Preds} form.
+type Spec struct {
+	// Tables are the inputs. For multiway execution Tables[0] is only the
+	// planner's default root — the planner reorders roots by cost.
+	Tables []string
+	// Preds are the equi-join predicates (n-1 of them for n tables).
+	Preds []jointree.Pred
+	// Band, when non-nil, makes this a two-table band join instead.
+	Band *Band
+	// Filters are pre-join selections, pushed below the join obliviously.
+	Filters []Filter
+	// Project lists output columns to keep (qualified "table.column", or a
+	// bare column name when unambiguous); empty keeps all. Projection is
+	// client-side post-processing of the decoded output — no server cost.
+	Project []string
+	// EstimatedResult is an optional declared estimate of the join result
+	// size used for cost prediction (public planning metadata). 0 applies
+	// the planner's heuristic.
+	EstimatedResult int64
+}
+
+// JoinQuery converts the spec to the multiway join-tree form.
+func (s Spec) JoinQuery() jointree.Query {
+	return jointree.Query{Tables: s.Tables, Preds: s.Preds}
+}
+
+// validate checks internal consistency against the provided table set.
+func (s Spec) validate(has func(string) bool) error {
+	if len(s.Tables) < 2 {
+		return fmt.Errorf("query: need at least 2 tables, got %d", len(s.Tables))
+	}
+	seen := make(map[string]bool, len(s.Tables))
+	for _, t := range s.Tables {
+		if seen[t] {
+			return fmt.Errorf("query: duplicate table %q", t)
+		}
+		seen[t] = true
+		if !has(t) {
+			return fmt.Errorf("query: unknown table %q", t)
+		}
+	}
+	if s.Band != nil {
+		if len(s.Preds) != 0 {
+			return fmt.Errorf("query: band joins take no equi predicates")
+		}
+		if len(s.Tables) != 2 {
+			return fmt.Errorf("query: band joins are binary, got %d tables", len(s.Tables))
+		}
+		if !seen[s.Band.Left] || !seen[s.Band.Right] || s.Band.Left == s.Band.Right {
+			return fmt.Errorf("query: band predicate must reference both listed tables")
+		}
+	} else {
+		if len(s.Preds) != len(s.Tables)-1 {
+			return fmt.Errorf("query: %d tables need exactly %d equi predicates, got %d",
+				len(s.Tables), len(s.Tables)-1, len(s.Preds))
+		}
+		for _, p := range s.Preds {
+			if !seen[p.Left] || !seen[p.Right] {
+				return fmt.Errorf("query: predicate %s.%s = %s.%s references an unlisted table",
+					p.Left, p.LeftAttr, p.Right, p.RightAttr)
+			}
+		}
+	}
+	for _, f := range s.Filters {
+		if !seen[f.Table] {
+			return fmt.Errorf("query: filter on unlisted table %q", f.Table)
+		}
+		if len(f.Preds) == 0 {
+			return fmt.Errorf("query: empty filter on table %q", f.Table)
+		}
+	}
+	return nil
+}
+
+// joinAttrs returns the sorted set of attributes tbl joins on — the index
+// inventory a prepared (filtered) copy of tbl must carry.
+func (s Spec) joinAttrs(tbl string) []string {
+	set := map[string]bool{}
+	for _, p := range s.Preds {
+		if p.Left == tbl {
+			set[p.LeftAttr] = true
+		}
+		if p.Right == tbl {
+			set[p.RightAttr] = true
+		}
+	}
+	if s.Band != nil {
+		if s.Band.Left == tbl {
+			set[s.Band.LeftAttr] = true
+		}
+		if s.Band.Right == tbl {
+			set[s.Band.RightAttr] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// filtersFor collects every filter predicate on tbl, in declaration order.
+func (s Spec) filtersFor(tbl string) []operators.Pred {
+	var out []operators.Pred
+	for _, f := range s.Filters {
+		if f.Table == tbl {
+			out = append(out, f.Preds...)
+		}
+	}
+	return out
+}
+
+// describe renders the join shape on one line ("a ⋈ b on a.x = b.y").
+func (s Spec) describe() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(s.Tables, " ⋈ "))
+	if s.Band != nil {
+		fmt.Fprintf(&b, " on %s.%s %s %s.%s",
+			s.Band.Left, s.Band.LeftAttr, bandOpString(s.Band.Op), s.Band.Right, s.Band.RightAttr)
+		return b.String()
+	}
+	for i, p := range s.Preds {
+		sep := " on "
+		if i > 0 {
+			sep = " and "
+		}
+		fmt.Fprintf(&b, "%s%s.%s = %s.%s", sep, p.Left, p.LeftAttr, p.Right, p.RightAttr)
+	}
+	return b.String()
+}
+
+func bandOpString(op core.BandOp) string {
+	switch op {
+	case core.BandLess:
+		return "<"
+	case core.BandLessEq:
+		return "<="
+	case core.BandGreater:
+		return ">"
+	case core.BandGreaterEq:
+		return ">="
+	default:
+		return fmt.Sprintf("BandOp(%d)", int(op))
+	}
+}
+
+// flipBand mirrors a band operator for the swapped-orientation candidate:
+// l.a OP r.b  ≡  r.b OP' l.a.
+func flipBand(op core.BandOp) core.BandOp {
+	switch op {
+	case core.BandLess:
+		return core.BandGreater
+	case core.BandLessEq:
+		return core.BandGreaterEq
+	case core.BandGreater:
+		return core.BandLess
+	default:
+		return core.BandLessEq
+	}
+}

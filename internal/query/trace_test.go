@@ -1,0 +1,92 @@
+package query
+
+import (
+	"testing"
+
+	"oblivjoin/internal/core"
+	"oblivjoin/internal/operators"
+	"oblivjoin/internal/relation"
+	"oblivjoin/internal/storage"
+	"oblivjoin/internal/tracecheck"
+)
+
+// TestTraceIdentityAcrossPrivateContents is the planner's end-to-end
+// obliviousness check (Definition 1): two databases with different private
+// contents — different keys AND different filter selectivities — but
+// identical public geometry (row counts, schemas, index inventory, padding
+// policy) must produce byte-identical plans and structurally identical
+// access traces under a size-hiding padding mode. The physical ORAM indices
+// are randomized and deliberately excluded (tracecheck.Structure); store,
+// kind, and byte sequences must match op for op, covering pushdown,
+// prepared-input upload, the join, and the output read-back.
+func TestTraceIdentityAcrossPrivateContents(t *testing.T) {
+	// Same geometry: 8 and 4 rows. Different keys; the filter k <= 4 keeps
+	// 5 rows of the first database but only 2 of the second.
+	dbs := []map[string]*relation.Relation{
+		{
+			"a": makeRel("a", []int64{1, 2, 2, 3, 4, 6, 7, 9}),
+			"b": makeRel("b", []int64{2, 3, 4, 6}),
+		},
+		{
+			"a": makeRel("a", []int64{3, 5, 5, 6, 8, 8, 9, 10}),
+			"b": makeRel("b", []int64{5, 8, 10, 11}),
+		},
+	}
+	spec := equiSpec("a", "b")
+	spec.Filters = []Filter{{Table: "a", Preds: []operators.Pred{{Column: "k", Op: operators.LE, Value: 4}}}}
+
+	var traces [][]storage.Access
+	var explains []string
+	var outputs []*Output
+	for _, rels := range dbs {
+		env := newEnv(t, envConfig{padding: core.PadCartesian, seed: 42}, rels,
+			map[string][]string{"a": {"k"}, "b": {"k"}})
+		env.meter.Reset()
+		env.meter.SetTracing(true)
+		out, err := env.ex.Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces = append(traces, env.meter.Trace())
+		explains = append(explains, out.Plan.Explain())
+		outputs = append(outputs, out)
+	}
+
+	if explains[0] != explains[1] {
+		t.Fatalf("plans differ across private contents:\n--- db1:\n%s--- db2:\n%s", explains[0], explains[1])
+	}
+	if d := tracecheck.Diff(traces[0], traces[1]); d != "" {
+		t.Fatalf("access traces differ across private contents: %s", d)
+	}
+	// Sanity: the two runs really had different private outcomes.
+	if len(outputs[0].Tuples) == len(outputs[1].Tuples) {
+		t.Fatalf("test vacuous: both databases produced %d real tuples", len(outputs[0].Tuples))
+	}
+}
+
+// TestTraceIdentityColdVsColdExplain: planning (which also prepares inputs)
+// must itself be trace-identical across contents — Explain leaks no more
+// than Run.
+func TestTraceIdentityExplain(t *testing.T) {
+	dbs := []map[string]*relation.Relation{
+		{"a": makeRel("a", []int64{1, 1, 2, 3}), "b": makeRel("b", []int64{1, 4})},
+		{"a": makeRel("a", []int64{5, 6, 7, 7}), "b": makeRel("b", []int64{7, 9})},
+	}
+	spec := equiSpec("a", "b")
+	spec.Filters = []Filter{{Table: "a", Preds: []operators.Pred{{Column: "k", Op: operators.GE, Value: 2}}}}
+
+	var traces [][]storage.Access
+	for _, rels := range dbs {
+		env := newEnv(t, envConfig{padding: core.PadCartesian, seed: 9}, rels,
+			map[string][]string{"a": {"k"}, "b": {"k"}})
+		env.meter.Reset()
+		env.meter.SetTracing(true)
+		if _, err := env.ex.Explain(spec); err != nil {
+			t.Fatal(err)
+		}
+		traces = append(traces, env.meter.Trace())
+	}
+	if d := tracecheck.Diff(traces[0], traces[1]); d != "" {
+		t.Fatalf("explain traces differ across private contents: %s", d)
+	}
+}

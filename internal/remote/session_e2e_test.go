@@ -423,3 +423,67 @@ func TestServerDeadlineFastFail(t *testing.T) {
 		t.Fatalf("server slept the full latency (%v) despite the declared deadline", e)
 	}
 }
+
+// TestPlanCacheNamespaceIsolation checks the reserved plan-cache tree over
+// the wire: two tenants cache an intermediate under the same
+// client-visible "plan:" name with different contents and each reads back
+// its own, and a sessionless client is refused the qualified form exactly
+// like an ordinary tenant store (the reuse of the reserved-prefix refusal
+// path for "pc:").
+func TestPlanCacheNamespaceIsolation(t *testing.T) {
+	srv, c0 := startServer(t, ServerOptions{}, ClientOptions{})
+	addr := srv.ln.Addr().String()
+
+	cacheName := session.PlanCachePrefix + "deadbeef01234567/a.data"
+	open := func(tenant string) *RemoteStore {
+		c, err := Dial(ClientOptions{Addr: addr, RetryBase: time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		if err := c.StartSession(tenant, 0); err != nil {
+			t.Fatal(err)
+		}
+		st, err := c.Create(cacheName, 4, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	alice := open("alice")
+	bob := open("bob")
+
+	wa := bytes.Repeat([]byte{0xA1}, 32)
+	wb := bytes.Repeat([]byte{0xB2}, 32)
+	if err := alice.Write(2, wa); err != nil {
+		t.Fatal(err)
+	}
+	if err := bob.Write(2, wb); err != nil {
+		t.Fatal(err)
+	}
+	ga, err := alice.Read(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := bob.Read(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ga, wa) || !bytes.Equal(gb, wb) {
+		t.Fatalf("cross-tenant plan-cache bleed: alice %x, bob %x", ga[0], gb[0])
+	}
+
+	// The server hosts the entry under the pc: tree, tenant-split.
+	qualified := session.Qualify("alice", cacheName)
+	if !strings.HasPrefix(qualified, "pc:") {
+		t.Fatalf("qualified plan-cache name %q not in the pc: tree", qualified)
+	}
+	if srv.Counts(qualified).Requests == 0 {
+		t.Fatalf("server counters missing qualified cache store; hosted: %v", srv.StoreNames())
+	}
+
+	// Sessionless clients cannot address another tenant's cache entry.
+	if _, err := c0.Open(qualified); err == nil || !strings.Contains(err.Error(), "tenant namespace") {
+		t.Fatalf("direct qualified plan-cache open: %v", err)
+	}
+}

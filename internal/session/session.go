@@ -31,19 +31,38 @@ var (
 // prefix.
 const reservedPrefix = "t:"
 
+// PlanCachePrefix marks client-visible store names that belong to the query
+// planner's cache of filtered-and-indexed intermediates (internal/query).
+// Qualify routes them into their own reserved server namespace
+// (reservedCachePrefix) instead of the tenant's ordinary table subtree, so
+// cached intermediates are tenant-isolated exactly like base tables and a
+// sessionless client can never address another tenant's cache.
+const PlanCachePrefix = "plan:"
+
+// reservedCachePrefix is the server-side namespace qualified plan-cache
+// names land in. Distinct from reservedPrefix so the two trees cannot
+// collide: a store either starts with PlanCachePrefix (→ "pc:") or it does
+// not (→ "t:"), keeping the overall mapping injective.
+const reservedCachePrefix = "pc:"
+
 // Qualify maps a (tenant, store) pair into the single server-wide store
-// namespace: "t:" + escape(tenant) + "/" + store. The escaping passes
-// alphanumerics, dot, dash, and underscore through and %XX-encodes
-// everything else (including '/' and '%'), so the escaped tenant never
-// contains the '/' delimiter and the mapping is injective: the first '/'
-// always splits tenant from store, distinct tenants have distinct escaped
-// forms, and the store suffix is carried verbatim. The qualified name is
-// an ordinary store name to every layer below — the diskstore.Dir seam
-// escapes it again, independently, for the filesystem.
+// namespace: "t:" + escape(tenant) + "/" + store, or — for plan-cache
+// names carrying PlanCachePrefix — "pc:" + escape(tenant) + "/" + rest.
+// The escaping passes alphanumerics, dot, dash, and underscore through and
+// %XX-encodes everything else (including '/' and '%'), so the escaped
+// tenant never contains the '/' delimiter and the mapping is injective:
+// the first '/' always splits tenant from store, distinct tenants have
+// distinct escaped forms, and the store suffix is carried verbatim. The
+// qualified name is an ordinary store name to every layer below — the
+// diskstore.Dir seam escapes it again, independently, for the filesystem.
 func Qualify(tenant, store string) string {
+	prefix := reservedPrefix
+	if rest, ok := strings.CutPrefix(store, PlanCachePrefix); ok {
+		prefix, store = reservedCachePrefix, rest
+	}
 	var b strings.Builder
-	b.Grow(len(reservedPrefix) + len(tenant) + 1 + len(store))
-	b.WriteString(reservedPrefix)
+	b.Grow(len(prefix) + len(tenant) + 1 + len(store))
+	b.WriteString(prefix)
 	for i := 0; i < len(tenant); i++ {
 		c := tenant[i]
 		switch {
@@ -59,11 +78,13 @@ func Qualify(tenant, store string) string {
 	return b.String()
 }
 
-// Reserved reports whether a raw store name lies inside the qualified
-// namespace. The server rejects such names from sessionless requests so
-// tenant isolation cannot be bypassed by addressing a qualified name
-// directly.
-func Reserved(name string) bool { return strings.HasPrefix(name, reservedPrefix) }
+// Reserved reports whether a raw store name lies inside a qualified
+// namespace — the tenant tree ("t:") or the plan-cache tree ("pc:"). The
+// server rejects such names from sessionless requests so tenant isolation
+// cannot be bypassed by addressing a qualified name directly.
+func Reserved(name string) bool {
+	return strings.HasPrefix(name, reservedPrefix) || strings.HasPrefix(name, reservedCachePrefix)
+}
 
 // Options configures a Manager.
 type Options struct {

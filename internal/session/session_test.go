@@ -240,3 +240,34 @@ func TestSessionAnnotateSpan(t *testing.T) {
 		t.Fatalf("span attrs: %+v", n.Attrs)
 	}
 }
+
+func TestQualifyPlanCache(t *testing.T) {
+	// Plan-cache store names route into their own reserved tree, still
+	// split per tenant.
+	q := Qualify("acme", PlanCachePrefix+"deadbeef/a.data")
+	if q != "pc:acme/deadbeef/a.data" {
+		t.Fatalf("qualified plan-cache name = %q", q)
+	}
+	if !Reserved(q) {
+		t.Fatalf("plan-cache name %q not reserved", q)
+	}
+	// Distinct tenants caching the same signature get distinct stores.
+	if Qualify("acme", PlanCachePrefix+"x") == Qualify("evil", PlanCachePrefix+"x") {
+		t.Fatal("plan-cache namespace is not tenant-split")
+	}
+	// The pc: tree cannot collide with the t: tree: a store literally named
+	// "plan:x" goes to pc:, everything else (including a spoofed "pc:...")
+	// stays under t:.
+	if Qualify("acme", "plan:x") == Qualify("acme", "x") {
+		t.Fatal("plan-cache name collides with ordinary store")
+	}
+	spoof := Qualify("acme", "pc:evil/x")
+	if !strings.HasPrefix(spoof, "t:") {
+		t.Fatalf("spoofed pc: store escaped the tenant tree: %q", spoof)
+	}
+	// Injectivity across the two trees: tenant "pc" with an ordinary store
+	// vs. any tenant with a plan: store.
+	if Qualify("pc", "x") == Qualify("", PlanCachePrefix+"pc/x") {
+		t.Fatal("t: and pc: trees collide")
+	}
+}

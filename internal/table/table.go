@@ -15,6 +15,7 @@ package table
 
 import (
 	"fmt"
+	"sort"
 
 	"oblivjoin/internal/btree"
 	"oblivjoin/internal/oram"
@@ -65,6 +66,13 @@ type Options struct {
 	// MemStores. A remote deployment passes a transport-backed opener (e.g.
 	// remote.Client.Opener) so every table lives on a networked block server.
 	OpenStore storage.Opener
+	// StorePrefix is prepended to every store name the table provisions
+	// ("<prefix><table>.data", "<prefix><table>.idx.<attr>"). The query
+	// layer's plan cache stores filtered-and-indexed intermediates under
+	// the reserved session.PlanCachePrefix namespace this way, so cached
+	// inputs never collide with base tables and tenant qualification can
+	// route them into an isolated per-tenant subtree.
+	StorePrefix string
 	// EvictionBatch defers Path-ORAM eviction write-backs, flushing that
 	// many pending paths per round trip (<= 1 keeps the classic two-round
 	// access). See oram.PathConfig.EvictionBatch.
@@ -119,7 +127,7 @@ func Store(rel *relation.Relation, indexAttrs []string, opts Options) (*StoredTa
 	}
 	// Data ORAM.
 	dataBlocks := t.dataBlockCount()
-	dataORAM, err := newStore(rel.Schema.Table+".data", dataBlocks, opts)
+	dataORAM, err := newStore(DataStoreName(opts.StorePrefix, rel.Schema.Table), dataBlocks, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -130,7 +138,7 @@ func Store(rel *relation.Relation, indexAttrs []string, opts Options) (*StoredTa
 	// One ORAM per index.
 	for _, attr := range indexAttrs {
 		b := built[attr]
-		idxORAM, err := newStore(rel.Schema.Table+".idx."+attr, b.NumNodes(), opts)
+		idxORAM, err := newStore(IndexStoreName(opts.StorePrefix, rel.Schema.Table, attr), b.NumNodes(), opts)
 		if err != nil {
 			return nil, err
 		}
@@ -194,7 +202,7 @@ func StoreShared(rels []*relation.Relation, indexAttrs map[string][]string, opts
 	}
 
 	shared, err := oram.NewPathORAM(oram.PathConfig{
-		Name:          "shared",
+		Name:          opts.StorePrefix + "shared",
 		Capacity:      int64(len(allPayloads)),
 		PayloadSize:   opts.payload(),
 		Z:             opts.Z,
@@ -461,6 +469,34 @@ func (t *StoredTable) ResetIndexes() error {
 // Relation exposes the client-side plaintext relation (tests and reference
 // joins only; a real deployment would not retain it).
 func (t *StoredTable) Relation() *relation.Relation { return t.rel }
+
+// DataStoreName is the store name Store provisions for a table's data ORAM.
+// The planner's catalog reconstructs it to attribute predicted block
+// accesses per store.
+func DataStoreName(prefix, tbl string) string { return prefix + tbl + ".data" }
+
+// IndexStoreName is the store name Store provisions for one index ORAM.
+func IndexStoreName(prefix, tbl, attr string) string { return prefix + tbl + ".idx." + attr }
+
+// DataAccessesPerOp reports the fixed number of server block operations one
+// data-ORAM access moves (2·levels for Path-ORAM). Public metadata: a
+// constant of the instance geometry, independent of the data.
+func (t *StoredTable) DataAccessesPerOp() int { return t.data.AccessesPerOp() }
+
+// IndexAttrs lists the attributes with a built index, sorted — the public
+// index inventory the planner enumerates candidates over.
+func (t *StoredTable) IndexAttrs() []string {
+	attrs := make([]string, 0, len(t.indexes))
+	for a := range t.indexes {
+		attrs = append(attrs, a)
+	}
+	sort.Strings(attrs)
+	return attrs
+}
+
+// StorePrefix reports the store-name prefix the table was provisioned under
+// (empty for base tables, a plan-cache prefix for cached intermediates).
+func (t *StoredTable) StorePrefix() string { return t.opts.StorePrefix }
 
 // treeServerBytes and treeClientBytes reach through to the tree's ORAM.
 func treeServerBytes(tr *btree.Tree) int64 { return tr.ORAM().ServerBytes() }

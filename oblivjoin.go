@@ -33,7 +33,9 @@ import (
 
 	"oblivjoin/internal/core"
 	"oblivjoin/internal/jointree"
+	"oblivjoin/internal/operators"
 	"oblivjoin/internal/oram"
+	"oblivjoin/internal/query"
 	"oblivjoin/internal/relation"
 	"oblivjoin/internal/remote"
 	"oblivjoin/internal/shard"
@@ -61,10 +63,32 @@ type (
 	BandOp = core.BandOp
 	// PaddingMode selects the output-size padding strategy (Section 8).
 	PaddingMode = core.PaddingMode
-	// Query is an acyclic multiway equi-join specification.
-	Query = jointree.Query
+	// Query is a declarative query: tables, join predicates, optional
+	// per-table selections, and an optional projection. Run compiles it
+	// with the cost-based planner (internal/query); MultiwayJoin accepts
+	// the same type for hand-ordered execution.
+	Query = query.Spec
 	// Pred is one equality predicate of a Query.
 	Pred = jointree.Pred
+	// BandPred is a Query's band-join predicate.
+	BandPred = query.Band
+	// Filter is a Query's per-table selection conjunction, pushed below
+	// the join obliviously.
+	Filter = query.Filter
+	// SelectPred is one comparison predicate of a Filter.
+	SelectPred = operators.Pred
+	// CompareOp is a SelectPred's comparison operator.
+	CompareOp = operators.CompareOp
+	// Plan is a compiled query: pushdown decisions, the costed candidate
+	// slate, and the chosen operator. Its Explain method renders it.
+	Plan = query.Plan
+	// PlanCandidate is one enumerated physical plan inside a Plan.
+	PlanCandidate = query.Candidate
+	// QueryOutput is Run's result: the plan, the join outcome, and the
+	// projected tuples.
+	QueryOutput = query.Output
+	// PlanCacheStats summarizes the session's plan-cache effectiveness.
+	PlanCacheStats = query.CacheStats
 	// Span is one timed, traffic-attributed phase of a query (see
 	// StartTrace and DESIGN.md §2.8).
 	Span = telemetry.Span
@@ -78,6 +102,16 @@ const (
 	LessEq    = core.BandLessEq
 	Greater   = core.BandGreater
 	GreaterEq = core.BandGreaterEq
+)
+
+// Selection comparison operators (for Filter predicates).
+const (
+	EQ = operators.EQ
+	NE = operators.NE
+	LT = operators.LT
+	LE = operators.LE
+	GT = operators.GT
+	GE = operators.GE
 )
 
 // Padding modes.
@@ -169,6 +203,8 @@ type Database struct {
 	flight     *telemetry.Flight
 	remote     *remote.Client
 	pool       *shard.Pool
+	topts      table.Options
+	planCache  *query.Cache
 }
 
 type pendingTable struct {
@@ -269,6 +305,7 @@ func (db *Database) Seal() error {
 	if db.pool != nil {
 		opts.OpenStore = db.pool.Opener()
 	}
+	db.topts = opts // the planner builds prepared inputs with Seal's options
 	switch db.cfg.Setting {
 	case OneORAM:
 		rels := make([]*Relation, len(db.pending))
@@ -660,7 +697,7 @@ func (db *Database) MultiwayJoin(q Query) (*Result, error) {
 	if db.cfg.Setting == Insecure {
 		return nil, fmt.Errorf("oblivjoin: the Insecure setting supports comparisons only; use the baseline package")
 	}
-	tree, err := jointree.Build(q)
+	tree, err := jointree.Build(q.JoinQuery())
 	if err != nil {
 		return nil, err
 	}
@@ -673,6 +710,79 @@ func (db *Database) MultiwayJoin(q Query) (*Result, error) {
 		in.Tables[i] = st
 	}
 	return core.MultiwayJoin(in, db.joinOpts())
+}
+
+// executor binds the query planner to this database's sealed tables,
+// options, and plan cache.
+func (db *Database) executor() (*query.Executor, error) {
+	if !db.sealed {
+		return nil, fmt.Errorf("oblivjoin: Seal the database before querying")
+	}
+	if db.cfg.Setting == Insecure {
+		return nil, fmt.Errorf("oblivjoin: the Insecure setting supports comparisons only; use the baseline package")
+	}
+	if db.cfg.Setting != SepORAM {
+		return nil, fmt.Errorf("oblivjoin: the query planner requires the SepORAM setting (per-table stores); call the join methods directly under OneORAM")
+	}
+	if db.planCache == nil {
+		db.planCache = query.NewCache()
+	}
+	jopts := db.joinOpts()
+	return &query.Executor{
+		Tables:    db.tables,
+		TableOpts: db.topts,
+		JoinOpts:  jopts,
+		OpOpts: operators.Options{
+			BlockSize:   jopts.OutBlockSize,
+			Meter:       db.meter,
+			Sealer:      db.sealer,
+			SortWorkers: db.cfg.SortWorkers,
+			Span:        db.span,
+		},
+		EnableMultiway: db.cfg.EnableMultiway,
+		Cache:          db.planCache,
+	}, nil
+}
+
+// Run compiles and executes a declarative query: selections are pushed
+// below the join obliviously (padded under the configured policy), the
+// cost-based planner picks the cheapest operator from the Theorem 1–4
+// bounds over public metadata, and filtered inputs are cached by public
+// signature so repeated query shapes skip the sort-and-upload.
+func (db *Database) Run(q Query) (*QueryOutput, error) {
+	ex, err := db.executor()
+	if err != nil {
+		return nil, err
+	}
+	return ex.Run(q)
+}
+
+// PlanQuery compiles a query without executing the join. Pushdown still
+// runs (plans are priced over the prepared inputs), warming the plan cache.
+func (db *Database) PlanQuery(q Query) (*Plan, error) {
+	ex, err := db.executor()
+	if err != nil {
+		return nil, err
+	}
+	return ex.Plan(q)
+}
+
+// Explain compiles a query and renders the plan: pushdown decisions,
+// predicted block-access and round counts per candidate, and the choice.
+func (db *Database) Explain(q Query) (string, error) {
+	ex, err := db.executor()
+	if err != nil {
+		return "", err
+	}
+	return ex.Explain(q)
+}
+
+// PlanCacheStats reports the session's plan-cache entry and hit counts.
+func (db *Database) PlanCacheStats() PlanCacheStats {
+	if db.planCache == nil {
+		return PlanCacheStats{}
+	}
+	return db.planCache.Stats()
 }
 
 // Stats returns the cumulative query traffic since Seal.
