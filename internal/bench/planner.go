@@ -102,7 +102,7 @@ func (e *Env) plannerSession() (*query.Executor, *storage.Meter, error) {
 			Meter:     m,
 			Sealer:    copts.Sealer,
 		},
-		Cache: query.NewCache(),
+		Cache: query.NewCache(nil),
 	}
 	m.Reset() // setup traffic is not query cost
 	return ex, m, nil

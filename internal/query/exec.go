@@ -13,11 +13,26 @@ import (
 )
 
 // sentinelFloor bounds the application key domain when pushdown padding is
-// active: filler tuples carry join keys in [MaxInt64-k, MaxInt64] (or the
-// mirrored negative range for one side of a band join), so real join keys
-// must satisfy |key| < 2^62 for fillers to be guaranteed matchless. The
-// executor checks this client-side before padding.
+// active: filler tuples carry join keys near MaxInt64 (or near MinInt64
+// for one side of a band join), so real join keys must satisfy
+// |key| < 2^62 for fillers to be guaranteed matchless. The executor checks
+// this client-side before padding.
 const sentinelFloor = int64(1) << 62
+
+// fillerRangeSize is the span of sentinel filler keys one prepared-input
+// build may use. The cache hands each build a base offset that is a
+// multiple of this (buildSlot.FillerBase), so filler key ranges are
+// disjoint across every build the cache ever performs — the property that
+// keeps fillers matchless against each other no matter which queries'
+// inputs, cached or fresh, end up joined together. (Deriving fillers from
+// a table's position within one query's shape is NOT safe: the signature
+// deliberately excludes the query shape so inputs can be reused across
+// differently-shaped queries.)
+const fillerRangeSize = int64(1) << 32
+
+// fillerHeadroom is the total sentinel key space available above the
+// checked |key| < 2^62 application domain.
+const fillerHeadroom = math.MaxInt64 - sentinelFloor
 
 // Executor binds the planner to a sealed database: the stored base tables,
 // the option sets to build prepared inputs and run joins with, and the
@@ -139,7 +154,7 @@ func (e *Executor) prepare(spec Spec) (map[string]*table.StoredTable, []InputPla
 			return nil, nil, nil, err
 		}
 	}
-	for ti, tbl := range spec.Tables {
+	for _, tbl := range spec.Tables {
 		base := e.Tables[tbl]
 		filters := spec.filtersFor(tbl)
 		ip := InputPlan{Table: tbl, BaseRows: int64(base.NumTuples()), Rows: int64(base.NumTuples())}
@@ -152,21 +167,21 @@ func (e *Executor) prepare(spec Spec) (map[string]*table.StoredTable, []InputPla
 			ip.Filters = append(ip.Filters, fmt.Sprintf("%s %s %d", f.Column, f.Op, f.Value))
 		}
 		attrs := spec.joinAttrs(tbl)
-		sig := signature(base.Schema(), base.NumTuples(), e.TableOpts.BlockPayload, filters, attrs, e.paddingDesc())
+		low := spec.sentinelLow(tbl)
+		sig := e.Cache.signature(base.Schema(), base.NumTuples(), e.TableOpts.BlockPayload, filters, attrs, e.paddingDesc(), low)
 		ip.Signature = sig
-		if st, ok := e.Cache.lookup(sig); ok {
-			ip.Cached, ip.Rows = true, int64(st.NumTuples())
-			out.CacheHits++
-			inputs[tbl] = st
-			plans = append(plans, ip)
-			continue
-		}
-		out.CacheMisses++
-		st, err := e.buildInput(spec, ti, base, filters, attrs, sig)
+		st, hit, err := e.Cache.getOrBuild(sig, func(slot buildSlot) (*table.StoredTable, error) {
+			return e.buildInput(base, filters, attrs, slot, low)
+		})
 		if err != nil {
 			return nil, nil, nil, err
 		}
-		e.Cache.put(sig, st)
+		if hit {
+			out.CacheHits++
+		} else {
+			out.CacheMisses++
+		}
+		ip.Cached = hit
 		ip.Rows = int64(st.NumTuples())
 		inputs[tbl] = st
 		plans = append(plans, ip)
@@ -178,8 +193,8 @@ func (e *Executor) prepare(spec Spec) (map[string]*table.StoredTable, []InputPla
 // buildInput runs the oblivious selection under the padding policy and
 // stores the filtered relation — real tuples plus matchless sentinel
 // fillers up to the padded size — with indexes on the join attributes,
-// under the reserved plan-cache store namespace.
-func (e *Executor) buildInput(spec Spec, ti int, base *table.StoredTable, filters []operators.Pred, attrs []string, sig string) (*table.StoredTable, error) {
+// under the build slot's reserved plan-cache store prefix.
+func (e *Executor) buildInput(base *table.StoredTable, filters []operators.Pred, attrs []string, slot buildSlot, low bool) (*table.StoredTable, error) {
 	rel := base.Relation()
 	n := len(rel.Tuples)
 	padTo := func(real int) int {
@@ -189,6 +204,10 @@ func (e *Executor) buildInput(spec Spec, ti int, base *table.StoredTable, filter
 	if err != nil {
 		return nil, fmt.Errorf("query: pushdown on %s: %w", base.Schema().Table, err)
 	}
+	if fillers := int64(res.PaddedCount - res.RealCount); fillers > fillerRangeSize {
+		return nil, fmt.Errorf("query: %s needs %d fillers, more than the %d a sentinel range holds",
+			base.Schema().Table, fillers, fillerRangeSize)
+	}
 	padded := &relation.Relation{Schema: rel.Schema, Tuples: res.Tuples}
 	cols := make([]int, len(attrs))
 	for i, a := range attrs {
@@ -196,13 +215,14 @@ func (e *Executor) buildInput(spec Spec, ti int, base *table.StoredTable, filter
 	}
 	for k := res.RealCount; k < res.PaddedCount; k++ {
 		tu := relation.Tuple{Values: make([]int64, len(rel.Schema.Columns))}
+		v := sentinelKey(slot.FillerBase, int64(k-res.RealCount), low)
 		for i := range attrs {
-			tu.Values[cols[i]] = e.sentinel(spec, ti, k)
+			tu.Values[cols[i]] = v
 		}
 		padded.Tuples = append(padded.Tuples, tu)
 	}
 	topts := e.TableOpts
-	topts.StorePrefix = cacheStorePrefix(sig)
+	topts.StorePrefix = slot.StorePrefix
 	st, err := table.Store(padded, attrs, topts)
 	if err != nil {
 		return nil, fmt.Errorf("query: storing prepared %s: %w", base.Schema().Table, err)
@@ -210,31 +230,22 @@ func (e *Executor) buildInput(spec Spec, ti int, base *table.StoredTable, filter
 	return st, nil
 }
 
-// sentinel returns the join-key value of filler row k of table ti: unique
-// across all fillers of all inputs (stride len(Tables)) and outside the
-// checked application key domain, so no filler ever equi-joins with a real
-// tuple or another filler. For band joins, the side whose extreme-high
-// values could still satisfy the inequality against real keys gets the
-// mirrored extreme-low range instead: for left < right, left fillers sit
-// near MaxInt64 (never less than anything real) and right fillers near
-// MinInt64 (never greater than anything real), and the two filler ranges
-// cannot satisfy the inequality against each other either.
-func (e *Executor) sentinel(spec Spec, ti, k int) int64 {
-	stride := int64(k)*int64(len(spec.Tables)) + int64(ti)
-	if b := spec.Band; b != nil {
-		tbl := spec.Tables[ti]
-		low := false
-		switch b.Op {
-		case core.BandLess, core.BandLessEq:
-			low = tbl == b.Right
-		case core.BandGreater, core.BandGreaterEq:
-			low = tbl == b.Left
-		}
-		if low {
-			return math.MinInt64 + 1 + stride
-		}
+// sentinelKey returns the join-key value of filler row k of a prepared
+// input whose cache build slot starts at base. Every filler value lies
+// outside the checked |key| < 2^62 application domain, and because the
+// cache hands each build a disjoint [base, base+fillerRangeSize) range,
+// fillers are unique across all prepared inputs a session ever builds —
+// no filler equi-joins with a real tuple or with another filler, cached or
+// fresh. The low side of a band join gets the mirrored extreme-low range:
+// for left < right, left fillers sit near MaxInt64 (never less than
+// anything real) and right fillers near MinInt64 (never greater than
+// anything real), and the two extremes cannot satisfy the inequality
+// against each other either.
+func sentinelKey(base, k int64, low bool) int64 {
+	if low {
+		return math.MinInt64 + 1 + base + k
 	}
-	return math.MaxInt64 - stride
+	return math.MaxInt64 - base - k
 }
 
 // checkKeyDomain verifies every join-attribute value of every input lies

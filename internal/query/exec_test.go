@@ -207,14 +207,110 @@ func TestPreparedStoresUseReservedNamespace(t *testing.T) {
 	if st.Stats().Entries != 1 {
 		t.Fatalf("cache entries %d, want 1", st.Stats().Entries)
 	}
-	prefix := cacheStorePrefix(out.Plan.Inputs[0].Signature)
-	for sig, entry := range st.entries {
-		if entry.StorePrefix() != prefix {
-			t.Fatalf("entry %s provisioned under %q, want %q", sig, entry.StorePrefix(), prefix)
+	sig := out.Plan.Inputs[0].Signature
+	for entrySig, entry := range st.entries {
+		prefix := entry.st.StorePrefix()
+		if !strings.HasPrefix(prefix, session.PlanCachePrefix) {
+			t.Fatalf("prepared store prefix %q escapes the reserved namespace", prefix)
 		}
-		if !strings.HasPrefix(entry.StorePrefix(), session.PlanCachePrefix) {
-			t.Fatalf("prepared store prefix %q escapes the reserved namespace", entry.StorePrefix())
+		if entrySig != sig || !strings.Contains(prefix, sig) {
+			t.Fatalf("entry %s provisioned under %q, want the signature %s in both", entrySig, prefix, sig)
 		}
+	}
+}
+
+// TestSentinelsDisjointAcrossQueryShapes is the regression test for cache
+// reuse across differently-shaped queries: a prepared input cached from
+// one query must never share sentinel filler keys with an input built
+// fresh for another query. The old scheme derived fillers from the
+// table's position in the query (ti, stride len(Tables)) — data the cache
+// signature deliberately excludes — so a's cached fillers (built at
+// position 0 of [a,b]) collided with c's fresh fillers (built at position
+// 0 of [c,a]), and the second join returned a spurious filler–filler
+// match.
+func TestSentinelsDisjointAcrossQueryShapes(t *testing.T) {
+	rels := map[string]*relation.Relation{
+		"a": makeRel("a", []int64{1, 2, 3, 4, 5}),
+		"b": makeRel("b", []int64{2, 3}),
+		"c": makeRel("c", []int64{1, 2, 3, 4, 5}),
+	}
+	env := newEnv(t, envConfig{padding: core.PadClosestPower}, rels,
+		map[string][]string{"a": {"k"}, "b": {"k"}, "c": {"k"}})
+	filter := []operators.Pred{{Column: "k", Op: operators.LE, Value: 3}}
+
+	// Query 1: [a, b] with a filtered — a's prepared input is built and
+	// cached with at least one sentinel filler (3 real rows pad to 4).
+	q1 := equiSpec("a", "b")
+	q1.Filters = []Filter{{Table: "a", Preds: filter}}
+	q1.Project = []string{"a.k", "a.id", "b.k", "b.id"}
+	out1, err := env.ex.Run(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalMultiset(t, out1.Tuples, core.ReferenceEquiJoin(filterRel(rels["a"], filter), rels["b"], "k", "k"))
+
+	// Query 2: [c, a] with both filtered — a is a cache hit, c is a fresh
+	// build. Their filler ranges must be disjoint, or the join invents
+	// tuples that exist in neither input.
+	q2 := Spec{
+		Tables:  []string{"c", "a"},
+		Preds:   []jointree.Pred{{Left: "c", LeftAttr: "k", Right: "a", RightAttr: "k"}},
+		Filters: []Filter{{Table: "c", Preds: filter}, {Table: "a", Preds: filter}},
+		Project: []string{"c.k", "c.id", "a.k", "a.id"},
+	}
+	out2, err := env.ex.Run(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.CacheHits != 1 || out2.CacheMisses != 1 {
+		t.Fatalf("query 2: %d hits %d misses, want a to hit and c to build", out2.CacheHits, out2.CacheMisses)
+	}
+	want := core.ReferenceEquiJoin(filterRel(rels["c"], filter), filterRel(rels["a"], filter), "k", "k")
+	if len(out2.Tuples) != len(want) {
+		t.Fatalf("query 2 returned %d tuples, want %d — sentinel fillers joined each other", len(out2.Tuples), len(want))
+	}
+}
+
+// TestBandPolaritySplitsCache: an input cached from an equi join (fillers
+// at the high extreme) must not be reused as the low side of a band join,
+// where high fillers would satisfy the inequality against every real key.
+// The sentinel polarity is part of the signature, so the band query must
+// rebuild.
+func TestBandPolaritySplitsCache(t *testing.T) {
+	rels := map[string]*relation.Relation{
+		"a": makeRel("a", []int64{1, 4, 7, 9}),
+		"b": makeRel("b", []int64{2, 5, 6, 8}),
+	}
+	env := newEnv(t, envConfig{padding: core.PadClosestPower}, rels,
+		map[string][]string{"a": {"k"}, "b": {"k"}})
+	filter := []operators.Pred{{Column: "k", Op: operators.LE, Value: 6}}
+
+	q1 := equiSpec("a", "b")
+	q1.Filters = []Filter{{Table: "b", Preds: filter}}
+	q1.Project = []string{"a.k", "a.id", "b.k", "b.id"}
+	out1, err := env.ex.Run(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalMultiset(t, out1.Tuples, core.ReferenceEquiJoin(rels["a"], filterRel(rels["b"], filter), "k", "k"))
+
+	// b is now the right side of a < band join: its fillers must move to
+	// the low extreme, so the equi-built entry must NOT be reused.
+	q2 := Spec{
+		Tables:  []string{"a", "b"},
+		Band:    &Band{Left: "a", LeftAttr: "k", Op: core.BandLess, Right: "b", RightAttr: "k"},
+		Filters: []Filter{{Table: "b", Preds: filter}},
+	}
+	out2, err := env.ex.Run(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.CacheHits != 0 || out2.CacheMisses != 1 {
+		t.Fatalf("band query: %d hits %d misses, want a rebuild — equi fillers are not band-safe", out2.CacheHits, out2.CacheMisses)
+	}
+	want := core.ReferenceBandJoin(rels["a"], filterRel(rels["b"], filter), "k", "k", core.BandLess)
+	if len(out2.Tuples) != len(want) {
+		t.Fatalf("band result %d tuples, want %d — high-extreme fillers matched real keys", len(out2.Tuples), len(want))
 	}
 }
 

@@ -135,6 +135,27 @@ func (s Spec) joinAttrs(tbl string) []string {
 	return out
 }
 
+// sentinelLow reports which extreme of the key domain tbl's sentinel
+// filler tuples must occupy to stay matchless under this spec's join kind:
+// equi-join fillers always sit at the high extreme, but for a band join
+// the side whose extreme-high values would still satisfy the inequality
+// against real keys takes the mirrored low extreme instead. The polarity
+// is part of a prepared input's cache signature — an input built for an
+// equi join cannot be reused as the low side of a band join.
+func (s Spec) sentinelLow(tbl string) bool {
+	b := s.Band
+	if b == nil {
+		return false
+	}
+	switch b.Op {
+	case core.BandLess, core.BandLessEq:
+		return tbl == b.Right
+	case core.BandGreater, core.BandGreaterEq:
+		return tbl == b.Left
+	}
+	return false
+}
+
 // filtersFor collects every filter predicate on tbl, in declaration order.
 func (s Spec) filtersFor(tbl string) []operators.Pred {
 	var out []operators.Pred

@@ -79,6 +79,22 @@ func (k *Keyring) Sealer(name string) (*Sealer, error) {
 	return s, nil
 }
 
+// Subkey derives a named 32-byte subkey from the ring's root, for keyed
+// non-sealing uses — e.g. MACing plan-cache signatures — that must not
+// share key material with any store's sealing chain. The "subkey:" label
+// prefix keeps the derivation domain disjoint from the "store:" chain, so
+// no subkey ever coincides with a store root. The returned slice is the
+// caller's to zeroize when done.
+func (k *Keyring) Subkey(label string) ([]byte, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.closed {
+		return nil, ErrSealerClosed
+	}
+	sub := hkdf(k.root[:], "subkey:"+label)
+	return sub[:], nil
+}
+
 // Epoch reports the ring's current key epoch.
 func (k *Keyring) Epoch() uint8 {
 	k.mu.Lock()

@@ -50,6 +50,40 @@ func TestKeyringPerStoreSeparation(t *testing.T) {
 	}
 }
 
+func TestKeyringSubkey(t *testing.T) {
+	k := newTestKeyring(t)
+	defer k.Close()
+	a, err := k.Subkey("plan-cache signature")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 32 {
+		t.Fatalf("subkey is %d bytes, want 32", len(a))
+	}
+	b, err := k.Subkey("other purpose")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, b) {
+		t.Error("distinct labels must derive distinct subkeys")
+	}
+	// Deterministic across rings with the same master.
+	k2 := newTestKeyring(t)
+	defer k2.Close()
+	a2, err := k2.Subkey("plan-cache signature")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, a2) {
+		t.Error("same master + label must derive the same subkey")
+	}
+	k3 := newTestKeyring(t)
+	k3.Close()
+	if _, err := k3.Subkey("x"); !errors.Is(err, ErrSealerClosed) {
+		t.Errorf("closed ring Subkey: got %v, want ErrSealerClosed", err)
+	}
+}
+
 func TestKeyringRotationLazyReseal(t *testing.T) {
 	k := newTestKeyring(t)
 	defer k.Close()

@@ -725,7 +725,14 @@ func (db *Database) executor() (*query.Executor, error) {
 		return nil, fmt.Errorf("oblivjoin: the query planner requires the SepORAM setting (per-table stores); call the join methods directly under OneORAM")
 	}
 	if db.planCache == nil {
-		db.planCache = query.NewCache()
+		// The cache MACs its signatures under a keyring subkey: signatures
+		// name server-visible stores, and keying them stops the server from
+		// brute-forcing filter constants offline against the names it sees.
+		sigKey, err := db.keyring.Subkey("plan-cache signature")
+		if err != nil {
+			return nil, err
+		}
+		db.planCache = query.NewCache(sigKey)
 	}
 	jopts := db.joinOpts()
 	return &query.Executor{
